@@ -1,0 +1,280 @@
+//! The coloured assignment graph — the paper's §5.2 dual construction.
+//!
+//! Bokhari's construction closes the tree by merging all sensors into a
+//! dummy node A, inserts an assignment-graph node in every face of the
+//! planar drawing (plus "S" on the left and "T" on the right), and connects
+//! two nodes whenever their faces share a tree edge. We build the same
+//! graph *combinatorially*: with the leaves numbered `1..k` in planar
+//! order, the faces are exactly the k−1 "gaps" between consecutive leaves,
+//! plus S (gap 0) and T (gap k). A closed-tree edge whose subtree spans the
+//! leaf interval `[a, b]` borders precisely the faces `a−1` and `b`, so its
+//! dual edge runs from gap `a−1` to gap `b`.
+//!
+//! Consequences used throughout:
+//!
+//! * the graph is a **DAG on gap indexes** — every edge strictly increases
+//!   the gap number, every S→T path is monotone;
+//! * an S→T path crosses a set of tree edges whose leaf intervals tile
+//!   `[1, k]` — exactly the *cuts* of `hsa_tree::cuts` (an antichain
+//!   covering every leaf once). The path↔cut mapping is a bijection;
+//! * parallel edges appear naturally (a chain of tree edges shares one leaf
+//!   interval), which is why the substrate is a multigraph;
+//! * **conflicted** tree edges (colouring §5.1) are left out entirely: a
+//!   subtree spanning two satellites can never be cut off.
+//!
+//! Each dual edge inherits the σ/β labels (Figure 8 / §5.3) and the colour
+//! of the tree edge it crosses.
+
+use crate::AssignError;
+use hsa_graph::{Cost, Dwg, EdgeId, NodeId, Path};
+use hsa_tree::{BetaLabels, Colouring, CruTree, Cut, SatelliteId, SigmaLabels, TreeEdge};
+
+/// Metadata of one dual edge.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DualEdge {
+    /// The closed-tree edge this dual edge crosses.
+    pub tree_edge: TreeEdge,
+    /// The satellite colour inherited from the tree edge.
+    pub colour: SatelliteId,
+    /// σ label (host time accumulated by the Figure 8 rule).
+    pub sigma: Cost,
+    /// β label (satellite time + communication, §5.3).
+    pub beta: Cost,
+    /// Source gap (`a−1` for leaf interval `[a,b]`).
+    pub from_gap: u32,
+    /// Target gap (`b`).
+    pub to_gap: u32,
+}
+
+/// The coloured doubly weighted assignment graph of an instance.
+#[derive(Clone, Debug)]
+pub struct AssignmentGraph {
+    /// The underlying DWG; node `i` is gap `i`, `S` = node 0, `T` = node k.
+    pub dwg: Dwg,
+    /// The distinguished source node S.
+    pub source: NodeId,
+    /// The distinguished target node T.
+    pub target: NodeId,
+    /// Metadata per dual edge, indexed by [`EdgeId`] (1:1 with `dwg`).
+    pub edges: Vec<DualEdge>,
+    /// Number of leaves (k); the graph has k+1 nodes.
+    pub n_leaves: usize,
+}
+
+impl AssignmentGraph {
+    /// Builds the coloured assignment graph. Conflicted edges are omitted;
+    /// every remaining closed-tree edge contributes exactly one dual edge.
+    pub fn build(
+        tree: &CruTree,
+        colouring: &Colouring,
+        sigma: &SigmaLabels,
+        beta: &BetaLabels,
+    ) -> Result<AssignmentGraph, AssignError> {
+        let leaves = tree.leaves_in_order();
+        let k = leaves.len();
+        let spans = tree.leaf_spans();
+        let mut dwg = Dwg::with_nodes(k + 1);
+        let mut edges = Vec::new();
+
+        let push = |dwg: &mut Dwg,
+                        edges: &mut Vec<DualEdge>,
+                        tree_edge: TreeEdge,
+                        lo: u32,
+                        hi: u32| {
+            if let Some(colour) = colouring.edge_colour(tree_edge).satellite() {
+                let meta = DualEdge {
+                    tree_edge,
+                    colour,
+                    sigma: sigma.sigma(tree_edge),
+                    beta: beta.beta(tree_edge),
+                    from_gap: lo,
+                    to_gap: hi,
+                };
+                let tag = edges.len() as u64;
+                let id = dwg.add_edge_tagged(
+                    NodeId(lo),
+                    NodeId(hi),
+                    meta.sigma,
+                    meta.beta,
+                    tag,
+                );
+                debug_assert_eq!(id.index(), edges.len());
+                edges.push(meta);
+            }
+        };
+
+        // Real tree edges: one per non-root node; spans give the interval.
+        for c in tree.preorder() {
+            if c != tree.root() {
+                let (lo, hi) = spans[c.index()];
+                push(&mut dwg, &mut edges, TreeEdge::Parent(c), lo, hi);
+            }
+        }
+        // Virtual sensor edges: one per leaf, spanning that single leaf.
+        for (pos, &l) in leaves.iter().enumerate() {
+            push(
+                &mut dwg,
+                &mut edges,
+                TreeEdge::Sensor(l),
+                pos as u32,
+                pos as u32 + 1,
+            );
+        }
+
+        Ok(AssignmentGraph {
+            dwg,
+            source: NodeId(0),
+            target: NodeId(k as u32),
+            edges,
+            n_leaves: k,
+        })
+    }
+
+    /// Metadata of a dual edge.
+    #[inline]
+    pub fn meta(&self, e: EdgeId) -> &DualEdge {
+        &self.edges[e.index()]
+    }
+
+    /// Converts an S→T path into the cut it crosses.
+    pub fn path_to_cut(&self, tree: &CruTree, path: &Path) -> Result<Cut, AssignError> {
+        let edges: Vec<TreeEdge> = path.edges.iter().map(|&e| self.meta(e).tree_edge).collect();
+        Ok(Cut::new(tree, edges)?)
+    }
+
+    /// Converts a cut into the S→T path crossing it (edges ordered by leaf
+    /// interval). Fails if a cut edge is conflicted (absent from the graph).
+    pub fn cut_to_path(&self, cut: &Cut) -> Result<Path, AssignError> {
+        let mut ids: Vec<EdgeId> = Vec::with_capacity(cut.edges().len());
+        for &te in cut.edges() {
+            let found = self
+                .edges
+                .iter()
+                .position(|m| m.tree_edge == te)
+                .ok_or_else(|| {
+                    AssignError::Internal(format!("cut edge {te} is not in the assignment graph"))
+                })?;
+            ids.push(EdgeId(found as u32));
+        }
+        ids.sort_by_key(|&e| self.meta(e).from_gap);
+        Ok(Path::new(ids))
+    }
+
+    /// Total number of dual edges (the |E| of the paper's complexity
+    /// statements).
+    pub fn n_edges(&self) -> usize {
+        self.edges.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsa_graph::connectivity::is_connected;
+    use hsa_tree::figures::{cru, fig2_tree};
+    use hsa_tree::{for_each_cut, CostModel};
+
+    fn build_fig2() -> (CruTree, CostModel, AssignmentGraph) {
+        let (t, m) = fig2_tree();
+        let col = Colouring::compute(&t, &m).unwrap();
+        let sig = SigmaLabels::compute(&t, &m).unwrap();
+        let bet = BetaLabels::compute(&t, &m).unwrap();
+        let g = AssignmentGraph::build(&t, &col, &sig, &bet).unwrap();
+        (t, m, g)
+    }
+
+    #[test]
+    fn figure6_shape() {
+        let (_t, _m, g) = build_fig2();
+        // 7 leaves → 8 nodes (S, 6 gaps, T).
+        assert_eq!(g.n_leaves, 7);
+        assert_eq!(g.dwg.num_nodes(), 8);
+        // Edges: 12 non-root tree edges − 2 conflicted (⟨1,2⟩, ⟨1,3⟩)
+        //        + 7 sensor edges = 17.
+        assert_eq!(g.n_edges(), 17);
+        assert!(is_connected(&g.dwg, g.source, g.target));
+        // Every edge goes strictly rightward (DAG on gaps).
+        for (_, e) in g.dwg.all_edges() {
+            assert!(e.from.0 < e.to.0);
+        }
+    }
+
+    #[test]
+    fn conflicted_edges_are_absent() {
+        let (_t, _m, g) = build_fig2();
+        assert!(!g
+            .edges
+            .iter()
+            .any(|m| m.tree_edge == TreeEdge::Parent(cru(2))));
+        assert!(!g
+            .edges
+            .iter()
+            .any(|m| m.tree_edge == TreeEdge::Parent(cru(3))));
+        // Non-conflicted interior edges are present.
+        assert!(g
+            .edges
+            .iter()
+            .any(|m| m.tree_edge == TreeEdge::Parent(cru(4))));
+    }
+
+    #[test]
+    fn labels_are_inherited() {
+        let (t, m, g) = build_fig2();
+        let sig = SigmaLabels::compute(&t, &m).unwrap();
+        let bet = BetaLabels::compute(&t, &m).unwrap();
+        for meta in &g.edges {
+            assert_eq!(meta.sigma, sig.sigma(meta.tree_edge));
+            assert_eq!(meta.beta, bet.beta(meta.tree_edge));
+        }
+    }
+
+    #[test]
+    fn gap_intervals_match_leaf_spans() {
+        let (t, _m, g) = build_fig2();
+        let spans = t.leaf_spans();
+        for meta in &g.edges {
+            match meta.tree_edge {
+                TreeEdge::Parent(c) => {
+                    let (lo, hi) = spans[c.index()];
+                    assert_eq!((meta.from_gap, meta.to_gap), (lo, hi));
+                }
+                TreeEdge::Sensor(_) => {
+                    assert_eq!(meta.to_gap, meta.from_gap + 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_cut_maps_to_a_valid_path_and_back() {
+        let (t, m, g) = build_fig2();
+        let col = Colouring::compute(&t, &m).unwrap();
+        let mut count = 0;
+        for_each_cut(&t, &|e| col.cuttable(e), &mut |cut| {
+            let path = g.cut_to_path(cut).unwrap();
+            path.validate(&g.dwg, g.source, g.target).unwrap();
+            let back = g.path_to_cut(&t, &path).unwrap();
+            assert_eq!(&back, cut);
+            count += 1;
+        });
+        assert!(count > 5, "expected several coloured cuts, got {count}");
+    }
+
+    #[test]
+    fn conflicted_cut_edge_fails_path_mapping() {
+        let (t, _m, g) = build_fig2();
+        // A cut through the conflicted edge ⟨CRU1,CRU2⟩ is a valid tree cut
+        // but has no dual path.
+        let cut = Cut::new(
+            &t,
+            vec![
+                TreeEdge::Parent(cru(2)),
+                TreeEdge::Parent(cru(6)),
+                TreeEdge::Parent(cru(7)),
+                TreeEdge::Parent(cru(8)),
+            ],
+        )
+        .unwrap();
+        assert!(g.cut_to_path(&cut).is_err());
+    }
+}

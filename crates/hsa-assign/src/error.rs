@@ -1,0 +1,94 @@
+//! Error type for the assignment layer.
+
+use core::fmt;
+use hsa_graph::GraphError;
+use hsa_tree::TreeError;
+
+/// Errors raised while building assignment graphs or solving.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AssignError {
+    /// Propagated tree-layer error.
+    Tree(TreeError),
+    /// Propagated graph-layer error.
+    Graph(GraphError),
+    /// The instance admits no valid assignment (cannot happen for properly
+    /// pinned trees — every leaf can always cut its sensor edge — so this
+    /// signals an internal inconsistency).
+    NoFeasibleAssignment,
+    /// A Pareto frontier exceeded the configured size cap; the solver
+    /// refuses to continue rather than silently approximate.
+    FrontierOverflow {
+        /// The configured cap.
+        cap: usize,
+    },
+    /// Brute force was asked to enumerate more cuts than its guard allows.
+    BruteForceTooLarge {
+        /// The configured cut-count guard.
+        cap: u64,
+    },
+    /// An internal invariant failed; carries a diagnostic message.
+    Internal(String),
+}
+
+impl fmt::Display for AssignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AssignError::Tree(e) => write!(f, "tree error: {e}"),
+            AssignError::Graph(e) => write!(f, "graph error: {e}"),
+            AssignError::NoFeasibleAssignment => write!(f, "no feasible assignment exists"),
+            AssignError::FrontierOverflow { cap } => {
+                write!(f, "Pareto frontier exceeded the cap of {cap} points")
+            }
+            AssignError::BruteForceTooLarge { cap } => {
+                write!(f, "instance has more than {cap} cuts; brute force refused")
+            }
+            AssignError::Internal(msg) => write!(f, "internal invariant violated: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for AssignError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AssignError::Tree(e) => Some(e),
+            AssignError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TreeError> for AssignError {
+    fn from(e: TreeError) -> Self {
+        AssignError::Tree(e)
+    }
+}
+
+impl From<GraphError> for AssignError {
+    fn from(e: GraphError) -> Self {
+        AssignError::Graph(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: AssignError = TreeError::Malformed("x".into()).into();
+        assert!(e.to_string().contains("tree error"));
+        let e: AssignError = GraphError::EnumerationLimit { limit: 3 }.into();
+        assert!(e.to_string().contains("graph error"));
+        assert!(AssignError::FrontierOverflow { cap: 10 }
+            .to_string()
+            .contains("10"));
+    }
+
+    #[test]
+    fn source_chain() {
+        use std::error::Error as _;
+        let e: AssignError = TreeError::Malformed("x".into()).into();
+        assert!(e.source().is_some());
+        assert!(AssignError::NoFeasibleAssignment.source().is_none());
+    }
+}

@@ -1,0 +1,452 @@
+//! The **full-expansion** exact solver.
+//!
+//! The paper's adapted SSB algorithm (§5.4) works on an *expanded*
+//! assignment graph E′ in which same-coloured subgraphs have been replaced
+//! by composite parallel edges, and states its running time as O(|E′|).
+//! This module implements the clean closed form of that idea:
+//!
+//! 1. **Per-colour frontiers.** The coloured cut problem decomposes by
+//!    colour: a colour's cut edges live in its own uniformly-coloured
+//!    subtrees, so the choices for different satellites are independent —
+//!    they interact *only* through `B = max_colour Σβ`. For every satellite
+//!    we enumerate the Pareto frontier of `(Σσ, Σβ)` over all ways to cover
+//!    its leaves (a post-order dynamic program with Minkowski sums and
+//!    dominance pruning). Each frontier point is precisely one composite
+//!    edge of the paper's expanded graph — our `composites` statistic *is*
+//!    |E′|.
+//! 2. **Threshold sweep.** The optimum's B equals some frontier β value, so
+//!    sweeping candidate thresholds θ over the union of frontier β values
+//!    and, for each θ, picking per colour the cheapest point with β ≤ θ
+//!    yields the exact optimum of `λ·S + (1−λ)·B` in O(|E′| log |E′|).
+//!
+//! The same frontiers also answer Bokhari's objective `max(S, B)`
+//! ([`solve_sb_expanded`]), which the objective-comparison experiment (T3)
+//! uses.
+//!
+//! Dominance pruning never approximates: a dominated point (σ and β both no
+//! better) can be substituted by its dominator in any solution without
+//! increasing either objective component. A configurable cap guards the
+//! frontier size and fails loudly ([`AssignError::FrontierOverflow`])
+//! rather than degrade silently.
+
+use crate::{AssignError, Prepared, SolveStats, Solution, Solver};
+use hsa_graph::{Cost, Lambda};
+use hsa_tree::{Colour, CruId, Cut, TreeEdge};
+#[cfg(test)]
+use hsa_tree::SatelliteId;
+
+/// One Pareto-optimal way to cover a colour's leaves.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FrontierPoint {
+    /// Σ σ of the chosen cut edges (host-time contribution).
+    pub sigma: Cost,
+    /// Σ β of the chosen cut edges (this satellite's load).
+    pub beta: Cost,
+    /// The chosen closed-tree edges.
+    pub edges: Vec<TreeEdge>,
+}
+
+/// A Pareto frontier: sorted by β ascending with σ strictly descending.
+pub type Frontier = Vec<FrontierPoint>;
+
+/// Configuration of the full-expansion solver.
+#[derive(Clone, Copy, Debug)]
+pub struct ExpandedConfig {
+    /// Maximum allowed size of any intermediate frontier.
+    pub frontier_cap: usize,
+}
+
+impl Default for ExpandedConfig {
+    fn default() -> Self {
+        ExpandedConfig {
+            frontier_cap: 1_000_000,
+        }
+    }
+}
+
+/// Sorts + prunes to the Pareto frontier (min σ for each β, then strictly
+/// decreasing σ). Deterministic: ties keep the lexicographically smallest
+/// edge list.
+fn pareto_prune(mut pts: Vec<FrontierPoint>, cap: usize) -> Result<Frontier, AssignError> {
+    pts.sort_by(|a, b| {
+        a.beta
+            .cmp(&b.beta)
+            .then(a.sigma.cmp(&b.sigma))
+            .then_with(|| a.edges.cmp(&b.edges))
+    });
+    let mut out: Frontier = Vec::new();
+    for p in pts {
+        match out.last() {
+            Some(last) if p.sigma >= last.sigma => {} // dominated (β ≥, σ ≥)
+            _ => out.push(p),
+        }
+    }
+    if out.len() > cap {
+        return Err(AssignError::FrontierOverflow { cap });
+    }
+    Ok(out)
+}
+
+/// Minkowski sum of two frontiers (σ and β add, edge lists concatenate),
+/// pruned.
+fn minkowski(a: &Frontier, b: &Frontier, cap: usize) -> Result<Frontier, AssignError> {
+    if a.len().saturating_mul(b.len()) > cap.saturating_mul(4) {
+        return Err(AssignError::FrontierOverflow { cap });
+    }
+    let mut pts = Vec::with_capacity(a.len() * b.len());
+    for x in a {
+        for y in b {
+            let mut edges = x.edges.clone();
+            edges.extend_from_slice(&y.edges);
+            pts.push(FrontierPoint {
+                sigma: x.sigma + y.sigma,
+                beta: x.beta + y.beta,
+                edges,
+            });
+        }
+    }
+    pareto_prune(pts, cap)
+}
+
+/// All ways to cover the leaves of `c`'s subtree with cuts *at or below*
+/// the edge ⟨parent(c), c⟩.
+fn cover_at_or_below(
+    prep: &Prepared<'_>,
+    c: CruId,
+    cfg: &ExpandedConfig,
+) -> Result<Frontier, AssignError> {
+    let mut pts_below = cover_below(prep, c, cfg)?;
+    if c != prep.tree.root() {
+        let e = TreeEdge::Parent(c);
+        pts_below.push(FrontierPoint {
+            sigma: prep.sigma.sigma(e),
+            beta: prep.beta.beta(e),
+            edges: vec![e],
+        });
+    }
+    pareto_prune(pts_below, cfg.frontier_cap)
+}
+
+/// All ways to cover the leaves of `c`'s subtree with cuts strictly below
+/// `c` (sensor edge for leaves; child combinations otherwise).
+fn cover_below(
+    prep: &Prepared<'_>,
+    c: CruId,
+    cfg: &ExpandedConfig,
+) -> Result<Frontier, AssignError> {
+    if prep.tree.is_leaf(c) {
+        let e = TreeEdge::Sensor(c);
+        return Ok(vec![FrontierPoint {
+            sigma: prep.sigma.sigma(e),
+            beta: prep.beta.beta(e),
+            edges: vec![e],
+        }]);
+    }
+    let mut acc: Frontier = vec![FrontierPoint {
+        sigma: Cost::ZERO,
+        beta: Cost::ZERO,
+        edges: Vec::new(),
+    }];
+    for &ch in prep.tree.children(c) {
+        let child_frontier = cover_at_or_below(prep, ch, cfg)?;
+        acc = minkowski(&acc, &child_frontier, cfg.frontier_cap)?;
+    }
+    Ok(acc)
+}
+
+/// Per-colour Pareto frontiers for an instance. Unused satellites get an
+/// empty-edge zero point.
+pub fn colour_frontiers(
+    prep: &Prepared<'_>,
+    cfg: &ExpandedConfig,
+) -> Result<Vec<Frontier>, AssignError> {
+    let n = prep.n_satellites() as usize;
+    let mut frontiers: Vec<Frontier> = vec![
+        vec![FrontierPoint {
+            sigma: Cost::ZERO,
+            beta: Cost::ZERO,
+            edges: Vec::new(),
+        }];
+        n
+    ];
+    // Top nodes: uniformly coloured nodes whose parent is conflicted (or
+    // absent). Their subtrees partition all satellite-bound work.
+    for c in prep.tree.preorder() {
+        let Colour::Satellite(s) = prep.colouring.node_colour[c.index()] else {
+            continue;
+        };
+        let parent_uniform = prep
+            .tree
+            .parent(c)
+            .map(|p| prep.colouring.node_colour[p.index()] != Colour::Conflict)
+            .unwrap_or(false);
+        if parent_uniform {
+            continue; // interior of a colour region; handled by its top node
+        }
+        let f = if c == prep.tree.root() {
+            // Root cannot be cut above; cover strictly below.
+            cover_below(prep, c, cfg)?
+        } else {
+            cover_at_or_below(prep, c, cfg)?
+        };
+        frontiers[s.index()] = minkowski(&frontiers[s.index()], &f, cfg.frontier_cap)?;
+    }
+    Ok(frontiers)
+}
+
+/// For each colour, the index of the cheapest-σ point with β ≤ θ (i.e. the
+/// last frontier point with β ≤ θ, frontiers being β-sorted/σ-descending).
+fn pick_for_threshold(frontiers: &[Frontier], theta: Cost) -> Option<Vec<usize>> {
+    let mut picks = Vec::with_capacity(frontiers.len());
+    for f in frontiers {
+        let idx = f.partition_point(|p| p.beta <= theta);
+        if idx == 0 {
+            return None; // infeasible θ for this colour
+        }
+        picks.push(idx - 1);
+    }
+    Some(picks)
+}
+
+fn assemble(
+    prep: &Prepared<'_>,
+    frontiers: &[Frontier],
+    picks: &[usize],
+    lambda: Lambda,
+    stats: SolveStats,
+) -> Result<Solution, AssignError> {
+    let mut edges: Vec<TreeEdge> = Vec::new();
+    for (f, &i) in frontiers.iter().zip(picks) {
+        edges.extend_from_slice(&f[i].edges);
+    }
+    let cut = Cut::new(prep.tree, edges)?;
+    Solution::from_cut(prep, cut, lambda, stats)
+}
+
+/// The full-expansion exact solver for the SSB objective.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Expanded {
+    /// Frontier configuration.
+    pub config: ExpandedConfig,
+}
+
+impl Solver for Expanded {
+    fn name(&self) -> &'static str {
+        "expanded"
+    }
+
+    fn solve(&self, prep: &Prepared<'_>, lambda: Lambda) -> Result<Solution, AssignError> {
+        let frontiers = colour_frontiers(prep, &self.config)?;
+        let composites: usize = frontiers.iter().map(|f| f.len()).sum();
+
+        // Candidate thresholds: every frontier β value.
+        let mut thetas: Vec<Cost> = frontiers
+            .iter()
+            .flat_map(|f| f.iter().map(|p| p.beta))
+            .collect();
+        thetas.sort();
+        thetas.dedup();
+
+        let mut best: Option<(u128, Vec<usize>)> = None;
+        let mut evaluated = 0u64;
+        for &theta in &thetas {
+            let Some(picks) = pick_for_threshold(&frontiers, theta) else {
+                continue;
+            };
+            evaluated += 1;
+            let s: Cost = picks
+                .iter()
+                .zip(&frontiers)
+                .map(|(&i, f)| f[i].sigma)
+                .sum();
+            // The *actual* B may be below θ; use it.
+            let b: Cost = picks
+                .iter()
+                .zip(&frontiers)
+                .map(|(&i, f)| f[i].beta)
+                .fold(Cost::ZERO, Cost::max);
+            let obj = lambda.ssb_scaled(s, b);
+            if best.as_ref().map(|(o, _)| obj < *o).unwrap_or(true) {
+                best = Some((obj, picks));
+            }
+        }
+        let (_, picks) = best.ok_or(AssignError::NoFeasibleAssignment)?;
+        assemble(
+            prep,
+            &frontiers,
+            &picks,
+            lambda,
+            SolveStats {
+                composites,
+                evaluated,
+                ..SolveStats::default()
+            },
+        )
+    }
+}
+
+/// Exact solver for Bokhari's `max(S, B)` objective on the coloured
+/// problem, reusing the same frontiers (used by the T3 experiment).
+pub fn solve_sb_expanded(
+    prep: &Prepared<'_>,
+    config: &ExpandedConfig,
+) -> Result<(Solution, Cost), AssignError> {
+    let frontiers = colour_frontiers(prep, config)?;
+    let mut thetas: Vec<Cost> = frontiers
+        .iter()
+        .flat_map(|f| f.iter().map(|p| p.beta))
+        .collect();
+    thetas.sort();
+    thetas.dedup();
+
+    let mut best: Option<(Cost, Vec<usize>)> = None;
+    for &theta in &thetas {
+        let Some(picks) = pick_for_threshold(&frontiers, theta) else {
+            continue;
+        };
+        let s: Cost = picks
+            .iter()
+            .zip(&frontiers)
+            .map(|(&i, f)| f[i].sigma)
+            .sum();
+        let b: Cost = picks
+            .iter()
+            .zip(&frontiers)
+            .map(|(&i, f)| f[i].beta)
+            .fold(Cost::ZERO, Cost::max);
+        let sb = s.max(b);
+        if best.as_ref().map(|(o, _)| sb < *o).unwrap_or(true) {
+            best = Some((sb, picks));
+        }
+    }
+    let (sb, picks) = best.ok_or(AssignError::NoFeasibleAssignment)?;
+    let composites: usize = frontiers.iter().map(|f| f.len()).sum();
+    let sol = assemble(
+        prep,
+        &frontiers,
+        &picks,
+        // Report with λ=½ so `objective` is the S+B delay of the SB-optimal
+        // partition — what T3 compares.
+        Lambda::HALF,
+        SolveStats {
+            composites,
+            ..SolveStats::default()
+        },
+    )?;
+    Ok((sol, sb))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BruteForce;
+    use hsa_tree::figures::fig2_tree;
+
+    fn c(v: u64) -> Cost {
+        Cost::new(v)
+    }
+
+    #[test]
+    fn pareto_prune_keeps_only_nondominated() {
+        let pts = vec![
+            FrontierPoint {
+                sigma: c(5),
+                beta: c(1),
+                edges: vec![],
+            },
+            FrontierPoint {
+                sigma: c(4),
+                beta: c(2),
+                edges: vec![],
+            },
+            FrontierPoint {
+                sigma: c(6),
+                beta: c(2),
+                edges: vec![],
+            }, // dominated by (4,2)
+            FrontierPoint {
+                sigma: c(4),
+                beta: c(3),
+                edges: vec![],
+            }, // dominated by (4,2)
+            FrontierPoint {
+                sigma: c(1),
+                beta: c(9),
+                edges: vec![],
+            },
+        ];
+        let f = pareto_prune(pts, 100).unwrap();
+        let pairs: Vec<(u64, u64)> = f.iter().map(|p| (p.sigma.ticks(), p.beta.ticks())).collect();
+        assert_eq!(pairs, vec![(5, 1), (4, 2), (1, 9)]);
+    }
+
+    #[test]
+    fn frontier_cap_triggers() {
+        let pts: Vec<FrontierPoint> = (0..10)
+            .map(|i| FrontierPoint {
+                sigma: c(100 - i),
+                beta: c(i),
+                edges: vec![],
+            })
+            .collect();
+        assert!(matches!(
+            pareto_prune(pts, 3),
+            Err(AssignError::FrontierOverflow { cap: 3 })
+        ));
+    }
+
+    #[test]
+    fn matches_brute_force_on_the_paper_instance() {
+        let (t, m) = fig2_tree();
+        let prep = Prepared::new(&t, &m).unwrap();
+        for lambda in [Lambda::HALF, Lambda::ONE, Lambda::ZERO, Lambda::new(1, 3).unwrap()] {
+            let exact = BruteForce::default().solve(&prep, lambda).unwrap();
+            let fast = Expanded::default().solve(&prep, lambda).unwrap();
+            assert_eq!(fast.objective, exact.objective, "λ={lambda}");
+        }
+    }
+
+    #[test]
+    fn sb_objective_on_paper_instance_matches_brute_force() {
+        let (t, m) = fig2_tree();
+        let prep = Prepared::new(&t, &m).unwrap();
+        // Brute-force the SB objective directly.
+        let mut best = Cost::MAX;
+        hsa_tree::for_each_cut(
+            &t,
+            &|e| prep.colouring.cuttable(e),
+            &mut |cut| {
+                let s = hsa_tree::host_time_of_cut(&t, &m, cut.edges());
+                let b = hsa_tree::bottleneck_of_cut(
+                    &t,
+                    &m,
+                    |e| prep.colouring.edge_colour(e).satellite(),
+                    cut.edges(),
+                );
+                best = best.min(s.max(b));
+            },
+        );
+        let (_sol, sb) = solve_sb_expanded(&prep, &ExpandedConfig::default()).unwrap();
+        assert_eq!(sb, best);
+    }
+
+    #[test]
+    fn composites_are_counted() {
+        let (t, m) = fig2_tree();
+        let prep = Prepared::new(&t, &m).unwrap();
+        let sol = Expanded::default().solve(&prep, Lambda::HALF).unwrap();
+        assert!(sol.stats.composites >= 4, "one composite per used colour at least");
+    }
+
+    #[test]
+    fn single_node_tree() {
+        let t = hsa_tree::TreeBuilder::new("only").build();
+        let mut m = hsa_tree::CostModel::zeroed(&t, 1);
+        m.set_host_time(CruId(0), c(7));
+        m.pin_leaf(CruId(0), SatelliteId(0), c(3));
+        let prep = Prepared::new(&t, &m).unwrap();
+        let sol = Expanded::default().solve(&prep, Lambda::HALF).unwrap();
+        // Only cut: sensor edge. S = 7, B = 3 → delay 10.
+        assert_eq!(sol.report.end_to_end, c(10));
+    }
+}

@@ -1,0 +1,57 @@
+//! # hsa-assign — the paper's core contribution
+//!
+//! Optimal assignment of a tree-structured context reasoning procedure onto
+//! a host–satellites system (Mei, Pawar & Widya, IPPS 2007), end to end:
+//!
+//! 1. [`Prepared`] — colour the tree (§5.1), label σ/β (Figure 8, §5.3) and
+//!    build the coloured [`AssignmentGraph`] (§5.2 dual construction);
+//! 2. solve with one of:
+//!    * [`PaperSsb`] — the paper's adapted SSB algorithm (§5.4): min-S path
+//!      iteration, elimination, Figure 9 **expansion**, plus joint
+//!      branching for multi-band colours (our completion, DESIGN.md §2);
+//!    * [`Expanded`] — the full-expansion exact solver (per-colour Pareto
+//!      frontiers + threshold sweep), the clean O(|E′| log |E′|) form of
+//!      the paper's expanded-graph bound;
+//!    * [`BruteForce`] — exhaustive ground truth for tests;
+//!    * baselines: [`AllOnHost`], [`MaxOffload`], [`GreedyDescent`],
+//!      [`RandomCut`], and Bokhari's objective [`SbObjective`];
+//! 3. read the answer: [`Solution`] with its [`Assignment`] and
+//!    [`DelayReport`] (end-to-end delay = S + B), all evaluated directly on
+//!    the tree — independent of the graph machinery it was found with.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod assignment;
+mod baselines;
+mod brute;
+mod coloured;
+mod dual;
+mod error;
+mod expanded;
+mod paper_ssb;
+mod prepared;
+mod solver;
+
+pub use assignment::{evaluate_cut, Assignment, DelayReport, SatelliteLoad};
+pub use baselines::{
+    all_solvers, sb_optimum, AllOnHost, GreedyDescent, MaxOffload, RandomCut, SbObjective,
+};
+pub use brute::BruteForce;
+pub use coloured::ColouredMeasure;
+pub use dual::{AssignmentGraph, DualEdge};
+pub use error::AssignError;
+pub use expanded::{
+    colour_frontiers, solve_sb_expanded, Expanded, ExpandedConfig, Frontier, FrontierPoint,
+};
+pub use paper_ssb::{solve_with_trace, PaperSsb, PaperSsbConfig, SsbEvent};
+pub use prepared::Prepared;
+pub use solver::{SolveStats, Solution, Solver};
+
+/// Commonly used items, for glob import in examples and tests.
+pub mod prelude {
+    pub use crate::{
+        evaluate_cut, AllOnHost, AssignError, Assignment, BruteForce, DelayReport, Expanded,
+        GreedyDescent, MaxOffload, PaperSsb, Prepared, SbObjective, Solution, Solver,
+    };
+}

@@ -1,0 +1,64 @@
+//! A fully labelled, coloured problem instance shared by all solvers.
+
+use crate::{AssignError, AssignmentGraph};
+use hsa_tree::{BetaLabels, Colouring, CostModel, CruTree, SigmaLabels};
+
+/// Everything the solvers need, computed once per instance:
+/// colouring (§5.1), σ/β labels (§5.3) and the coloured assignment graph
+/// (§5.2).
+#[derive(Clone, Debug)]
+pub struct Prepared<'a> {
+    /// The CRU tree.
+    pub tree: &'a CruTree,
+    /// Its cost model.
+    pub costs: &'a CostModel,
+    /// The §5.1 colouring.
+    pub colouring: Colouring,
+    /// The Figure 8 σ labelling.
+    pub sigma: SigmaLabels,
+    /// The §5.3 β labelling.
+    pub beta: BetaLabels,
+    /// The coloured assignment graph (dual of the closed tree).
+    pub graph: AssignmentGraph,
+}
+
+impl<'a> Prepared<'a> {
+    /// Prepares an instance: validates the cost model, colours the tree,
+    /// labels the edges, and builds the dual graph.
+    pub fn new(tree: &'a CruTree, costs: &'a CostModel) -> Result<Self, AssignError> {
+        tree.validate()?;
+        costs.validate(tree)?;
+        let colouring = Colouring::compute(tree, costs)?;
+        let sigma = SigmaLabels::compute(tree, costs)?;
+        let beta = BetaLabels::compute(tree, costs)?;
+        let graph = AssignmentGraph::build(tree, &colouring, &sigma, &beta)?;
+        Ok(Prepared {
+            tree,
+            costs,
+            colouring,
+            sigma,
+            beta,
+            graph,
+        })
+    }
+
+    /// Number of satellites in the platform.
+    pub fn n_satellites(&self) -> u32 {
+        self.costs.n_satellites
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsa_tree::figures::fig2_tree;
+
+    #[test]
+    fn prepares_the_paper_instance() {
+        let (t, m) = fig2_tree();
+        let prep = Prepared::new(&t, &m).unwrap();
+        assert_eq!(prep.n_satellites(), 4);
+        assert_eq!(prep.colouring.host_forced.len(), 3);
+        assert!(prep.graph.dwg.num_edges() > 0);
+    }
+}

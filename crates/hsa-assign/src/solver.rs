@@ -1,0 +1,93 @@
+//! The common solver interface and solution type.
+
+use crate::{evaluate_cut, AssignError, Assignment, DelayReport, Prepared};
+use hsa_graph::{Cost, Lambda, ScaledSsb};
+use hsa_tree::Cut;
+
+/// Search statistics, for the complexity experiments (T1/T2/T5).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SolveStats {
+    /// Iterations of the candidate/eliminate loop (0 for non-iterative
+    /// solvers).
+    pub iterations: usize,
+    /// Edges eliminated.
+    pub edges_removed: usize,
+    /// Expansion steps performed (paper Figure 9/10).
+    pub expansions: usize,
+    /// Composite edges materialised by expansions — the paper's |E′|.
+    pub composites: usize,
+    /// Branches explored (multi-band colours; 0 when never needed).
+    pub branches: usize,
+    /// Cuts/candidates explicitly evaluated (brute force, heuristics).
+    pub evaluated: u64,
+}
+
+/// A solved assignment with its objective breakdown.
+#[derive(Clone, Debug)]
+pub struct Solution {
+    /// The optimal (or heuristic) cut.
+    pub cut: Cut,
+    /// Placement of every CRU.
+    pub assignment: Assignment,
+    /// Full delay breakdown.
+    pub report: DelayReport,
+    /// The λ used.
+    pub lambda: Lambda,
+    /// The λ-scaled SSB objective value (what was minimised).
+    pub objective: ScaledSsb,
+    /// Search statistics.
+    pub stats: SolveStats,
+}
+
+impl Solution {
+    /// Builds a solution from a cut by direct evaluation.
+    pub fn from_cut(
+        prep: &Prepared<'_>,
+        cut: Cut,
+        lambda: Lambda,
+        stats: SolveStats,
+    ) -> Result<Solution, AssignError> {
+        let (assignment, report) = evaluate_cut(prep, &cut)?;
+        let objective = report.ssb_scaled(lambda);
+        Ok(Solution {
+            cut,
+            assignment,
+            report,
+            lambda,
+            objective,
+            stats,
+        })
+    }
+
+    /// End-to-end delay (S + B) of this solution.
+    pub fn delay(&self) -> Cost {
+        self.report.end_to_end
+    }
+}
+
+/// A solver of the coloured assignment problem.
+pub trait Solver {
+    /// Short stable name used in benches and reports.
+    fn name(&self) -> &'static str;
+    /// Solves the prepared instance for the given λ.
+    fn solve(&self, prep: &Prepared<'_>, lambda: Lambda) -> Result<Solution, AssignError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsa_tree::figures::fig2_tree;
+
+    #[test]
+    fn from_cut_round_trips_objective() {
+        let (t, m) = fig2_tree();
+        let prep = Prepared::new(&t, &m).unwrap();
+        let cut = Cut::all_on_host(&t);
+        let sol = Solution::from_cut(&prep, cut, Lambda::HALF, SolveStats::default()).unwrap();
+        assert_eq!(
+            sol.objective,
+            sol.report.host_time.ticks() as u128 + sol.report.bottleneck.ticks() as u128
+        );
+        assert_eq!(sol.delay(), sol.report.end_to_end);
+    }
+}

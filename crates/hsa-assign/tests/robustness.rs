@@ -1,0 +1,187 @@
+//! Robustness and sensitivity: solver behaviour under cost perturbations,
+//! degenerate instances, and invalid input (errors, not panics).
+
+use hsa_assign::{
+    AssignError, BruteForce, Expanded, ExpandedConfig, PaperSsb, Prepared, Solution, Solver,
+};
+use hsa_graph::{Cost, Lambda};
+use hsa_tree::{CostModel, CruId, SatelliteId, TreeBuilder};
+use hsa_workloads::{random_instance, Placement, RandomTreeParams};
+
+fn params(seed: u32) -> RandomTreeParams {
+    RandomTreeParams {
+        n_crus: 10,
+        n_satellites: 3,
+        placement: match seed % 3 {
+            0 => Placement::Blocked,
+            1 => Placement::Interleaved,
+            _ => Placement::Random,
+        },
+        ..RandomTreeParams::default()
+    }
+}
+
+/// Raising any single cost can never *decrease* the optimal objective.
+#[test]
+fn optimum_is_monotone_in_costs() {
+    for seed in 0..8u64 {
+        let (tree, costs) = random_instance(&params(seed as u32), seed);
+        let prep = Prepared::new(&tree, &costs).unwrap();
+        let base = Expanded::default().solve(&prep, Lambda::HALF).unwrap();
+        // Bump every cost table entry (one at a time on a few indices).
+        for i in (0..tree.len()).step_by(3) {
+            let c = CruId(i as u32);
+            for field in 0..3 {
+                let mut m2 = costs.clone();
+                match field {
+                    0 => {
+                        m2.set_host_time(c, costs.h(c) + Cost::new(500));
+                    }
+                    1 => {
+                        m2.set_satellite_time(c, costs.s(c) + Cost::new(500));
+                    }
+                    _ => {
+                        if tree.parent(c).is_some() {
+                            m2.set_comm_up(c, costs.c_up(c) + Cost::new(500));
+                        }
+                    }
+                }
+                let prep2 = Prepared::new(&tree, &m2).unwrap();
+                let bumped = Expanded::default().solve(&prep2, Lambda::HALF).unwrap();
+                assert!(
+                    bumped.objective >= base.objective,
+                    "seed {seed}, node {i}, field {field}: raising a cost improved the optimum"
+                );
+            }
+        }
+    }
+}
+
+/// Scaling *all* costs by a constant scales the optimum by the same
+/// constant (the objective is homogeneous).
+#[test]
+fn optimum_is_homogeneous() {
+    for seed in 0..8u64 {
+        let (tree, costs) = random_instance(&params(seed as u32), seed);
+        let prep = Prepared::new(&tree, &costs).unwrap();
+        let base = Expanded::default().solve(&prep, Lambda::HALF).unwrap();
+        let mut m2 = costs.clone();
+        for v in m2
+            .host_time
+            .iter_mut()
+            .chain(m2.satellite_time.iter_mut())
+            .chain(m2.comm_up.iter_mut())
+            .chain(m2.comm_raw.iter_mut())
+        {
+            *v = v.saturating_mul(3);
+        }
+        let prep2 = Prepared::new(&tree, &m2).unwrap();
+        let scaled = Expanded::default().solve(&prep2, Lambda::HALF).unwrap();
+        assert_eq!(scaled.objective, base.objective * 3, "seed {seed}");
+    }
+}
+
+/// Degenerate platforms: a single satellite, a chain tree, a star tree —
+/// all three exact solvers still agree.
+#[test]
+fn degenerate_shapes() {
+    // Chain.
+    let mut b = TreeBuilder::new("r");
+    let mut at = b.root();
+    for i in 0..6 {
+        at = b.add_child(at, format!("c{i}"));
+    }
+    let chain = b.build();
+    let mut m = CostModel::zeroed(&chain, 1);
+    for (i, c) in chain.preorder().into_iter().enumerate() {
+        m.set_host_time(c, Cost::new(10 + i as u64));
+        m.set_satellite_time(c, Cost::new(5 + i as u64));
+        if c != chain.root() {
+            m.set_comm_up(c, Cost::new(3));
+        }
+    }
+    m.pin_leaf(at, SatelliteId(0), Cost::new(20));
+    check_agreement(&chain, &m);
+
+    // Star.
+    let mut b = TreeBuilder::new("hub");
+    let root = b.root();
+    for i in 0..6 {
+        b.add_child(root, format!("l{i}"));
+    }
+    let star = b.build();
+    let mut m = CostModel::zeroed(&star, 3);
+    for (i, c) in star.preorder().into_iter().enumerate() {
+        m.set_host_time(c, Cost::new(7 + i as u64));
+        m.set_satellite_time(c, Cost::new(4 + i as u64));
+        if c != star.root() {
+            m.set_comm_up(c, Cost::new(2));
+            m.pin_leaf(c, SatelliteId(i as u32 % 3), Cost::new(9));
+        }
+    }
+    check_agreement(&star, &m);
+}
+
+fn check_agreement(tree: &hsa_tree::CruTree, costs: &CostModel) {
+    let prep = Prepared::new(tree, costs).unwrap();
+    let a = BruteForce::default().solve(&prep, Lambda::HALF).unwrap();
+    let b = Expanded::default().solve(&prep, Lambda::HALF).unwrap();
+    let c = PaperSsb::default().solve(&prep, Lambda::HALF).unwrap();
+    assert_eq!(a.objective, b.objective);
+    assert_eq!(a.objective, c.objective);
+}
+
+/// Invalid input surfaces as typed errors, never panics.
+#[test]
+fn invalid_input_errors_cleanly() {
+    let (tree, mut costs) = random_instance(&params(0), 0);
+    // Unpin a leaf.
+    let leaf = tree.leaves_in_order()[0];
+    costs.pinning[leaf.index()] = None;
+    assert!(matches!(
+        Prepared::new(&tree, &costs),
+        Err(AssignError::Tree(_))
+    ));
+
+    // Frontier cap too small on a real instance.
+    let (tree, costs) = random_instance(&params(2), 3);
+    let prep = Prepared::new(&tree, &costs).unwrap();
+    let tiny = Expanded {
+        config: ExpandedConfig { frontier_cap: 1 },
+    };
+    match tiny.solve(&prep, Lambda::HALF) {
+        Err(AssignError::FrontierOverflow { cap: 1 }) => {}
+        other => panic!("expected FrontierOverflow, got {other:?}"),
+    }
+}
+
+/// A cut evaluated through `Solution::from_cut` always reports a delay
+/// bounded by the sum of all costs — a cheap sanity invariant under any
+/// cut choice.
+#[test]
+fn delay_is_bounded_by_total_work() {
+    for seed in 0..10u64 {
+        let (tree, costs) = random_instance(&params(seed as u32), seed);
+        let prep = Prepared::new(&tree, &costs).unwrap();
+        let total: Cost = costs
+            .host_time
+            .iter()
+            .chain(costs.satellite_time.iter())
+            .chain(costs.comm_up.iter())
+            .chain(costs.comm_raw.iter())
+            .copied()
+            .sum();
+        for solver in hsa_assign::all_solvers() {
+            let sol = solver.solve(&prep, Lambda::HALF).unwrap();
+            assert!(sol.delay() <= total, "{}", solver.name());
+            let re = Solution::from_cut(
+                &prep,
+                sol.cut.clone(),
+                Lambda::HALF,
+                hsa_assign::SolveStats::default(),
+            )
+            .unwrap();
+            assert_eq!(re.delay(), sol.delay());
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! Bench T2: the cost of the expansion machinery as colour interleaving
+//! grows — the |E′| axis of the paper's O(|E′|) claim for the adapted
+//! algorithm (§5.4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hsa_assign::{Expanded, PaperSsb, Prepared, Solver};
+use hsa_graph::Lambda;
+use hsa_workloads::{random_instance, Placement, RandomTreeParams};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("expansion_cost");
+    for placement in [Placement::Blocked, Placement::Interleaved, Placement::Random] {
+        for n in [10usize, 20] {
+            let (tree, costs) = random_instance(
+                &RandomTreeParams {
+                    n_crus: n,
+                    n_satellites: 3,
+                    placement,
+                    ..RandomTreeParams::default()
+                },
+                11,
+            );
+            let prep = Prepared::new(&tree, &costs).unwrap();
+            let label = format!("{placement:?}_{n}");
+            group.bench_with_input(BenchmarkId::new("paper_ssb", &label), &prep, |b, prep| {
+                b.iter(|| {
+                    black_box(PaperSsb::default().solve(prep, Lambda::HALF).unwrap().stats)
+                })
+            });
+            group.bench_with_input(BenchmarkId::new("expanded", &label), &prep, |b, prep| {
+                b.iter(|| {
+                    black_box(Expanded::default().solve(prep, Lambda::HALF).unwrap().stats)
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn fast() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(900))
+}
+
+criterion_group! {
+    name = benches;
+    config = fast();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Reachability over alive edges (the SSB/SB loops terminate when the graph
+//! "becomes disconnected", paper §4.2).
+
+use crate::{Dwg, NodeId};
+use std::collections::VecDeque;
+
+/// Returns the set of nodes reachable from `source` through alive edges,
+/// as a boolean mask indexed by node id.
+pub fn reachable_from(g: &Dwg, source: NodeId) -> Vec<bool> {
+    let mut seen = vec![false; g.num_nodes()];
+    if source.index() >= seen.len() {
+        return seen;
+    }
+    let mut queue = VecDeque::new();
+    seen[source.index()] = true;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        for (_, edge) in g.out_edges(u) {
+            let v = edge.to;
+            if !seen[v.index()] {
+                seen[v.index()] = true;
+                queue.push_back(v);
+            }
+        }
+    }
+    seen
+}
+
+/// Whether `target` is reachable from `source` through alive edges.
+pub fn is_connected(g: &Dwg, source: NodeId, target: NodeId) -> bool {
+    if target.index() >= g.num_nodes() {
+        return false;
+    }
+    reachable_from(g, source)[target.index()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Cost;
+
+    #[test]
+    fn simple_reachability() {
+        let mut g = Dwg::with_nodes(4);
+        g.add_edge(NodeId(0), NodeId(1), Cost::new(1), Cost::ZERO);
+        g.add_edge(NodeId(1), NodeId(2), Cost::new(1), Cost::ZERO);
+        let r = reachable_from(&g, NodeId(0));
+        assert_eq!(r, vec![true, true, true, false]);
+        assert!(is_connected(&g, NodeId(0), NodeId(2)));
+        assert!(!is_connected(&g, NodeId(0), NodeId(3)));
+        assert!(!is_connected(&g, NodeId(2), NodeId(0))); // directed
+    }
+
+    #[test]
+    fn killing_edges_disconnects() {
+        let mut g = Dwg::with_nodes(3);
+        let e = g.add_edge(NodeId(0), NodeId(1), Cost::new(1), Cost::ZERO);
+        g.add_edge(NodeId(1), NodeId(2), Cost::new(1), Cost::ZERO);
+        assert!(is_connected(&g, NodeId(0), NodeId(2)));
+        g.kill_edge(e);
+        assert!(!is_connected(&g, NodeId(0), NodeId(2)));
+    }
+
+    #[test]
+    fn self_is_always_reachable() {
+        let g = Dwg::with_nodes(1);
+        assert!(is_connected(&g, NodeId(0), NodeId(0)));
+    }
+
+    #[test]
+    fn cycles_terminate() {
+        let mut g = Dwg::with_nodes(2);
+        g.add_edge(NodeId(0), NodeId(1), Cost::new(1), Cost::ZERO);
+        g.add_edge(NodeId(1), NodeId(0), Cost::new(1), Cost::ZERO);
+        assert!(is_connected(&g, NodeId(0), NodeId(1)));
+        assert!(is_connected(&g, NodeId(1), NodeId(0)));
+    }
+}

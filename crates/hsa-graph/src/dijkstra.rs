@@ -1,0 +1,211 @@
+//! Dijkstra shortest path over the σ (sum) weights.
+//!
+//! This is the "shortest path-searching algorithm" invoked once per
+//! iteration of the SSB algorithm (paper §4.2, which cites Dijkstra as the
+//! canonical choice). Only *alive* edges participate, so the elimination
+//! loop never rebuilds the graph.
+//!
+//! Determinism: ties are broken first on distance, then on node id, and the
+//! predecessor of a node is only replaced by a *strictly* shorter distance,
+//! so repeated runs return identical paths — important for reproducing the
+//! paper's iteration traces exactly.
+
+use crate::{Cost, Dwg, EdgeId, NodeId, Path};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// The result of a single-source, single-target run.
+#[derive(Clone, Debug)]
+pub struct ShortestPath {
+    /// The σ-shortest path found.
+    pub path: Path,
+    /// Its total σ weight.
+    pub s_weight: Cost,
+}
+
+/// Finds the σ-shortest alive path from `source` to `target`.
+///
+/// Returns `None` when `target` is unreachable through alive edges.
+pub fn shortest_path(g: &Dwg, source: NodeId, target: NodeId) -> Option<ShortestPath> {
+    let n = g.num_nodes();
+    debug_assert!(source.index() < n && target.index() < n);
+    let mut dist: Vec<Cost> = vec![Cost::MAX; n];
+    let mut pred: Vec<Option<EdgeId>> = vec![None; n];
+    let mut done: Vec<bool> = vec![false; n];
+    let mut heap: BinaryHeap<Reverse<(Cost, u32)>> = BinaryHeap::new();
+
+    dist[source.index()] = Cost::ZERO;
+    heap.push(Reverse((Cost::ZERO, source.0)));
+
+    while let Some(Reverse((d, u))) = heap.pop() {
+        let u = NodeId(u);
+        if done[u.index()] {
+            continue;
+        }
+        done[u.index()] = true;
+        if u == target {
+            break;
+        }
+        for (eid, edge) in g.out_edges(u) {
+            let v = edge.to;
+            if done[v.index()] {
+                continue;
+            }
+            let nd = d + edge.sigma;
+            if nd < dist[v.index()] {
+                dist[v.index()] = nd;
+                pred[v.index()] = Some(eid);
+                heap.push(Reverse((nd, v.0)));
+            }
+        }
+    }
+
+    if dist[target.index()] == Cost::MAX && source != target {
+        return None;
+    }
+
+    // Reconstruct by walking predecessors back to the source.
+    let mut edges = Vec::new();
+    let mut at = target;
+    while at != source {
+        let e = pred[at.index()]?;
+        edges.push(e);
+        at = g.edge_unchecked(e).from;
+    }
+    edges.reverse();
+    Some(ShortestPath {
+        s_weight: dist[target.index()],
+        path: Path::new(edges),
+    })
+}
+
+/// All-targets σ distances from `source` (alive edges only); `Cost::MAX`
+/// marks unreachable nodes.
+pub fn distances_from(g: &Dwg, source: NodeId) -> Vec<Cost> {
+    let n = g.num_nodes();
+    let mut dist: Vec<Cost> = vec![Cost::MAX; n];
+    let mut done: Vec<bool> = vec![false; n];
+    let mut heap: BinaryHeap<Reverse<(Cost, u32)>> = BinaryHeap::new();
+    dist[source.index()] = Cost::ZERO;
+    heap.push(Reverse((Cost::ZERO, source.0)));
+    while let Some(Reverse((d, u))) = heap.pop() {
+        let u = NodeId(u);
+        if done[u.index()] {
+            continue;
+        }
+        done[u.index()] = true;
+        for (_, edge) in g.out_edges(u) {
+            let v = edge.to;
+            let nd = d + edge.sigma;
+            if !done[v.index()] && nd < dist[v.index()] {
+                dist[v.index()] = nd;
+                heap.push(Reverse((nd, v.0)));
+            }
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(v: u64) -> Cost {
+        Cost::new(v)
+    }
+
+    #[test]
+    fn straight_line() {
+        let mut g = Dwg::with_nodes(3);
+        g.add_edge(NodeId(0), NodeId(1), c(2), c(0));
+        g.add_edge(NodeId(1), NodeId(2), c(3), c(0));
+        let sp = shortest_path(&g, NodeId(0), NodeId(2)).unwrap();
+        assert_eq!(sp.s_weight, c(5));
+        assert_eq!(sp.path.len(), 2);
+        sp.path.validate(&g, NodeId(0), NodeId(2)).unwrap();
+    }
+
+    #[test]
+    fn prefers_cheaper_parallel_edge() {
+        let mut g = Dwg::with_nodes(2);
+        g.add_edge(NodeId(0), NodeId(1), c(9), c(0));
+        let cheap = g.add_edge(NodeId(0), NodeId(1), c(4), c(0));
+        let sp = shortest_path(&g, NodeId(0), NodeId(1)).unwrap();
+        assert_eq!(sp.s_weight, c(4));
+        assert_eq!(sp.path.edges, vec![cheap]);
+    }
+
+    #[test]
+    fn takes_detour_when_cheaper() {
+        let mut g = Dwg::with_nodes(4);
+        g.add_edge(NodeId(0), NodeId(3), c(10), c(0));
+        g.add_edge(NodeId(0), NodeId(1), c(1), c(0));
+        g.add_edge(NodeId(1), NodeId(2), c(1), c(0));
+        g.add_edge(NodeId(2), NodeId(3), c(1), c(0));
+        let sp = shortest_path(&g, NodeId(0), NodeId(3)).unwrap();
+        assert_eq!(sp.s_weight, c(3));
+        assert_eq!(sp.path.len(), 3);
+    }
+
+    #[test]
+    fn unreachable_returns_none() {
+        let mut g = Dwg::with_nodes(3);
+        g.add_edge(NodeId(0), NodeId(1), c(1), c(0));
+        assert!(shortest_path(&g, NodeId(0), NodeId(2)).is_none());
+    }
+
+    #[test]
+    fn dead_edges_are_ignored() {
+        let mut g = Dwg::with_nodes(2);
+        let e = g.add_edge(NodeId(0), NodeId(1), c(1), c(0));
+        g.kill_edge(e);
+        assert!(shortest_path(&g, NodeId(0), NodeId(1)).is_none());
+        g.revive_all();
+        assert!(shortest_path(&g, NodeId(0), NodeId(1)).is_some());
+    }
+
+    #[test]
+    fn source_equals_target() {
+        let g = Dwg::with_nodes(1);
+        let sp = shortest_path(&g, NodeId(0), NodeId(0)).unwrap();
+        assert_eq!(sp.s_weight, Cost::ZERO);
+        assert!(sp.path.is_empty());
+    }
+
+    #[test]
+    fn zero_weight_edges_are_fine() {
+        let mut g = Dwg::with_nodes(3);
+        g.add_edge(NodeId(0), NodeId(1), c(0), c(5));
+        g.add_edge(NodeId(1), NodeId(2), c(0), c(7));
+        let sp = shortest_path(&g, NodeId(0), NodeId(2)).unwrap();
+        assert_eq!(sp.s_weight, Cost::ZERO);
+        assert_eq!(sp.path.len(), 2);
+    }
+
+    #[test]
+    fn distances_from_matches_point_queries() {
+        let mut g = Dwg::with_nodes(4);
+        g.add_edge(NodeId(0), NodeId(1), c(1), c(0));
+        g.add_edge(NodeId(1), NodeId(2), c(2), c(0));
+        g.add_edge(NodeId(0), NodeId(2), c(5), c(0));
+        let d = distances_from(&g, NodeId(0));
+        assert_eq!(d[0], c(0));
+        assert_eq!(d[1], c(1));
+        assert_eq!(d[2], c(3));
+        assert_eq!(d[3], Cost::MAX);
+        for t in 1..3u32 {
+            let sp = shortest_path(&g, NodeId(0), NodeId(t)).unwrap();
+            assert_eq!(sp.s_weight, d[t as usize]);
+        }
+    }
+
+    #[test]
+    fn undirected_edges_travel_both_ways() {
+        let mut g = Dwg::with_nodes(2);
+        g.add_undirected_edge(NodeId(0), NodeId(1), c(2), c(0), 0);
+        assert_eq!(
+            shortest_path(&g, NodeId(1), NodeId(0)).unwrap().s_weight,
+            c(2)
+        );
+    }
+}

@@ -1,0 +1,409 @@
+//! The doubly weighted multigraph (DWG) of the paper's Section 4.1.
+//!
+//! A DWG carries two ordered non-negative weights on every edge: a *sum*
+//! weight σ (accumulated along a path into the S weight) and a *bottleneck*
+//! weight β (combined along a path into the B weight). Both the paper's SSB
+//! algorithm and Bokhari's SB algorithm work by repeatedly searching paths
+//! and *eliminating* edges, so the graph supports O(1) edge disabling with
+//! snapshot/restore instead of physically mutating adjacency.
+//!
+//! Parallel edges are first-class: Bokhari-style assignment graphs are
+//! multigraphs (a chain of tree edges with the same leaf span yields several
+//! parallel edges between the same pair of faces).
+
+use crate::{Cost, GraphError};
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a node in a [`Dwg`]; indexes are dense and start at zero.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+/// Identifier of an edge in a [`Dwg`]; indexes are dense and start at zero.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct EdgeId(pub u32);
+
+impl NodeId {
+    /// The node index as a usize.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl EdgeId {
+    /// The edge index as a usize.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Edge payload: endpoints, the two weights, and a caller-defined tag.
+///
+/// The tag is opaque to the search algorithms; the assignment layer uses it
+/// to point back at the CRU-tree edge a dual edge crosses, and to carry the
+/// satellite colour.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Edge {
+    /// Source node.
+    pub from: NodeId,
+    /// Destination node.
+    pub to: NodeId,
+    /// Sum weight σ(e).
+    pub sigma: Cost,
+    /// Bottleneck weight β(e).
+    pub beta: Cost,
+    /// Caller-defined payload (e.g. colour, tree-edge id).
+    pub tag: u64,
+}
+
+/// A directed doubly weighted multigraph with O(1) edge disabling.
+///
+/// Undirected graphs are modelled as twin arc pairs created with
+/// [`Dwg::add_undirected_edge`]; killing either twin kills both, so the
+/// elimination steps of the SSB/SB algorithms behave as on an undirected
+/// graph.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Dwg {
+    edges: Vec<Edge>,
+    /// Out-adjacency: for each node, the edge ids leaving it.
+    adj: Vec<Vec<EdgeId>>,
+    /// Liveness flag per edge (false = eliminated).
+    alive: Vec<bool>,
+    alive_count: usize,
+    /// Twin arc of an undirected pair, if any.
+    twin: Vec<Option<EdgeId>>,
+}
+
+/// A saved liveness state, restorable with [`Dwg::restore`].
+#[derive(Clone, Debug)]
+pub struct AliveSnapshot {
+    alive: Vec<bool>,
+    alive_count: usize,
+}
+
+impl Dwg {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Dwg {
+            edges: Vec::new(),
+            adj: Vec::new(),
+            alive: Vec::new(),
+            alive_count: 0,
+            twin: Vec::new(),
+        }
+    }
+
+    /// Creates an empty graph with `n` pre-allocated nodes.
+    pub fn with_nodes(n: usize) -> Self {
+        let mut g = Dwg::new();
+        g.add_nodes(n);
+        g
+    }
+
+    /// Adds one node and returns its id.
+    pub fn add_node(&mut self) -> NodeId {
+        let id = NodeId(self.adj.len() as u32);
+        self.adj.push(Vec::new());
+        id
+    }
+
+    /// Adds `n` nodes; returns the id of the first.
+    pub fn add_nodes(&mut self, n: usize) -> NodeId {
+        let first = NodeId(self.adj.len() as u32);
+        for _ in 0..n {
+            self.adj.push(Vec::new());
+        }
+        first
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of edges ever added (dead or alive).
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Number of edges currently alive.
+    #[inline]
+    pub fn num_alive(&self) -> usize {
+        self.alive_count
+    }
+
+    /// Adds a directed edge with tag 0.
+    pub fn add_edge(&mut self, from: NodeId, to: NodeId, sigma: Cost, beta: Cost) -> EdgeId {
+        self.add_edge_tagged(from, to, sigma, beta, 0)
+    }
+
+    /// Adds a directed edge carrying a caller-defined tag.
+    ///
+    /// # Panics
+    /// Panics if an endpoint does not exist (construction-time programming
+    /// error, unlike search-time lookups which return [`GraphError`]).
+    pub fn add_edge_tagged(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        sigma: Cost,
+        beta: Cost,
+        tag: u64,
+    ) -> EdgeId {
+        assert!(
+            from.index() < self.adj.len() && to.index() < self.adj.len(),
+            "edge endpoint out of range"
+        );
+        let id = EdgeId(self.edges.len() as u32);
+        self.edges.push(Edge {
+            from,
+            to,
+            sigma,
+            beta,
+            tag,
+        });
+        self.adj[from.index()].push(id);
+        self.alive.push(true);
+        self.alive_count += 1;
+        self.twin.push(None);
+        id
+    }
+
+    /// Adds an undirected edge as a twin pair of arcs sharing weights and
+    /// tag. Returns `(forward, backward)`. Killing either arc kills both.
+    pub fn add_undirected_edge(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        sigma: Cost,
+        beta: Cost,
+        tag: u64,
+    ) -> (EdgeId, EdgeId) {
+        let fwd = self.add_edge_tagged(a, b, sigma, beta, tag);
+        let bwd = self.add_edge_tagged(b, a, sigma, beta, tag);
+        self.twin[fwd.index()] = Some(bwd);
+        self.twin[bwd.index()] = Some(fwd);
+        (fwd, bwd)
+    }
+
+    /// Looks up an edge payload.
+    pub fn edge(&self, e: EdgeId) -> Result<&Edge, GraphError> {
+        self.edges.get(e.index()).ok_or(GraphError::EdgeOutOfRange {
+            edge: e.0,
+            len: self.edges.len() as u32,
+        })
+    }
+
+    /// Unchecked edge lookup for hot loops; panics on a bad id.
+    #[inline]
+    pub fn edge_unchecked(&self, e: EdgeId) -> &Edge {
+        &self.edges[e.index()]
+    }
+
+    /// The twin arc of an undirected pair, if `e` belongs to one.
+    pub fn twin_of(&self, e: EdgeId) -> Option<EdgeId> {
+        self.twin.get(e.index()).copied().flatten()
+    }
+
+    /// Whether the edge is currently alive.
+    #[inline]
+    pub fn is_alive(&self, e: EdgeId) -> bool {
+        self.alive[e.index()]
+    }
+
+    /// Disables an edge (and its twin, for undirected pairs). Idempotent.
+    pub fn kill_edge(&mut self, e: EdgeId) {
+        self.kill_one(e);
+        if let Some(t) = self.twin_of(e) {
+            self.kill_one(t);
+        }
+    }
+
+    fn kill_one(&mut self, e: EdgeId) {
+        let slot = &mut self.alive[e.index()];
+        if *slot {
+            *slot = false;
+            self.alive_count -= 1;
+        }
+    }
+
+    /// Re-enables every edge.
+    pub fn revive_all(&mut self) {
+        for a in &mut self.alive {
+            *a = true;
+        }
+        self.alive_count = self.alive.len();
+    }
+
+    /// Captures the current liveness state.
+    pub fn snapshot(&self) -> AliveSnapshot {
+        AliveSnapshot {
+            alive: self.alive.clone(),
+            alive_count: self.alive_count,
+        }
+    }
+
+    /// Restores a liveness state captured by [`Dwg::snapshot`].
+    ///
+    /// # Panics
+    /// Panics if edges were added after the snapshot was taken.
+    pub fn restore(&mut self, snap: &AliveSnapshot) {
+        assert_eq!(
+            snap.alive.len(),
+            self.alive.len(),
+            "snapshot taken on a graph with a different edge count"
+        );
+        self.alive.clone_from(&snap.alive);
+        self.alive_count = snap.alive_count;
+    }
+
+    /// Iterates the *alive* out-edges of a node.
+    pub fn out_edges(&self, n: NodeId) -> impl Iterator<Item = (EdgeId, &Edge)> + '_ {
+        self.adj[n.index()]
+            .iter()
+            .copied()
+            .filter(|e| self.alive[e.index()])
+            .map(move |e| (e, &self.edges[e.index()]))
+    }
+
+    /// Iterates *all* out-edges of a node, including eliminated ones.
+    pub fn out_edges_all(&self, n: NodeId) -> impl Iterator<Item = (EdgeId, &Edge)> + '_ {
+        self.adj[n.index()]
+            .iter()
+            .copied()
+            .map(move |e| (e, &self.edges[e.index()]))
+    }
+
+    /// Iterates every alive edge in id order.
+    pub fn alive_edges(&self) -> impl Iterator<Item = (EdgeId, &Edge)> + '_ {
+        self.edges
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| self.alive[*i])
+            .map(|(i, e)| (EdgeId(i as u32), e))
+    }
+
+    /// Iterates every edge in id order, dead or alive.
+    pub fn all_edges(&self) -> impl Iterator<Item = (EdgeId, &Edge)> + '_ {
+        self.edges
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (EdgeId(i as u32), e))
+    }
+
+    /// Validates a node id.
+    pub fn check_node(&self, n: NodeId) -> Result<(), GraphError> {
+        if n.index() < self.adj.len() {
+            Ok(())
+        } else {
+            Err(GraphError::NodeOutOfRange {
+                node: n.0,
+                len: self.adj.len() as u32,
+            })
+        }
+    }
+}
+
+impl Default for Dwg {
+    fn default() -> Self {
+        Dwg::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(v: u64) -> Cost {
+        Cost::new(v)
+    }
+
+    #[test]
+    fn build_and_query() {
+        let mut g = Dwg::with_nodes(3);
+        let e0 = g.add_edge(NodeId(0), NodeId(1), c(5), c(10));
+        let e1 = g.add_edge_tagged(NodeId(1), NodeId(2), c(4), c(20), 7);
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.num_alive(), 2);
+        assert_eq!(g.edge(e1).unwrap().tag, 7);
+        assert_eq!(g.edge(e0).unwrap().sigma, c(5));
+        let outs: Vec<_> = g.out_edges(NodeId(0)).map(|(id, _)| id).collect();
+        assert_eq!(outs, vec![e0]);
+    }
+
+    #[test]
+    fn parallel_edges_are_distinct() {
+        let mut g = Dwg::with_nodes(2);
+        let e0 = g.add_edge(NodeId(0), NodeId(1), c(1), c(1));
+        let e1 = g.add_edge(NodeId(0), NodeId(1), c(1), c(1));
+        assert_ne!(e0, e1);
+        assert_eq!(g.out_edges(NodeId(0)).count(), 2);
+    }
+
+    #[test]
+    fn kill_and_revive() {
+        let mut g = Dwg::with_nodes(2);
+        let e = g.add_edge(NodeId(0), NodeId(1), c(1), c(2));
+        assert!(g.is_alive(e));
+        g.kill_edge(e);
+        assert!(!g.is_alive(e));
+        assert_eq!(g.num_alive(), 0);
+        assert_eq!(g.out_edges(NodeId(0)).count(), 0);
+        g.kill_edge(e); // idempotent
+        assert_eq!(g.num_alive(), 0);
+        g.revive_all();
+        assert!(g.is_alive(e));
+        assert_eq!(g.num_alive(), 1);
+    }
+
+    #[test]
+    fn undirected_twins_die_together() {
+        let mut g = Dwg::with_nodes(2);
+        let (f, b) = g.add_undirected_edge(NodeId(0), NodeId(1), c(3), c(4), 9);
+        assert_eq!(g.twin_of(f), Some(b));
+        assert_eq!(g.twin_of(b), Some(f));
+        g.kill_edge(b);
+        assert!(!g.is_alive(f));
+        assert!(!g.is_alive(b));
+        assert_eq!(g.num_alive(), 0);
+    }
+
+    #[test]
+    fn snapshot_restore_round_trip() {
+        let mut g = Dwg::with_nodes(2);
+        let e0 = g.add_edge(NodeId(0), NodeId(1), c(1), c(1));
+        let e1 = g.add_edge(NodeId(0), NodeId(1), c(2), c(2));
+        let snap = g.snapshot();
+        g.kill_edge(e0);
+        g.kill_edge(e1);
+        assert_eq!(g.num_alive(), 0);
+        g.restore(&snap);
+        assert_eq!(g.num_alive(), 2);
+        assert!(g.is_alive(e0) && g.is_alive(e1));
+    }
+
+    #[test]
+    fn out_of_range_lookups_error() {
+        let g = Dwg::with_nodes(1);
+        assert!(matches!(
+            g.edge(EdgeId(0)),
+            Err(GraphError::EdgeOutOfRange { .. })
+        ));
+        assert!(matches!(
+            g.check_node(NodeId(5)),
+            Err(GraphError::NodeOutOfRange { .. })
+        ));
+        assert!(g.check_node(NodeId(0)).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "endpoint out of range")]
+    fn bad_endpoint_panics_at_construction() {
+        let mut g = Dwg::with_nodes(1);
+        g.add_edge(NodeId(0), NodeId(3), c(1), c(1));
+    }
+}

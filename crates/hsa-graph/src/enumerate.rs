@@ -1,0 +1,186 @@
+//! Exhaustive path enumeration — the *test oracle* for the search
+//! algorithms.
+//!
+//! On small graphs we can enumerate every simple S→T path and take the exact
+//! optimum of any path measure. The SSB and SB algorithms are then property-
+//! tested against this oracle on thousands of random graphs.
+
+use crate::{Dwg, EdgeId, GraphError, Lambda, NodeId, Path, ScaledSsb};
+
+/// Enumerates every *simple* (node-repetition-free) alive path from
+/// `source` to `target`.
+///
+/// Fails with [`GraphError::EnumerationLimit`] once more than `limit` paths
+/// are found, so a mis-sized call cannot silently truncate the oracle.
+pub fn all_simple_paths(
+    g: &Dwg,
+    source: NodeId,
+    target: NodeId,
+    limit: usize,
+) -> Result<Vec<Path>, GraphError> {
+    g.check_node(source)?;
+    g.check_node(target)?;
+    let mut out = Vec::new();
+    let mut stack: Vec<EdgeId> = Vec::new();
+    let mut on_path = vec![false; g.num_nodes()];
+    on_path[source.index()] = true;
+    dfs(g, source, target, limit, &mut stack, &mut on_path, &mut out)?;
+    Ok(out)
+}
+
+fn dfs(
+    g: &Dwg,
+    at: NodeId,
+    target: NodeId,
+    limit: usize,
+    stack: &mut Vec<EdgeId>,
+    on_path: &mut Vec<bool>,
+    out: &mut Vec<Path>,
+) -> Result<(), GraphError> {
+    if at == target {
+        if out.len() >= limit {
+            return Err(GraphError::EnumerationLimit { limit });
+        }
+        out.push(Path::new(stack.clone()));
+        // Note: we still continue exploring siblings at the caller; paths
+        // through `target` and back are not simple once target re-entered,
+        // and `on_path[target]` stays set below, so recursion stops here.
+        return Ok(());
+    }
+    for (eid, edge) in g.out_edges(at) {
+        let v = edge.to;
+        if on_path[v.index()] {
+            continue;
+        }
+        on_path[v.index()] = true;
+        stack.push(eid);
+        dfs(g, v, target, limit, stack, on_path, out)?;
+        stack.pop();
+        on_path[v.index()] = false;
+    }
+    Ok(())
+}
+
+/// The exact minimum-SSB path by enumeration, or `None` when no path exists.
+pub fn optimal_ssb_by_enumeration(
+    g: &Dwg,
+    source: NodeId,
+    target: NodeId,
+    lambda: Lambda,
+    limit: usize,
+) -> Result<Option<(Path, ScaledSsb)>, GraphError> {
+    let paths = all_simple_paths(g, source, target, limit)?;
+    Ok(paths
+        .into_iter()
+        .map(|p| {
+            let w = p.ssb_scaled(g, lambda);
+            (p, w)
+        })
+        .min_by(|a, b| a.1.cmp(&b.1).then_with(|| a.0.edges.cmp(&b.0.edges))))
+}
+
+/// The exact minimum-SB (`max(S, B)`) path by enumeration.
+pub fn optimal_sb_by_enumeration(
+    g: &Dwg,
+    source: NodeId,
+    target: NodeId,
+    limit: usize,
+) -> Result<Option<(Path, crate::Cost)>, GraphError> {
+    let paths = all_simple_paths(g, source, target, limit)?;
+    Ok(paths
+        .into_iter()
+        .map(|p| {
+            let w = p.sb_weight(g);
+            (p, w)
+        })
+        .min_by(|a, b| a.1.cmp(&b.1).then_with(|| a.0.edges.cmp(&b.0.edges))))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Cost;
+
+    fn c(v: u64) -> Cost {
+        Cost::new(v)
+    }
+
+    /// Diamond: 0→1→3 and 0→2→3 plus a direct 0→3 edge.
+    fn diamond() -> Dwg {
+        let mut g = Dwg::with_nodes(4);
+        g.add_edge(NodeId(0), NodeId(1), c(1), c(9));
+        g.add_edge(NodeId(1), NodeId(3), c(1), c(1));
+        g.add_edge(NodeId(0), NodeId(2), c(2), c(2));
+        g.add_edge(NodeId(2), NodeId(3), c(2), c(2));
+        g.add_edge(NodeId(0), NodeId(3), c(10), c(1));
+        g
+    }
+
+    #[test]
+    fn counts_all_simple_paths() {
+        let g = diamond();
+        let paths = all_simple_paths(&g, NodeId(0), NodeId(3), 100).unwrap();
+        assert_eq!(paths.len(), 3);
+        for p in &paths {
+            p.validate(&g, NodeId(0), NodeId(3)).unwrap();
+        }
+    }
+
+    #[test]
+    fn limit_is_enforced() {
+        let g = diamond();
+        let err = all_simple_paths(&g, NodeId(0), NodeId(3), 2).unwrap_err();
+        assert_eq!(err, GraphError::EnumerationLimit { limit: 2 });
+    }
+
+    #[test]
+    fn ssb_oracle_picks_true_optimum() {
+        let g = diamond();
+        // Path 0→1→3: S=2 B=9 → SSB=11; 0→2→3: S=4 B=2 → 6; direct: S=10 B=1 → 11.
+        let (p, w) = optimal_ssb_by_enumeration(&g, NodeId(0), NodeId(3), Lambda::HALF, 100)
+            .unwrap()
+            .unwrap();
+        assert_eq!(w, 6);
+        assert_eq!(p.nodes(&g), vec![NodeId(0), NodeId(2), NodeId(3)]);
+    }
+
+    #[test]
+    fn sb_oracle_picks_true_optimum() {
+        let g = diamond();
+        // SB weights: 9, 4, 10 → optimum 4 on 0→2→3.
+        let (p, w) = optimal_sb_by_enumeration(&g, NodeId(0), NodeId(3), 100)
+            .unwrap()
+            .unwrap();
+        assert_eq!(w, c(4));
+        assert_eq!(p.nodes(&g), vec![NodeId(0), NodeId(2), NodeId(3)]);
+    }
+
+    #[test]
+    fn disconnected_graph_yields_none() {
+        let g = Dwg::with_nodes(2);
+        assert!(
+            optimal_ssb_by_enumeration(&g, NodeId(0), NodeId(1), Lambda::HALF, 10)
+                .unwrap()
+                .is_none()
+        );
+    }
+
+    #[test]
+    fn parallel_edges_count_as_distinct_paths() {
+        let mut g = Dwg::with_nodes(2);
+        g.add_edge(NodeId(0), NodeId(1), c(1), c(1));
+        g.add_edge(NodeId(0), NodeId(1), c(2), c(2));
+        let paths = all_simple_paths(&g, NodeId(0), NodeId(1), 10).unwrap();
+        assert_eq!(paths.len(), 2);
+    }
+
+    #[test]
+    fn cycles_do_not_trap_the_dfs() {
+        let mut g = Dwg::with_nodes(3);
+        g.add_edge(NodeId(0), NodeId(1), c(1), c(1));
+        g.add_edge(NodeId(1), NodeId(0), c(1), c(1));
+        g.add_edge(NodeId(1), NodeId(2), c(1), c(1));
+        let paths = all_simple_paths(&g, NodeId(0), NodeId(2), 10).unwrap();
+        assert_eq!(paths.len(), 1);
+    }
+}

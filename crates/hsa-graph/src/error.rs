@@ -1,0 +1,75 @@
+//! Error type for graph construction and search.
+
+use core::fmt;
+
+/// Errors raised by the graph substrate.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GraphError {
+    /// A node id referenced a node that does not exist.
+    NodeOutOfRange {
+        /// The offending node index.
+        node: u32,
+        /// The number of nodes in the graph.
+        len: u32,
+    },
+    /// An edge id referenced an edge that does not exist.
+    EdgeOutOfRange {
+        /// The offending edge index.
+        edge: u32,
+        /// The number of edges in the graph.
+        len: u32,
+    },
+    /// A path failed validation (broken adjacency, dead edge, wrong
+    /// endpoints …).
+    InvalidPath(String),
+    /// Path enumeration hit its configured limit before completing; results
+    /// would be incomplete, so the caller gets an error instead.
+    EnumerationLimit {
+        /// The limit that was exceeded.
+        limit: usize,
+    },
+    /// λ must satisfy `den > 0` and `num ≤ den`.
+    InvalidLambda {
+        /// Numerator supplied.
+        num: u32,
+        /// Denominator supplied.
+        den: u32,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, len } => {
+                write!(f, "node id {node} out of range (graph has {len} nodes)")
+            }
+            GraphError::EdgeOutOfRange { edge, len } => {
+                write!(f, "edge id {edge} out of range (graph has {len} edges)")
+            }
+            GraphError::InvalidPath(msg) => write!(f, "invalid path: {msg}"),
+            GraphError::EnumerationLimit { limit } => {
+                write!(f, "path enumeration exceeded the limit of {limit} paths")
+            }
+            GraphError::InvalidLambda { num, den } => {
+                write!(f, "invalid lambda {num}/{den}: need den > 0 and num <= den")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = GraphError::NodeOutOfRange { node: 9, len: 3 };
+        assert!(e.to_string().contains("node id 9"));
+        let e = GraphError::EnumerationLimit { limit: 10 };
+        assert!(e.to_string().contains("10"));
+        let e = GraphError::InvalidLambda { num: 5, den: 2 };
+        assert!(e.to_string().contains("5/2"));
+    }
+}

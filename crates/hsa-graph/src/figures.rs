@@ -1,0 +1,113 @@
+//! Constructors for the paper's worked examples on plain DWGs.
+
+use crate::{Cost, Dwg, NodeId};
+
+/// The doubly weighted graph of the paper's **Figure 4**.
+///
+/// Three nodes `S → M → T`; edge weights are written `<σ, β>` exactly as in
+/// the figure:
+///
+/// ```text
+///   S ──<5,10>──┐            ┌──<4,20>── T
+///   S ──<6,8>───┤            ├──<5,10>── T
+///   S ──<15,10>─┤── M ───────├──<6,12>── T
+///   S ──<20,9>──┘            └──<27,8>── T
+/// ```
+///
+/// Running the SSB algorithm with λ = ½ (SSB printed as S + B) reproduces
+/// the figure's trace: candidate ∞ → 29 → 20, termination in iteration 3
+/// with a min-S path of S weight 33, optimal path `<5,10>-<5,10>` with SSB
+/// weight 20.
+pub fn fig4_graph() -> (Dwg, NodeId, NodeId) {
+    let mut g = Dwg::with_nodes(3);
+    let (s, m, t) = (NodeId(0), NodeId(1), NodeId(2));
+    let c = Cost::new;
+    // Left hop S→M.
+    g.add_edge(s, m, c(5), c(10));
+    g.add_edge(s, m, c(6), c(8));
+    g.add_edge(s, m, c(15), c(10));
+    g.add_edge(s, m, c(20), c(9));
+    // Right hop M→T.
+    g.add_edge(m, t, c(4), c(20));
+    g.add_edge(m, t, c(5), c(10));
+    g.add_edge(m, t, c(6), c(12));
+    g.add_edge(m, t, c(27), c(8));
+    (g, s, t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ssb_search, SsbConfig, Termination};
+
+    /// The headline reproduction: the exact Figure 4 trace.
+    #[test]
+    fn figure4_trace_is_reproduced_exactly() {
+        let (mut g, s, t) = fig4_graph();
+        let cfg = SsbConfig {
+            record_trace: true,
+            ..SsbConfig::default()
+        };
+        let out = ssb_search(&mut g, s, t, &cfg);
+
+        // "three iterations are executed"
+        assert_eq!(out.iterations, 3);
+        assert_eq!(out.termination, Termination::SBound);
+
+        // Iteration 1: min-S path <5,10>-<4,20>: S=9, B=20, SSB ∞→29.
+        let it1 = &out.trace[0];
+        assert_eq!(it1.s, Cost::new(9));
+        assert_eq!(it1.b, Cost::new(20));
+        assert_eq!(it1.ssb, 29);
+        assert!(it1.improved);
+
+        // Iteration 2: min-S path <5,10>-<5,10>: S=10, B=10, SSB 29→20.
+        let it2 = &out.trace[1];
+        assert_eq!(it2.s, Cost::new(10));
+        assert_eq!(it2.b, Cost::new(10));
+        assert_eq!(it2.ssb, 20);
+        assert!(it2.improved);
+
+        // Iteration 3: "p.S_weight = 33 — iteration terminated".
+        let it3 = &out.trace[2];
+        assert_eq!(it3.s, Cost::new(33));
+        assert!(!it3.improved);
+
+        // "optimal SSB path (<5,10>-<5,10>) with SSB weight of 20"
+        let best = out.best.unwrap();
+        assert_eq!(best.ssb, 20);
+        assert_eq!(best.s, Cost::new(10));
+        assert_eq!(best.b, Cost::new(10));
+        let sigmas: Vec<u64> = best
+            .path
+            .edges
+            .iter()
+            .map(|&e| g.edge_unchecked(e).sigma.ticks())
+            .collect();
+        let betas: Vec<u64> = best
+            .path
+            .edges
+            .iter()
+            .map(|&e| g.edge_unchecked(e).beta.ticks())
+            .collect();
+        assert_eq!(sigmas, vec![5, 5]);
+        assert_eq!(betas, vec![10, 10]);
+    }
+
+    #[test]
+    fn figure4_matches_enumeration_oracle() {
+        let (g, s, t) = fig4_graph();
+        let oracle =
+            crate::enumerate::optimal_ssb_by_enumeration(&g, s, t, crate::Lambda::HALF, 1000)
+                .unwrap()
+                .unwrap();
+        assert_eq!(oracle.1, 20);
+    }
+
+    #[test]
+    fn figure4_has_sixteen_paths() {
+        let (g, s, t) = fig4_graph();
+        let paths = crate::enumerate::all_simple_paths(&g, s, t, 1000).unwrap();
+        assert_eq!(paths.len(), 16); // 4 left × 4 right parallel edges
+    }
+}

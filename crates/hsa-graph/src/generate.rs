@@ -1,0 +1,209 @@
+//! Seeded random DWG generators for benchmarks and property tests.
+//!
+//! All generators take explicit `u64` seeds and are deterministic across
+//! runs and platforms (we use [`rand::rngs::StdRng`], which is seedable and
+//! stable for a given crate version), so every benchmark row in
+//! EXPERIMENTS.md can be regenerated bit-for-bit.
+
+use crate::{Cost, Dwg, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters for the layered random DAG generator.
+#[derive(Clone, Copy, Debug)]
+pub struct LayeredParams {
+    /// Number of intermediate layers between S and T (≥ 0).
+    pub layers: usize,
+    /// Nodes per intermediate layer (≥ 1).
+    pub width: usize,
+    /// Edges added between consecutive layers beyond the guaranteed
+    /// connectivity spine, per layer pair.
+    pub extra_edges: usize,
+    /// σ weights are drawn uniformly from `1..=max_sigma`.
+    pub max_sigma: u64,
+    /// β weights are drawn uniformly from `1..=max_beta`.
+    pub max_beta: u64,
+}
+
+impl Default for LayeredParams {
+    fn default() -> Self {
+        LayeredParams {
+            layers: 3,
+            width: 3,
+            extra_edges: 4,
+            max_sigma: 100,
+            max_beta: 100,
+        }
+    }
+}
+
+/// A generated graph together with its two distinguished nodes.
+#[derive(Clone, Debug)]
+pub struct GeneratedDwg {
+    /// The graph.
+    pub graph: Dwg,
+    /// The source node "S".
+    pub source: NodeId,
+    /// The target node "T".
+    pub target: NodeId,
+}
+
+/// Generates a layered DAG `S → layer₁ → … → layerₙ → T`.
+///
+/// Every node in a layer is connected forward to at least one node of the
+/// next layer and reachable from the previous one, so an S→T path always
+/// exists; `extra_edges` random forward edges per layer pair (plus parallel
+/// duplicates, which the DWG model allows) control density.
+pub fn layered_dag(params: &LayeredParams, seed: u64) -> GeneratedDwg {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let width = params.width.max(1);
+    let mut g = Dwg::new();
+    let source = g.add_node();
+
+    let mut prev: Vec<NodeId> = vec![source];
+    for _ in 0..params.layers {
+        let layer: Vec<NodeId> = (0..width).map(|_| g.add_node()).collect();
+        connect_layers(&mut g, &mut rng, &prev, &layer, params);
+        prev = layer;
+    }
+    let target = g.add_node();
+    connect_layers(&mut g, &mut rng, &prev, &[target], params);
+
+    GeneratedDwg {
+        graph: g,
+        source,
+        target,
+    }
+}
+
+fn connect_layers(
+    g: &mut Dwg,
+    rng: &mut StdRng,
+    from: &[NodeId],
+    to: &[NodeId],
+    params: &LayeredParams,
+) {
+    let weight = |rng: &mut StdRng| {
+        (
+            Cost::new(rng.random_range(1..=params.max_sigma.max(1))),
+            Cost::new(rng.random_range(1..=params.max_beta.max(1))),
+        )
+    };
+    // Spine: every `from` node reaches some `to` node; every `to` node is
+    // reached by some `from` node.
+    for &u in from {
+        let v = to[rng.random_range(0..to.len())];
+        let (s, b) = weight(rng);
+        g.add_edge(u, v, s, b);
+    }
+    for &v in to {
+        let u = from[rng.random_range(0..from.len())];
+        let (s, b) = weight(rng);
+        g.add_edge(u, v, s, b);
+    }
+    for _ in 0..params.extra_edges {
+        let u = from[rng.random_range(0..from.len())];
+        let v = to[rng.random_range(0..to.len())];
+        let (s, b) = weight(rng);
+        g.add_edge(u, v, s, b);
+    }
+}
+
+/// Generates the two-hop "Figure 4 shaped" family: `S → M → T` with the
+/// given numbers of parallel edges on each hop — the smallest graphs on
+/// which SSB elimination dynamics are interesting.
+pub fn two_hop(left_edges: usize, right_edges: usize, max_w: u64, seed: u64) -> GeneratedDwg {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Dwg::with_nodes(3);
+    let (s, m, t) = (NodeId(0), NodeId(1), NodeId(2));
+    for _ in 0..left_edges.max(1) {
+        g.add_edge(
+            s,
+            m,
+            Cost::new(rng.random_range(1..=max_w.max(1))),
+            Cost::new(rng.random_range(1..=max_w.max(1))),
+        );
+    }
+    for _ in 0..right_edges.max(1) {
+        g.add_edge(
+            m,
+            t,
+            Cost::new(rng.random_range(1..=max_w.max(1))),
+            Cost::new(rng.random_range(1..=max_w.max(1))),
+        );
+    }
+    GeneratedDwg {
+        graph: g,
+        source: s,
+        target: t,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::connectivity::is_connected;
+
+    #[test]
+    fn layered_dag_is_connected() {
+        for seed in 0..20 {
+            let gen = layered_dag(&LayeredParams::default(), seed);
+            assert!(is_connected(&gen.graph, gen.source, gen.target));
+        }
+    }
+
+    #[test]
+    fn layered_dag_is_deterministic() {
+        let a = layered_dag(&LayeredParams::default(), 42);
+        let b = layered_dag(&LayeredParams::default(), 42);
+        assert_eq!(a.graph.num_edges(), b.graph.num_edges());
+        for (ea, eb) in a.graph.all_edges().zip(b.graph.all_edges()) {
+            assert_eq!(ea.1, eb.1);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = layered_dag(&LayeredParams::default(), 1);
+        let b = layered_dag(&LayeredParams::default(), 2);
+        let same = a
+            .graph
+            .all_edges()
+            .zip(b.graph.all_edges())
+            .all(|(x, y)| x.1 == y.1);
+        assert!(!same);
+    }
+
+    #[test]
+    fn sizes_scale_with_params() {
+        let p = LayeredParams {
+            layers: 5,
+            width: 4,
+            extra_edges: 2,
+            ..LayeredParams::default()
+        };
+        let gen = layered_dag(&p, 0);
+        assert_eq!(gen.graph.num_nodes(), 2 + 5 * 4);
+        // 6 layer gaps × (width-dependent spine + 2 extra) edges
+        assert!(gen.graph.num_edges() >= 6 * 2);
+    }
+
+    #[test]
+    fn two_hop_shape() {
+        let gen = two_hop(4, 3, 50, 9);
+        assert_eq!(gen.graph.num_nodes(), 3);
+        assert_eq!(gen.graph.num_edges(), 7);
+        assert!(is_connected(&gen.graph, gen.source, gen.target));
+    }
+
+    #[test]
+    fn zero_layers_still_connects_source_to_target() {
+        let p = LayeredParams {
+            layers: 0,
+            ..LayeredParams::default()
+        };
+        let gen = layered_dag(&p, 3);
+        assert!(is_connected(&gen.graph, gen.source, gen.target));
+        assert_eq!(gen.graph.num_nodes(), 2);
+    }
+}

@@ -1,0 +1,184 @@
+//! Paths in a DWG and their S / B / SSB measures (paper §4.1).
+
+use crate::{Cost, Dwg, EdgeId, GraphError, Lambda, NodeId, ScaledSsb};
+
+/// An S→T path, stored as the ordered list of edge ids it traverses.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Path {
+    /// The traversed edges, in order from the source to the target.
+    pub edges: Vec<EdgeId>,
+}
+
+impl Path {
+    /// Creates a path from an ordered edge list.
+    pub fn new(edges: Vec<EdgeId>) -> Self {
+        Path { edges }
+    }
+
+    /// Number of edges on the path.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// True for the empty path (source equal to target).
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// The S weight: the sum of the σ weights along the path.
+    pub fn s_weight(&self, g: &Dwg) -> Cost {
+        self.edges
+            .iter()
+            .map(|&e| g.edge_unchecked(e).sigma)
+            .sum()
+    }
+
+    /// The B weight of an *uncoloured* DWG: the maximum β along the path.
+    /// (The coloured variant — max of per-colour β sums — lives in the
+    /// assignment crate, where colours exist.)
+    pub fn b_weight(&self, g: &Dwg) -> Cost {
+        self.edges
+            .iter()
+            .map(|&e| g.edge_unchecked(e).beta)
+            .fold(Cost::ZERO, Cost::max)
+    }
+
+    /// The scaled SSB weight `λ·S + (1−λ)·B` (see [`Lambda`]).
+    pub fn ssb_scaled(&self, g: &Dwg, lambda: Lambda) -> ScaledSsb {
+        lambda.ssb_scaled(self.s_weight(g), self.b_weight(g))
+    }
+
+    /// The paper's headline measure with λ = ½: `S + B` (the end-to-end
+    /// delay once the graph is the coloured assignment graph).
+    pub fn s_plus_b(&self, g: &Dwg) -> Cost {
+        self.s_weight(g) + self.b_weight(g)
+    }
+
+    /// Bokhari's SB weight: `max(S(P), B(P))` (bottleneck processing time).
+    pub fn sb_weight(&self, g: &Dwg) -> Cost {
+        self.s_weight(g).max(self.b_weight(g))
+    }
+
+    /// The node sequence visited, starting at the source. Empty paths yield
+    /// an empty sequence because the source is unknown.
+    pub fn nodes(&self, g: &Dwg) -> Vec<NodeId> {
+        let mut out = Vec::with_capacity(self.edges.len() + 1);
+        for (i, &e) in self.edges.iter().enumerate() {
+            let edge = g.edge_unchecked(e);
+            if i == 0 {
+                out.push(edge.from);
+            }
+            out.push(edge.to);
+        }
+        out
+    }
+
+    /// Checks that the path is a well-formed alive `source → target` walk.
+    pub fn validate(&self, g: &Dwg, source: NodeId, target: NodeId) -> Result<(), GraphError> {
+        if self.edges.is_empty() {
+            if source == target {
+                return Ok(());
+            }
+            return Err(GraphError::InvalidPath(format!(
+                "empty path cannot connect {source:?} to {target:?}"
+            )));
+        }
+        let mut at = source;
+        for &e in &self.edges {
+            let edge = g.edge(e)?;
+            if !g.is_alive(e) {
+                return Err(GraphError::InvalidPath(format!("edge {e:?} is eliminated")));
+            }
+            if edge.from != at {
+                return Err(GraphError::InvalidPath(format!(
+                    "edge {e:?} starts at {:?}, expected {at:?}",
+                    edge.from
+                )));
+            }
+            at = edge.to;
+        }
+        if at != target {
+            return Err(GraphError::InvalidPath(format!(
+                "path ends at {at:?}, expected {target:?}"
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NodeId;
+
+    fn c(v: u64) -> Cost {
+        Cost::new(v)
+    }
+
+    /// S --<5,10>--> M --<4,20>--> T  (two of the Figure 4 edges)
+    fn tiny() -> (Dwg, Path) {
+        let mut g = Dwg::with_nodes(3);
+        let e0 = g.add_edge(NodeId(0), NodeId(1), c(5), c(10));
+        let e1 = g.add_edge(NodeId(1), NodeId(2), c(4), c(20));
+        (g, Path::new(vec![e0, e1]))
+    }
+
+    #[test]
+    fn measures_match_figure4_first_path() {
+        let (g, p) = tiny();
+        assert_eq!(p.s_weight(&g), c(9));
+        assert_eq!(p.b_weight(&g), c(20));
+        assert_eq!(p.ssb_scaled(&g, Lambda::HALF), 29);
+        assert_eq!(p.s_plus_b(&g), c(29));
+        assert_eq!(p.sb_weight(&g), c(20));
+    }
+
+    #[test]
+    fn node_sequence() {
+        let (g, p) = tiny();
+        assert_eq!(p.nodes(&g), vec![NodeId(0), NodeId(1), NodeId(2)]);
+        assert!(Path::new(vec![]).nodes(&g).is_empty());
+    }
+
+    #[test]
+    fn validate_accepts_good_path() {
+        let (g, p) = tiny();
+        assert!(p.validate(&g, NodeId(0), NodeId(2)).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_wrong_endpoints_and_dead_edges() {
+        let (mut g, p) = tiny();
+        assert!(p.validate(&g, NodeId(1), NodeId(2)).is_err());
+        assert!(p.validate(&g, NodeId(0), NodeId(1)).is_err());
+        g.kill_edge(p.edges[0]);
+        assert!(p.validate(&g, NodeId(0), NodeId(2)).is_err());
+    }
+
+    #[test]
+    fn validate_empty_path() {
+        let (g, _) = tiny();
+        let empty = Path::new(vec![]);
+        assert!(empty.validate(&g, NodeId(0), NodeId(0)).is_ok());
+        assert!(empty.validate(&g, NodeId(0), NodeId(1)).is_err());
+    }
+
+    #[test]
+    fn empty_path_weights_are_zero() {
+        let (g, _) = tiny();
+        let empty = Path::new(vec![]);
+        assert_eq!(empty.s_weight(&g), Cost::ZERO);
+        assert_eq!(empty.b_weight(&g), Cost::ZERO);
+        assert!(empty.is_empty());
+        assert_eq!(empty.len(), 0);
+    }
+
+    #[test]
+    fn validate_rejects_disconnected_sequence() {
+        let mut g = Dwg::with_nodes(4);
+        let e0 = g.add_edge(NodeId(0), NodeId(1), c(1), c(1));
+        let e1 = g.add_edge(NodeId(2), NodeId(3), c(1), c(1));
+        let p = Path::new(vec![e0, e1]);
+        assert!(p.validate(&g, NodeId(0), NodeId(3)).is_err());
+    }
+}

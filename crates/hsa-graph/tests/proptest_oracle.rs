@@ -1,0 +1,109 @@
+//! Property tests: the iterative SSB and SB searches must agree with the
+//! exhaustive path-enumeration oracle on arbitrary random layered DAGs.
+
+use hsa_graph::enumerate::{optimal_sb_by_enumeration, optimal_ssb_by_enumeration};
+use hsa_graph::generate::{layered_dag, two_hop, LayeredParams};
+use hsa_graph::{sb_search, ssb_search, EliminationRule, Lambda, SsbConfig};
+use proptest::prelude::*;
+
+fn arb_params() -> impl Strategy<Value = LayeredParams> {
+    (0usize..4, 1usize..4, 0usize..6, 1u64..60, 1u64..60).prop_map(
+        |(layers, width, extra, ms, mb)| LayeredParams {
+            layers,
+            width,
+            extra_edges: extra,
+            max_sigma: ms,
+            max_beta: mb,
+        },
+    )
+}
+
+fn arb_lambda() -> impl Strategy<Value = Lambda> {
+    (0u32..=4, 1u32..=4).prop_map(|(a, b)| {
+        let den = b.max(1);
+        let num = a.min(den);
+        Lambda::new(num, den).unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn ssb_matches_oracle_on_layered_dags(params in arb_params(), seed in 0u64..10_000, lambda in arb_lambda()) {
+        let gen = layered_dag(&params, seed);
+        let oracle = optimal_ssb_by_enumeration(&gen.graph, gen.source, gen.target, lambda, 200_000)
+            .expect("enumeration limit must not trip on these sizes");
+        let mut g = gen.graph.clone();
+        let cfg = SsbConfig { lambda, ..SsbConfig::default() };
+        let out = ssb_search(&mut g, gen.source, gen.target, &cfg);
+        match (oracle, out.best) {
+            (Some((_, ow)), Some(best)) => {
+                prop_assert_eq!(ow, best.ssb, "algorithm and oracle disagree");
+                // The returned path must really have the claimed weights.
+                best.path.validate(&gen.graph, gen.source, gen.target).unwrap();
+                prop_assert_eq!(best.path.s_weight(&gen.graph), best.s);
+                prop_assert_eq!(best.path.b_weight(&gen.graph), best.b);
+                prop_assert_eq!(lambda.ssb_scaled(best.s, best.b), best.ssb);
+            }
+            (None, None) => {}
+            (o, b) => prop_assert!(false, "oracle {:?} vs algorithm {:?}", o.map(|x| x.1), b.map(|x| x.ssb)),
+        }
+    }
+
+    #[test]
+    fn strict_rule_matches_greater_equal(params in arb_params(), seed in 0u64..10_000) {
+        let gen = layered_dag(&params, seed);
+        let mut g1 = gen.graph.clone();
+        let mut g2 = gen.graph.clone();
+        let a = ssb_search(&mut g1, gen.source, gen.target, &SsbConfig::default());
+        let strict = SsbConfig { rule: EliminationRule::Strict, ..SsbConfig::default() };
+        let b = ssb_search(&mut g2, gen.source, gen.target, &strict);
+        prop_assert_eq!(a.best.map(|x| x.ssb), b.best.map(|x| x.ssb));
+    }
+
+    #[test]
+    fn sb_matches_oracle_on_layered_dags(params in arb_params(), seed in 0u64..10_000) {
+        let gen = layered_dag(&params, seed);
+        let oracle = optimal_sb_by_enumeration(&gen.graph, gen.source, gen.target, 200_000).unwrap();
+        let mut g = gen.graph.clone();
+        let out = sb_search(&mut g, gen.source, gen.target);
+        prop_assert_eq!(oracle.map(|x| x.1), out.best.map(|x| x.1));
+    }
+
+    #[test]
+    fn ssb_matches_oracle_on_two_hop_multigraphs(l in 1usize..8, r in 1usize..8, w in 1u64..40, seed in 0u64..10_000) {
+        let gen = two_hop(l, r, w, seed);
+        let oracle = optimal_ssb_by_enumeration(&gen.graph, gen.source, gen.target, Lambda::HALF, 200_000)
+            .unwrap().unwrap();
+        let mut g = gen.graph.clone();
+        let out = ssb_search(&mut g, gen.source, gen.target, &SsbConfig::default());
+        prop_assert_eq!(out.best.unwrap().ssb, oracle.1);
+    }
+
+    #[test]
+    fn ssb_iterations_bounded_by_edges(params in arb_params(), seed in 0u64..10_000) {
+        let gen = layered_dag(&params, seed);
+        let edges = gen.graph.num_edges();
+        let mut g = gen.graph.clone();
+        let out = ssb_search(&mut g, gen.source, gen.target, &SsbConfig::default());
+        // Each non-final iteration removes ≥1 edge, so iterations ≤ |E| + 1.
+        prop_assert!(out.iterations <= edges + 1);
+    }
+
+    #[test]
+    fn lambda_extremes_bracket_intermediate(params in arb_params(), seed in 0u64..10_000) {
+        // With λ=1 the optimum is the pure min-S path; with λ=0 the pure
+        // min-bottleneck path. Any λ optimum is bounded by those components.
+        let gen = layered_dag(&params, seed);
+        let mut g1 = gen.graph.clone();
+        let min_s = ssb_search(&mut g1, gen.source, gen.target,
+            &SsbConfig { lambda: Lambda::ONE, ..SsbConfig::default() });
+        let mut g2 = gen.graph.clone();
+        let half = ssb_search(&mut g2, gen.source, gen.target, &SsbConfig::default());
+        if let (Some(s_best), Some(h_best)) = (min_s.best, half.best) {
+            // S+B of any path ≥ min-S; the λ=½ optimum's S is ≥ the global min S.
+            prop_assert!(h_best.s >= s_best.s);
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Property tests for the threshold-sweep variants: three mutually
+//! independent implementations (iterate-eliminate, parametric sweep,
+//! exhaustive enumeration) must agree on every random graph — plus
+//! robustness under extreme (saturating) weights.
+
+use hsa_graph::enumerate::optimal_ssb_by_enumeration;
+use hsa_graph::generate::{layered_dag, LayeredParams};
+use hsa_graph::{
+    sb_search, sb_search_sweep, ssb_search, ssb_search_sweep, Cost, Dwg, Lambda, NodeId,
+    ScaledSsb, SsbConfig,
+};
+use proptest::prelude::*;
+
+fn arb_params() -> impl Strategy<Value = LayeredParams> {
+    (0usize..4, 1usize..4, 0usize..6, 1u64..60, 1u64..60).prop_map(
+        |(layers, width, extra, ms, mb)| LayeredParams {
+            layers,
+            width,
+            extra_edges: extra,
+            max_sigma: ms,
+            max_beta: mb,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn three_ssb_implementations_agree(params in arb_params(), seed in 0u64..10_000) {
+        let gen = layered_dag(&params, seed);
+        let lambda = Lambda::HALF;
+        let oracle = optimal_ssb_by_enumeration(&gen.graph, gen.source, gen.target, lambda, 200_000)
+            .unwrap();
+        let mut g1 = gen.graph.clone();
+        let iterative = ssb_search(&mut g1, gen.source, gen.target, &SsbConfig::default());
+        let mut g2 = gen.graph.clone();
+        let sweep = ssb_search_sweep(&mut g2, gen.source, gen.target, lambda);
+        let o = oracle.map(|x| x.1);
+        prop_assert_eq!(iterative.best.map(|b| b.ssb), o);
+        prop_assert_eq!(sweep.best.map(|b| b.3), o);
+        // Sweep restores liveness.
+        prop_assert_eq!(g2.num_alive(), gen.graph.num_alive());
+    }
+
+    #[test]
+    fn sb_sweep_agrees_with_iterative(params in arb_params(), seed in 0u64..10_000) {
+        let gen = layered_dag(&params, seed);
+        let mut g1 = gen.graph.clone();
+        let a = sb_search(&mut g1, gen.source, gen.target);
+        let mut g2 = gen.graph.clone();
+        let b = sb_search_sweep(&mut g2, gen.source, gen.target);
+        prop_assert_eq!(
+            a.best.map(|x| x.1.ticks() as ScaledSsb),
+            b.best.map(|x| x.3)
+        );
+    }
+
+    #[test]
+    fn sweep_probe_count_is_bounded(params in arb_params(), seed in 0u64..10_000) {
+        let gen = layered_dag(&params, seed);
+        let mut g = gen.graph.clone();
+        let out = ssb_search_sweep(&mut g, gen.source, gen.target, Lambda::HALF);
+        prop_assert!(out.probes <= gen.graph.num_edges());
+    }
+}
+
+/// Extreme weights: Cost::MAX (our +∞) must not overflow or panic in any
+/// search; paths through MAX-weight edges are simply never optimal when an
+/// alternative exists.
+#[test]
+fn saturating_extremes_are_safe() {
+    let mut g = Dwg::with_nodes(3);
+    g.add_edge(NodeId(0), NodeId(1), Cost::MAX, Cost::new(1));
+    g.add_edge(NodeId(1), NodeId(2), Cost::new(1), Cost::MAX);
+    let cheap = g.add_edge(NodeId(0), NodeId(2), Cost::new(5), Cost::new(5));
+
+    let mut g1 = g.clone();
+    let it = ssb_search(&mut g1, NodeId(0), NodeId(2), &SsbConfig::default());
+    assert_eq!(it.best.as_ref().unwrap().path.edges, vec![cheap]);
+
+    let mut g2 = g.clone();
+    let sw = ssb_search_sweep(&mut g2, NodeId(0), NodeId(2), Lambda::HALF);
+    assert_eq!(sw.best.as_ref().unwrap().0.edges, vec![cheap]);
+
+    let mut g3 = g.clone();
+    let sb = sb_search(&mut g3, NodeId(0), NodeId(2));
+    assert_eq!(sb.best.as_ref().unwrap().0.edges, vec![cheap]);
+}
+
+/// A σ = Cost::MAX edge acts as +∞ — Dijkstra never relaxes through it,
+/// so it is semantically *absent* (no overflow, no infinite loop). A
+/// finite-σ edge with β = MAX stays usable, with a saturated B weight.
+#[test]
+fn all_infinite_graph_terminates() {
+    let mut g = Dwg::with_nodes(2);
+    g.add_edge(NodeId(0), NodeId(1), Cost::MAX, Cost::MAX);
+    let mut g1 = g.clone();
+    let it = ssb_search(&mut g1, NodeId(0), NodeId(1), &SsbConfig::default());
+    assert!(it.best.is_none(), "σ=∞ edges are unreachable by design");
+
+    let mut g2 = Dwg::with_nodes(2);
+    g2.add_edge(NodeId(0), NodeId(1), Cost::new(1), Cost::MAX);
+    let it = ssb_search(&mut g2, NodeId(0), NodeId(1), &SsbConfig::default());
+    let best = it.best.unwrap();
+    assert_eq!(best.s, Cost::new(1));
+    assert_eq!(best.b, Cost::MAX);
+}
+
+/// Zero-weight graphs: everything collapses to zero objectives without
+/// division-by-zero style issues.
+#[test]
+fn all_zero_graph() {
+    let mut g = Dwg::with_nodes(3);
+    g.add_edge(NodeId(0), NodeId(1), Cost::ZERO, Cost::ZERO);
+    g.add_edge(NodeId(1), NodeId(2), Cost::ZERO, Cost::ZERO);
+    let mut g1 = g.clone();
+    let it = ssb_search(&mut g1, NodeId(0), NodeId(2), &SsbConfig::default());
+    assert_eq!(it.best.unwrap().ssb, 0);
+    let mut g2 = g.clone();
+    let sw = ssb_search_sweep(&mut g2, NodeId(0), NodeId(2), Lambda::HALF);
+    assert_eq!(sw.best.unwrap().3, 0);
+}

@@ -1,0 +1,291 @@
+//! The general task-DAG model — the paper's §6 future work: assignments of
+//! arbitrary precedence DAGs onto the star platform, where the subtree
+//! structure of the tree problem no longer constrains placements.
+
+use hsa_graph::Cost;
+use hsa_tree::{CruTree, Cut, SatelliteId};
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a task.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct TaskId(pub u32);
+
+impl TaskId {
+    /// Index accessor.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Where a task runs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash, Serialize, Deserialize)]
+pub enum Location {
+    /// On the host.
+    Host,
+    /// On the given satellite.
+    Satellite(SatelliteId),
+}
+
+/// One task.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Task {
+    /// Display name.
+    pub name: String,
+    /// Processing time on the host.
+    pub host_time: Cost,
+    /// Processing time on a satellite.
+    pub satellite_time: Cost,
+    /// Some tasks are physically tied to a satellite (sensor acquisition).
+    pub pinned: Option<SatelliteId>,
+}
+
+/// A precedence edge: `from` must finish (and its data arrive) before `to`
+/// starts.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct Precedence {
+    /// Producer.
+    pub from: TaskId,
+    /// Consumer.
+    pub to: TaskId,
+    /// Transfer time when the two run on different locations.
+    pub comm: Cost,
+}
+
+/// A task DAG on the star platform.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TaskDag {
+    /// The tasks.
+    pub tasks: Vec<Task>,
+    /// Precedence edges.
+    pub edges: Vec<Precedence>,
+    /// Number of satellites.
+    pub n_satellites: u32,
+}
+
+/// An assignment: one location per task.
+pub type DagAssignment = Vec<Location>;
+
+impl TaskDag {
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// True when there are no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Checks shape: edge endpoints exist, pinnings exist, graph is acyclic.
+    pub fn validate(&self) -> Result<(), String> {
+        for e in &self.edges {
+            if e.from.index() >= self.len() || e.to.index() >= self.len() {
+                return Err(format!("edge {:?} out of range", e));
+            }
+        }
+        for (i, t) in self.tasks.iter().enumerate() {
+            if let Some(s) = t.pinned {
+                if s.0 >= self.n_satellites {
+                    return Err(format!("task {i} pinned to missing {s}"));
+                }
+            }
+        }
+        self.topo_order().map(|_| ())
+    }
+
+    /// A topological order, or an error if cyclic.
+    pub fn topo_order(&self) -> Result<Vec<TaskId>, String> {
+        let n = self.len();
+        let mut indeg = vec![0u32; n];
+        for e in &self.edges {
+            indeg[e.to.index()] += 1;
+        }
+        let mut ready: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        ready.reverse(); // pop from the back → ascending id order
+        let mut out = Vec::with_capacity(n);
+        let mut adj: Vec<Vec<TaskId>> = vec![Vec::new(); n];
+        for e in &self.edges {
+            adj[e.from.index()].push(e.to);
+        }
+        while let Some(i) = ready.pop() {
+            out.push(TaskId(i as u32));
+            for &t in &adj[i] {
+                indeg[t.index()] -= 1;
+                if indeg[t.index()] == 0 {
+                    ready.push(t.index());
+                }
+            }
+        }
+        if out.len() != n {
+            return Err("cycle detected".into());
+        }
+        Ok(out)
+    }
+
+    /// Whether an assignment respects every pinning.
+    pub fn respects_pinning(&self, asg: &DagAssignment) -> bool {
+        asg.len() == self.len()
+            && self.tasks.iter().zip(asg).all(|(t, &loc)| match t.pinned {
+                Some(s) => loc == Location::Satellite(s),
+                None => true,
+            })
+    }
+
+    /// Converts a costed CRU tree into the equivalent task DAG: one task
+    /// per CRU plus one pinned *acquisition* task per leaf (the sensor),
+    /// edges child→parent with `c_up`, sensor→leaf with `c_raw`.
+    pub fn from_tree(tree: &CruTree, costs: &hsa_tree::CostModel) -> TaskDag {
+        let n = tree.len();
+        // Task i is CRU i; sensor tasks are appended after.
+        let mut tasks: Vec<Task> = (0..n)
+            .map(|i| {
+                let c = hsa_tree::CruId(i as u32);
+                Task {
+                    name: tree.node_unchecked(c).name.clone(),
+                    host_time: costs.h(c),
+                    satellite_time: costs.s(c),
+                    pinned: None,
+                }
+            })
+            .collect();
+        let mut edges = Vec::new();
+        for i in 0..n {
+            let c = hsa_tree::CruId(i as u32);
+            if let Some(p) = tree.parent(c) {
+                edges.push(Precedence {
+                    from: TaskId(i as u32),
+                    to: TaskId(p.0),
+                    comm: costs.c_up(c),
+                });
+            }
+        }
+        // Sensor acquisition tasks (zero work, pinned).
+        for l in tree.leaves_in_order() {
+            let sat = costs.pinned_satellite(l).expect("validated cost model");
+            let id = TaskId(tasks.len() as u32);
+            tasks.push(Task {
+                name: format!("sensor-{}", tree.node_unchecked(l).name),
+                host_time: Cost::ZERO,
+                satellite_time: Cost::ZERO,
+                pinned: Some(sat),
+            });
+            edges.push(Precedence {
+                from: id,
+                to: TaskId(l.0),
+                comm: costs.c_raw(l),
+            });
+        }
+        TaskDag {
+            tasks,
+            edges,
+            n_satellites: costs.n_satellites,
+        }
+    }
+
+    /// Translates a tree *cut* into the DAG assignment it induces: CRUs
+    /// below the cut go to their subtree's satellite, the rest to the host;
+    /// sensor tasks stay pinned.
+    pub fn assignment_from_cut(
+        &self,
+        tree: &CruTree,
+        colouring: &hsa_tree::Colouring,
+        cut: &Cut,
+    ) -> DagAssignment {
+        let below = cut.below_mask(tree);
+        let mut asg: DagAssignment = Vec::with_capacity(self.len());
+        for i in 0..tree.len() {
+            let c = hsa_tree::CruId(i as u32);
+            if below[c.index()] {
+                let sat = colouring.node_colour[c.index()]
+                    .satellite()
+                    .expect("below-cut nodes are uniformly coloured");
+                asg.push(Location::Satellite(sat));
+            } else {
+                asg.push(Location::Host);
+            }
+        }
+        // Sensor tasks (appended after the CRUs by `from_tree`) stay pinned.
+        for t in &self.tasks[tree.len()..] {
+            asg.push(Location::Satellite(
+                t.pinned.expect("sensor tasks are pinned"),
+            ));
+        }
+        asg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsa_tree::figures::fig2_tree;
+
+    #[test]
+    fn from_tree_shape() {
+        let (t, m) = fig2_tree();
+        let dag = TaskDag::from_tree(&t, &m);
+        dag.validate().unwrap();
+        // 13 CRUs + 7 sensor tasks; 12 tree edges + 7 sensor edges.
+        assert_eq!(dag.len(), 20);
+        assert_eq!(dag.edges.len(), 19);
+        assert_eq!(dag.n_satellites, 4);
+        assert_eq!(
+            dag.tasks.iter().filter(|t| t.pinned.is_some()).count(),
+            7
+        );
+    }
+
+    #[test]
+    fn topo_order_is_valid() {
+        let (t, m) = fig2_tree();
+        let dag = TaskDag::from_tree(&t, &m);
+        let order = dag.topo_order().unwrap();
+        let mut pos = vec![0usize; dag.len()];
+        for (i, t) in order.iter().enumerate() {
+            pos[t.index()] = i;
+        }
+        for e in &dag.edges {
+            assert!(pos[e.from.index()] < pos[e.to.index()]);
+        }
+    }
+
+    #[test]
+    fn cycles_are_rejected() {
+        let dag = TaskDag {
+            tasks: (0..2)
+                .map(|i| Task {
+                    name: format!("t{i}"),
+                    host_time: Cost::new(1),
+                    satellite_time: Cost::new(1),
+                    pinned: None,
+                })
+                .collect(),
+            edges: vec![
+                Precedence {
+                    from: TaskId(0),
+                    to: TaskId(1),
+                    comm: Cost::ZERO,
+                },
+                Precedence {
+                    from: TaskId(1),
+                    to: TaskId(0),
+                    comm: Cost::ZERO,
+                },
+            ],
+            n_satellites: 1,
+        };
+        assert!(dag.validate().is_err());
+    }
+
+    #[test]
+    fn pinning_is_enforced() {
+        let (t, m) = fig2_tree();
+        let dag = TaskDag::from_tree(&t, &m);
+        let col = hsa_tree::Colouring::compute(&t, &m).unwrap();
+        let cut = Cut::max_offload(&t, &col);
+        let asg = dag.assignment_from_cut(&t, &col, &cut);
+        assert!(dag.respects_pinning(&asg));
+        let mut bad = asg.clone();
+        bad[13] = Location::Host; // first sensor task
+        assert!(!dag.respects_pinning(&bad));
+    }
+}

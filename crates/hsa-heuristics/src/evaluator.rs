@@ -1,0 +1,224 @@
+//! Makespan evaluation of DAG assignments on the star platform.
+//!
+//! Two evaluators:
+//!
+//! * [`list_makespan`] — the general model: event-driven list scheduling
+//!   with one serial CPU per location; a precedence edge whose endpoints
+//!   sit on different locations adds its transfer time to the data's
+//!   availability. This is the objective the future-work heuristics
+//!   (B&B / GA / SA) optimise, defined for *every* assignment.
+//! * [`barrier_makespan`] — the paper's §3 timing model, defined only for
+//!   *cut-shaped* assignments (host set upward-closed): satellites compute
+//!   then transmit, host waits for everything, then computes. On such
+//!   assignments it equals the tree objective `S + B`, which ties the DAG
+//!   world verifiably back to the tree world (tested in `tests/`).
+
+use crate::{DagAssignment, Location, TaskDag};
+use hsa_graph::Cost;
+
+/// Event-driven list-scheduling makespan (general assignments).
+///
+/// Tasks are dispatched in topological order; each location is one serial
+/// machine processing its queue FIFO (deterministic: ties broken by task
+/// id through the topo order). A task starts at
+/// `max(machine free, all inputs arrived)`; an input arrives at
+/// `producer finish + comm` when locations differ.
+pub fn list_makespan(dag: &TaskDag, asg: &DagAssignment) -> Result<Cost, String> {
+    if asg.len() != dag.len() {
+        return Err(format!(
+            "assignment covers {} of {} tasks",
+            asg.len(),
+            dag.len()
+        ));
+    }
+    if !dag.respects_pinning(asg) {
+        return Err("assignment violates a sensor pinning".into());
+    }
+    let order = dag.topo_order()?;
+    let n = dag.len();
+    // Per-task input-availability time.
+    let mut ready = vec![Cost::ZERO; n];
+    let mut finish = vec![Cost::ZERO; n];
+    // Machine-free times: host + satellites.
+    let mut free = vec![Cost::ZERO; dag.n_satellites as usize + 1];
+    let machine = |loc: Location| -> usize {
+        match loc {
+            Location::Host => 0,
+            Location::Satellite(s) => 1 + s.index(),
+        }
+    };
+    // Incoming edges per task.
+    let mut incoming: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, e) in dag.edges.iter().enumerate() {
+        incoming[e.to.index()].push(i);
+    }
+    for t in order {
+        let ti = t.index();
+        for &ei in &incoming[ti] {
+            let e = &dag.edges[ei];
+            let mut avail = finish[e.from.index()];
+            if asg[e.from.index()] != asg[ti] {
+                avail += e.comm;
+            }
+            ready[ti] = ready[ti].max(avail);
+        }
+        let m = machine(asg[ti]);
+        let start = free[m].max(ready[ti]);
+        let dur = match asg[ti] {
+            Location::Host => dag.tasks[ti].host_time,
+            Location::Satellite(_) => dag.tasks[ti].satellite_time,
+        };
+        let end = start + dur;
+        free[m] = end;
+        finish[ti] = end;
+    }
+    Ok(finish.into_iter().fold(Cost::ZERO, Cost::max))
+}
+
+/// The paper's barrier model on a cut-shaped assignment: per-satellite
+/// `Σ satellite_time + Σ comm of satellite→host edges`, then the host's
+/// `Σ host_time` after the slowest satellite. Errors when the assignment
+/// has a host→satellite precedence (not cut-shaped).
+pub fn barrier_makespan(dag: &TaskDag, asg: &DagAssignment) -> Result<Cost, String> {
+    if asg.len() != dag.len() {
+        return Err("assignment length mismatch".into());
+    }
+    let mut sat_load = vec![Cost::ZERO; dag.n_satellites as usize];
+    let mut host = Cost::ZERO;
+    for (i, t) in dag.tasks.iter().enumerate() {
+        match asg[i] {
+            Location::Host => host += t.host_time,
+            Location::Satellite(s) => sat_load[s.index()] += t.satellite_time,
+        }
+    }
+    for e in &dag.edges {
+        match (asg[e.from.index()], asg[e.to.index()]) {
+            (Location::Satellite(s), Location::Host) => sat_load[s.index()] += e.comm,
+            (Location::Host, Location::Satellite(_)) => {
+                return Err("not cut-shaped: host feeds a satellite task".into())
+            }
+            (Location::Satellite(a), Location::Satellite(b)) if a != b => {
+                return Err("not cut-shaped: cross-satellite precedence".into())
+            }
+            _ => {}
+        }
+    }
+    let b = sat_load.into_iter().fold(Cost::ZERO, Cost::max);
+    Ok(b + host)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Precedence, Task, TaskId};
+    use hsa_tree::SatelliteId;
+
+    fn c(v: u64) -> Cost {
+        Cost::new(v)
+    }
+
+    /// sensor(pinned S0) → worker → sink
+    fn tiny() -> TaskDag {
+        TaskDag {
+            tasks: vec![
+                Task {
+                    name: "sensor".into(),
+                    host_time: c(0),
+                    satellite_time: c(0),
+                    pinned: Some(SatelliteId(0)),
+                },
+                Task {
+                    name: "worker".into(),
+                    host_time: c(10),
+                    satellite_time: c(4),
+                    pinned: None,
+                },
+                Task {
+                    name: "sink".into(),
+                    host_time: c(3),
+                    satellite_time: c(30),
+                    pinned: None,
+                },
+            ],
+            edges: vec![
+                Precedence {
+                    from: TaskId(0),
+                    to: TaskId(1),
+                    comm: c(6),
+                },
+                Precedence {
+                    from: TaskId(1),
+                    to: TaskId(2),
+                    comm: c(2),
+                },
+            ],
+            n_satellites: 1,
+        }
+    }
+
+    #[test]
+    fn list_makespan_accounts_for_comm() {
+        let dag = tiny();
+        let s0 = Location::Satellite(SatelliteId(0));
+        // worker on satellite: 0 → worker 4 → +2 comm → host sink 3 = 9.
+        let a = vec![s0, s0, Location::Host];
+        assert_eq!(list_makespan(&dag, &a).unwrap(), c(9));
+        // worker on host: sensor→host comm 6, worker 10, sink 3 = 19.
+        let b = vec![s0, Location::Host, Location::Host];
+        assert_eq!(list_makespan(&dag, &b).unwrap(), c(19));
+    }
+
+    #[test]
+    fn barrier_matches_list_on_serial_chain() {
+        let dag = tiny();
+        let s0 = Location::Satellite(SatelliteId(0));
+        let a = vec![s0, s0, Location::Host];
+        // barrier: sat load = 4 + 2 = 6; host = 3 → 9.
+        assert_eq!(barrier_makespan(&dag, &a).unwrap(), c(9));
+        assert_eq!(
+            barrier_makespan(&dag, &a).unwrap(),
+            list_makespan(&dag, &a).unwrap()
+        );
+    }
+
+    #[test]
+    fn barrier_rejects_non_cut_shapes() {
+        let dag = tiny();
+        let s0 = Location::Satellite(SatelliteId(0));
+        // host worker feeding satellite sink: downward crossing.
+        let bad = vec![s0, Location::Host, s0];
+        assert!(barrier_makespan(&dag, &bad).is_err());
+        // list scheduling still evaluates it fine.
+        assert!(list_makespan(&dag, &bad).is_ok());
+    }
+
+    #[test]
+    fn pinning_violation_is_rejected() {
+        let dag = tiny();
+        let bad = vec![Location::Host, Location::Host, Location::Host];
+        assert!(list_makespan(&dag, &bad).is_err());
+    }
+
+    #[test]
+    fn resource_contention_serialises() {
+        // Two independent chains on the same satellite must serialise.
+        let dag = TaskDag {
+            tasks: (0..2)
+                .map(|i| Task {
+                    name: format!("t{i}"),
+                    host_time: c(100),
+                    satellite_time: c(7),
+                    pinned: None,
+                })
+                .collect(),
+            edges: vec![],
+            n_satellites: 1,
+        };
+        let s0 = Location::Satellite(SatelliteId(0));
+        let a = vec![s0, s0];
+        assert_eq!(list_makespan(&dag, &a).unwrap(), c(14));
+        // On distinct machines they overlap.
+        let b = vec![s0, Location::Host];
+        assert_eq!(list_makespan(&dag, &b).unwrap(), c(100));
+    }
+}

@@ -1,0 +1,40 @@
+//! # hsa-heuristics — the paper's future work, implemented
+//!
+//! Section 6 of the paper announces the general *DAG-tasks-to-star*
+//! assignment problem and names Branch-and-Bound and Genetic Algorithms as
+//! the intended attack, since no polynomial exact algorithm is expected.
+//! This crate builds that future:
+//!
+//! * [`TaskDag`] — tasks with host/satellite times and sensor pinnings,
+//!   arbitrary precedence edges with transfer costs; conversion from the
+//!   tree model ([`TaskDag::from_tree`]) and from tree cuts;
+//! * [`list_makespan`] — the general objective: event-driven list
+//!   scheduling on the star platform; [`barrier_makespan`] ties cut-shaped
+//!   assignments back to the paper's `S + B` objective exactly;
+//! * [`branch_and_bound`] — exact, with admissible load/critical-path
+//!   bounds (validated against [`exhaustive_optimum`]);
+//! * [`genetic`] and [`simulated_annealing`] — seeded metaheuristics,
+//!   compared against the exact optimum in experiment T7.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod bnb;
+mod dag;
+mod evaluator;
+mod ga;
+mod sa;
+
+pub use bnb::{branch_and_bound, exhaustive_optimum, BnbConfig, BnbResult};
+pub use dag::{DagAssignment, Location, Precedence, Task, TaskDag, TaskId};
+pub use evaluator::{barrier_makespan, list_makespan};
+pub use ga::{genetic, GaConfig, GaResult};
+pub use sa::{simulated_annealing, SaConfig, SaResult};
+
+/// Commonly used items, for glob import in examples and tests.
+pub mod prelude {
+    pub use crate::{
+        branch_and_bound, genetic, list_makespan, simulated_annealing, BnbConfig, GaConfig,
+        Location, SaConfig, TaskDag,
+    };
+}

@@ -1,0 +1,90 @@
+//! Ties the future-work DAG world back to the paper's tree world:
+//!
+//! * every tree *cut*, translated into a DAG assignment, has
+//!   `barrier_makespan` exactly equal to the tree objective `S + B`;
+//! * the general `list_makespan` never exceeds the barrier model (it only
+//!   adds overlap);
+//! * the DAG optimum over *arbitrary* assignments is never worse than the
+//!   tree optimum over cuts (cuts are a subset of assignments).
+
+use hsa_assign::{evaluate_cut, Expanded, Prepared, Solver};
+use hsa_graph::Lambda;
+use hsa_heuristics::{
+    branch_and_bound, barrier_makespan, genetic, list_makespan, BnbConfig, GaConfig, TaskDag,
+};
+use hsa_tree::for_each_cut;
+use hsa_workloads::{random_instance, Placement, RandomTreeParams};
+
+fn small_params(seed_bump: u32) -> RandomTreeParams {
+    RandomTreeParams {
+        n_crus: 7,
+        max_children: 3,
+        n_satellites: 2,
+        placement: match seed_bump % 3 {
+            0 => Placement::Blocked,
+            1 => Placement::Interleaved,
+            _ => Placement::Random,
+        },
+        ..RandomTreeParams::default()
+    }
+}
+
+#[test]
+fn barrier_makespan_equals_tree_objective_on_every_cut() {
+    for seed in 0..15u64 {
+        let (tree, costs) = random_instance(&small_params(seed as u32), seed);
+        let prep = Prepared::new(&tree, &costs).unwrap();
+        let dag = TaskDag::from_tree(&tree, &costs);
+        for_each_cut(&tree, &|e| prep.colouring.cuttable(e), &mut |cut| {
+            let (_a, rep) = evaluate_cut(&prep, cut).unwrap();
+            let asg = dag.assignment_from_cut(&tree, &prep.colouring, cut);
+            let barrier = barrier_makespan(&dag, &asg).unwrap();
+            assert_eq!(barrier, rep.end_to_end, "seed {seed}, cut {:?}", cut.edges());
+            // List scheduling only overlaps more.
+            let list = list_makespan(&dag, &asg).unwrap();
+            assert!(list <= barrier, "seed {seed}");
+        });
+    }
+}
+
+#[test]
+fn dag_optimum_never_worse_than_tree_optimum() {
+    for seed in 0..6u64 {
+        let (tree, costs) = random_instance(&small_params(seed as u32), seed);
+        let prep = Prepared::new(&tree, &costs).unwrap();
+        let tree_opt = Expanded::default().solve(&prep, Lambda::HALF).unwrap();
+        let dag = TaskDag::from_tree(&tree, &costs);
+        let bnb = branch_and_bound(&dag, &BnbConfig::default()).unwrap();
+        assert!(
+            bnb.makespan <= tree_opt.delay(),
+            "seed {seed}: DAG opt {} > tree opt {}",
+            bnb.makespan,
+            tree_opt.delay()
+        );
+    }
+}
+
+#[test]
+fn ga_close_to_bnb_on_tree_instances() {
+    for seed in 0..4u64 {
+        let (tree, costs) = random_instance(&small_params(seed as u32), seed);
+        let dag = TaskDag::from_tree(&tree, &costs);
+        let exact = branch_and_bound(&dag, &BnbConfig::default()).unwrap();
+        let ga = genetic(
+            &dag,
+            &GaConfig {
+                seed,
+                ..GaConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(ga.makespan >= exact.makespan);
+        // Within 30% on these tiny instances.
+        assert!(
+            ga.makespan.ticks() <= exact.makespan.ticks() * 13 / 10,
+            "seed {seed}: GA {} vs exact {}",
+            ga.makespan,
+            exact.makespan
+        );
+    }
+}

@@ -1,0 +1,81 @@
+//! Simulation configuration: the paper's timing model and its relaxations.
+
+use serde::{Deserialize, Serialize};
+
+/// When host-side CRUs may begin executing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum HostStartPolicy {
+    /// The paper's §3 assumption: "the CRUs placed on the host cannot start
+    /// processing unless they receive the processed context information
+    /// from all the precedent CRUs located on the satellites" — modelled
+    /// conservatively as the host starting only after *every* satellite
+    /// message has arrived. Under this policy the simulated end-to-end
+    /// delay provably equals the analytic objective `S + B`.
+    #[default]
+    AfterAllSatellites,
+    /// Relaxation (ablation, experiment T4): a host CRU starts as soon as
+    /// *its own* inputs are ready. Never slower than the paper's model;
+    /// the measured gap quantifies the model's conservatism.
+    EagerPrecedence,
+}
+
+/// Whether a satellite may transmit a finished result while still
+/// computing the next CRU.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum UplinkModel {
+    /// The paper's model: a satellite's time is `Σ s + Σ c` — compute
+    /// first, then transmit everything (one serial resource).
+    #[default]
+    SerialAfterCompute,
+    /// Relaxation: the uplink is a separate serial resource; each message
+    /// is sent as soon as it is ready (FIFO). Never slower.
+    OverlapCompute,
+}
+
+/// Full simulator configuration.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Host start policy.
+    pub host_policy: HostStartPolicy,
+    /// Satellite uplink model.
+    pub uplink: UplinkModel,
+    /// Record a per-resource busy-interval trace (Gantt rendering).
+    pub record_trace: bool,
+}
+
+impl SimConfig {
+    /// The exact configuration of the paper's analytic model.
+    pub fn paper_model() -> SimConfig {
+        SimConfig::default()
+    }
+
+    /// The fully-overlapped relaxation (both knobs loosened).
+    pub fn eager() -> SimConfig {
+        SimConfig {
+            host_policy: HostStartPolicy::EagerPrecedence,
+            uplink: UplinkModel::OverlapCompute,
+            record_trace: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_the_paper_model() {
+        let c = SimConfig::paper_model();
+        assert_eq!(c.host_policy, HostStartPolicy::AfterAllSatellites);
+        assert_eq!(c.uplink, UplinkModel::SerialAfterCompute);
+        assert!(!c.record_trace);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let c = SimConfig::eager();
+        let s = serde_json::to_string(&c).unwrap();
+        let back: SimConfig = serde_json::from_str(&s).unwrap();
+        assert_eq!(c, back);
+    }
+}

@@ -1,0 +1,513 @@
+//! The discrete-event engine: executes one context frame through a deployed
+//! CRU tree on the star platform.
+//!
+//! Resources: one CPU per satellite, one uplink per satellite, one host CPU.
+//! Work: the cut's satellite subtrees (computed in post-order on their
+//! satellite, results transmitted up), raw sensor frames for host-side
+//! leaves, then the host-side CRUs. Under the paper's timing model
+//! ([`crate::SimConfig::paper_model`]) the simulated end-to-end delay is
+//! *provably* the analytic objective `S + B`; the relaxed knobs quantify
+//! the model's conservatism (experiment T4).
+
+use crate::{EventQueue, HostStartPolicy, SimConfig, SimTime, UplinkModel};
+use hsa_assign::{AssignError, Prepared};
+use hsa_graph::Cost;
+use hsa_tree::{CruId, Cut, SatelliteId, TreeEdge};
+use serde::Serialize;
+
+/// A resource in the Gantt trace.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub enum Resource {
+    /// The host CPU.
+    HostCpu,
+    /// A satellite's CPU.
+    SatelliteCpu(SatelliteId),
+    /// A satellite's uplink to the host.
+    Uplink(SatelliteId),
+}
+
+/// A busy interval of a resource.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize)]
+pub struct Busy {
+    /// The resource.
+    pub resource: Resource,
+    /// Start time.
+    pub start: SimTime,
+    /// End time.
+    pub end: SimTime,
+    /// What it was doing (CRU name or message description).
+    pub label: String,
+}
+
+/// Result of simulating one frame.
+#[derive(Clone, Debug, Serialize)]
+pub struct SimResult {
+    /// Completion time of the root CRU — the end-to-end delay.
+    pub end_to_end: SimTime,
+    /// Per-satellite time of last activity (compute or transmit).
+    pub satellite_finish: Vec<SimTime>,
+    /// When the host executed its first CRU.
+    pub host_start: SimTime,
+    /// Total host compute time (Σ h over host CRUs).
+    pub host_busy: Cost,
+    /// Number of messages that crossed satellite uplinks.
+    pub messages: usize,
+    /// Busy intervals (only when `record_trace`).
+    pub trace: Vec<Busy>,
+}
+
+#[derive(Debug)]
+enum Event {
+    /// A satellite finished computing one work item.
+    SatItemDone { sat: u32, item: usize },
+    /// A satellite's uplink finished transmitting one message.
+    MsgArrived { sat: u32, item: usize },
+    /// The host finished one CRU.
+    HostDone { cru: CruId },
+}
+
+/// One unit of satellite work: an optional compute phase (a cut subtree in
+/// post-order) followed by one uplink message.
+#[derive(Clone, Debug)]
+struct WorkItem {
+    edge: TreeEdge,
+    /// CRUs computed on the satellite for this item (empty for raw-sensor
+    /// items).
+    compute: Vec<CruId>,
+    compute_time: Cost,
+    msg_time: Cost,
+    /// Host CRU that consumes this message: parent(c) for `Parent(c)` cuts,
+    /// the leaf itself for `Sensor` cuts. `None` when the cut node is the
+    /// root (single-node trees).
+    consumer: Option<CruId>,
+}
+
+/// Simulates one frame of the deployed tree. The cut must be valid for the
+/// prepared instance.
+pub fn simulate(prep: &Prepared<'_>, cut: &Cut, cfg: &SimConfig) -> Result<SimResult, AssignError> {
+    cut.validate(prep.tree)?;
+    let tree = prep.tree;
+    let costs = prep.costs;
+    let n_sats = prep.n_satellites() as usize;
+
+    // ---- Partition work ----------------------------------------------
+    let below = cut.below_mask(tree);
+    // Satellite work items in cut (leaf-interval) order per satellite.
+    let mut items: Vec<Vec<WorkItem>> = vec![Vec::new(); n_sats];
+    for &edge in cut.edges() {
+        let colour = prep
+            .colouring
+            .edge_colour(edge)
+            .satellite()
+            .ok_or_else(|| AssignError::Internal(format!("conflicted cut edge {edge}")))?;
+        let item = match edge {
+            TreeEdge::Parent(c) => {
+                let compute: Vec<CruId> = postorder_of_subtree(tree, c);
+                let compute_time: Cost = compute.iter().map(|&x| costs.s(x)).sum();
+                WorkItem {
+                    edge,
+                    compute,
+                    compute_time,
+                    msg_time: costs.c_up(c),
+                    consumer: tree.parent(c),
+                }
+            }
+            TreeEdge::Sensor(l) => WorkItem {
+                edge,
+                compute: Vec::new(),
+                compute_time: Cost::ZERO,
+                msg_time: costs.c_raw(l),
+                consumer: Some(l),
+            },
+        };
+        items[colour.index()].push(item);
+    }
+
+    // Host CRUs in post-order (execution order).
+    let host_order: Vec<CruId> = tree
+        .postorder()
+        .into_iter()
+        .filter(|c| !below[c.index()])
+        .collect();
+    let host_busy: Cost = host_order.iter().map(|&c| costs.h(c)).sum();
+    let host_rank: Vec<usize> = {
+        let mut r = vec![usize::MAX; tree.len()];
+        for (i, &c) in host_order.iter().enumerate() {
+            r[c.index()] = i;
+        }
+        r
+    };
+
+    // ---- Satellite schedules (event-driven) ---------------------------
+    let mut q: EventQueue<Event> = EventQueue::new();
+    let mut trace: Vec<Busy> = Vec::new();
+    let mut sat_cpu_free = vec![Cost::ZERO; n_sats];
+    let mut sat_link_free = vec![Cost::ZERO; n_sats];
+    let mut sat_items_done = vec![0usize; n_sats];
+    let mut sat_finish = vec![Cost::ZERO; n_sats];
+    let total_msgs: usize = items.iter().map(|v| v.len()).sum();
+
+    // Kick off: first compute item per satellite (or straight to uplink
+    // when the satellite model defers transmissions).
+    for (s, sat_items) in items.iter().enumerate() {
+        if sat_items.is_empty() {
+            continue;
+        }
+        schedule_item_compute(
+            &mut q,
+            &mut trace,
+            cfg,
+            tree,
+            sat_items,
+            0,
+            s,
+            &mut sat_cpu_free,
+        );
+    }
+
+    // ---- Host state ----------------------------------------------------
+    // For each host CRU: number of unsatisfied prerequisites.
+    let mut needs = vec![0u32; tree.len()];
+    for &c in &host_order {
+        let mut n = 0;
+        if tree.is_leaf(c) {
+            n += 1; // its raw sensor message
+        }
+        n += tree.children(c).len() as u32; // each child: a host CRU or a message
+        needs[c.index()] = n;
+    }
+    let mut msgs_arrived = 0usize;
+    let mut host_ready: Vec<CruId> = Vec::new();
+    let mut host_free = Cost::ZERO;
+    let mut host_idle = true;
+    let mut host_start: Option<SimTime> = None;
+    let mut end_to_end = Cost::ZERO;
+
+    // Seed ready CRUs that need nothing (internal host CRUs whose children
+    // are all... impossible: every child is a prerequisite; only possible
+    // if the tree were empty of leaves — cannot happen).
+    debug_assert!(host_order.iter().all(|&c| needs[c.index()] > 0));
+
+    // ---- Event loop -----------------------------------------------------
+    while let Some((t, ev)) = q.pop() {
+        match ev {
+            Event::SatItemDone { sat, item } => {
+                let s = sat as usize;
+                sat_items_done[s] += 1;
+                // Uplink: either immediately (overlap) or after every
+                // compute item is done (paper model).
+                match cfg.uplink {
+                    UplinkModel::OverlapCompute => {
+                        schedule_msg(&mut q, &mut trace, cfg, &items[s], item, s, t, &mut sat_link_free);
+                    }
+                    UplinkModel::SerialAfterCompute => {
+                        if sat_items_done[s] == items[s].len() {
+                            // All compute done: flush messages in cut order.
+                            for i in 0..items[s].len() {
+                                schedule_msg(
+                                    &mut q,
+                                    &mut trace,
+                                    cfg,
+                                    &items[s],
+                                    i,
+                                    s,
+                                    t,
+                                    &mut sat_link_free,
+                                );
+                            }
+                        }
+                    }
+                }
+                // Next compute item.
+                let next = item + 1;
+                if next < items[s].len() {
+                    schedule_item_compute(
+                        &mut q,
+                        &mut trace,
+                        cfg,
+                        tree,
+                        &items[s],
+                        next,
+                        s,
+                        &mut sat_cpu_free,
+                    );
+                }
+            }
+            Event::MsgArrived { sat, item } => {
+                let s = sat as usize;
+                msgs_arrived += 1;
+                sat_finish[s] = sat_finish[s].max(t);
+                let it = &items[s][item];
+                if let Some(consumer) = it.consumer {
+                    let slot = &mut needs[consumer.index()];
+                    debug_assert!(*slot > 0);
+                    *slot -= 1;
+                    if *slot == 0 {
+                        host_ready.push(consumer);
+                    }
+                }
+                dispatch_host(
+                    &mut q,
+                    &mut trace,
+                    cfg,
+                    prep,
+                    &host_rank,
+                    &mut host_ready,
+                    &mut host_free,
+                    &mut host_idle,
+                    &mut host_start,
+                    t,
+                    msgs_arrived,
+                    total_msgs,
+                );
+            }
+            Event::HostDone { cru } => {
+                host_idle = true;
+                if cru == tree.root() {
+                    end_to_end = t;
+                }
+                if let Some(p) = tree.parent(cru) {
+                    if !below[p.index()] {
+                        let slot = &mut needs[p.index()];
+                        debug_assert!(*slot > 0);
+                        *slot -= 1;
+                        if *slot == 0 {
+                            host_ready.push(p);
+                        }
+                    }
+                }
+                dispatch_host(
+                    &mut q,
+                    &mut trace,
+                    cfg,
+                    prep,
+                    &host_rank,
+                    &mut host_ready,
+                    &mut host_free,
+                    &mut host_idle,
+                    &mut host_start,
+                    t,
+                    msgs_arrived,
+                    total_msgs,
+                );
+            }
+        }
+    }
+
+    Ok(SimResult {
+        end_to_end,
+        satellite_finish: sat_finish,
+        host_start: host_start.unwrap_or(Cost::ZERO),
+        host_busy,
+        messages: total_msgs,
+        trace,
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn schedule_item_compute(
+    q: &mut EventQueue<Event>,
+    trace: &mut Vec<Busy>,
+    cfg: &SimConfig,
+    tree: &hsa_tree::CruTree,
+    items: &[WorkItem],
+    idx: usize,
+    sat: usize,
+    cpu_free: &mut [Cost],
+) {
+    let it = &items[idx];
+    let start = cpu_free[sat];
+    let end = start + it.compute_time;
+    cpu_free[sat] = end;
+    if cfg.record_trace && !it.compute.is_empty() {
+        let names: Vec<&str> = it
+            .compute
+            .iter()
+            .map(|&c| tree.node_unchecked(c).name.as_str())
+            .collect();
+        trace.push(Busy {
+            resource: Resource::SatelliteCpu(SatelliteId(sat as u32)),
+            start,
+            end,
+            label: names.join("+"),
+        });
+    }
+    q.push(
+        end,
+        Event::SatItemDone {
+            sat: sat as u32,
+            item: idx,
+        },
+    );
+}
+
+#[allow(clippy::too_many_arguments)]
+fn schedule_msg(
+    q: &mut EventQueue<Event>,
+    trace: &mut Vec<Busy>,
+    cfg: &SimConfig,
+    items: &[WorkItem],
+    idx: usize,
+    sat: usize,
+    ready: SimTime,
+    link_free: &mut [Cost],
+) {
+    let it = &items[idx];
+    let start = link_free[sat].max(ready);
+    let end = start + it.msg_time;
+    link_free[sat] = end;
+    if cfg.record_trace {
+        trace.push(Busy {
+            resource: Resource::Uplink(SatelliteId(sat as u32)),
+            start,
+            end,
+            label: format!("msg {}", it.edge),
+        });
+    }
+    q.push(
+        end,
+        Event::MsgArrived {
+            sat: sat as u32,
+            item: idx,
+        },
+    );
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dispatch_host(
+    q: &mut EventQueue<Event>,
+    trace: &mut Vec<Busy>,
+    cfg: &SimConfig,
+    prep: &Prepared<'_>,
+    host_rank: &[usize],
+    ready: &mut Vec<CruId>,
+    host_free: &mut Cost,
+    host_idle: &mut bool,
+    host_start: &mut Option<SimTime>,
+    now: SimTime,
+    msgs_arrived: usize,
+    total_msgs: usize,
+) {
+    if cfg.host_policy == HostStartPolicy::AfterAllSatellites && msgs_arrived < total_msgs {
+        return; // the paper's barrier: no host work before the last message
+    }
+    if !*host_idle || ready.is_empty() {
+        return;
+    }
+    // Deterministic pick: smallest post-order rank (a valid topological
+    // order of the host subtree).
+    ready.sort_by_key(|c| host_rank[c.index()]);
+    let cru = ready.remove(0);
+    let start = (*host_free).max(now);
+    let end = start + prep.costs.h(cru);
+    *host_free = end;
+    *host_idle = false;
+    host_start.get_or_insert(start);
+    if cfg.record_trace {
+        trace.push(Busy {
+            resource: Resource::HostCpu,
+            start,
+            end,
+            label: prep.tree.node_unchecked(cru).name.clone(),
+        });
+    }
+    q.push(end, Event::HostDone { cru });
+}
+
+fn postorder_of_subtree(tree: &hsa_tree::CruTree, c: CruId) -> Vec<CruId> {
+    fn rec(tree: &hsa_tree::CruTree, c: CruId, out: &mut Vec<CruId>) {
+        for &ch in tree.children(c) {
+            rec(tree, ch, out);
+        }
+        out.push(c);
+    }
+    let mut out = Vec::new();
+    rec(tree, c, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsa_assign::evaluate_cut;
+    use hsa_tree::figures::fig2_tree;
+
+    #[test]
+    fn paper_model_matches_analytic_delay_on_fig2() {
+        let (t, m) = fig2_tree();
+        let prep = Prepared::new(&t, &m).unwrap();
+        let col = prep.colouring.clone();
+        for cut in [Cut::all_on_host(&t), Cut::max_offload(&t, &col)] {
+            let (_a, rep) = evaluate_cut(&prep, &cut).unwrap();
+            let sim = simulate(&prep, &cut, &SimConfig::paper_model()).unwrap();
+            assert_eq!(sim.end_to_end, rep.end_to_end, "cut {:?}", cut.edges());
+            // Per-satellite finishes equal the analytic loads.
+            for (i, load) in rep.satellite_loads.iter().enumerate() {
+                assert_eq!(sim.satellite_finish[i], load.total, "sat {i}");
+            }
+            assert_eq!(sim.host_busy, rep.host_time);
+        }
+    }
+
+    #[test]
+    fn eager_is_never_slower() {
+        let (t, m) = fig2_tree();
+        let prep = Prepared::new(&t, &m).unwrap();
+        let cut = Cut::max_offload(&t, &prep.colouring);
+        let paper = simulate(&prep, &cut, &SimConfig::paper_model()).unwrap();
+        let eager = simulate(&prep, &cut, &SimConfig::eager()).unwrap();
+        assert!(eager.end_to_end <= paper.end_to_end);
+    }
+
+    #[test]
+    fn trace_is_recorded_and_non_overlapping_per_resource() {
+        let (t, m) = fig2_tree();
+        let prep = Prepared::new(&t, &m).unwrap();
+        let cut = Cut::max_offload(&t, &prep.colouring);
+        let cfg = SimConfig {
+            record_trace: true,
+            ..SimConfig::paper_model()
+        };
+        let sim = simulate(&prep, &cut, &cfg).unwrap();
+        assert!(!sim.trace.is_empty());
+        // Per-resource intervals must not overlap.
+        let mut by_resource: std::collections::BTreeMap<String, Vec<(Cost, Cost)>> =
+            Default::default();
+        for b in &sim.trace {
+            by_resource
+                .entry(format!("{:?}", b.resource))
+                .or_default()
+                .push((b.start, b.end));
+        }
+        for (res, mut iv) in by_resource {
+            iv.sort();
+            for w in iv.windows(2) {
+                assert!(w[0].1 <= w[1].0, "{res} overlaps: {w:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_node_tree() {
+        let t = hsa_tree::TreeBuilder::new("only").build();
+        let mut m = hsa_tree::CostModel::zeroed(&t, 1);
+        m.set_host_time(CruId(0), Cost::new(7));
+        m.pin_leaf(CruId(0), SatelliteId(0), Cost::new(3));
+        let prep = Prepared::new(&t, &m).unwrap();
+        let cut = Cut::all_on_host(&t);
+        let sim = simulate(&prep, &cut, &SimConfig::paper_model()).unwrap();
+        // Raw transfer 3, then host compute 7.
+        assert_eq!(sim.end_to_end, Cost::new(10));
+        assert_eq!(sim.messages, 1);
+    }
+
+    #[test]
+    fn host_barrier_delays_start() {
+        let (t, m) = fig2_tree();
+        let prep = Prepared::new(&t, &m).unwrap();
+        let cut = Cut::max_offload(&t, &prep.colouring);
+        let sim = simulate(&prep, &cut, &SimConfig::paper_model()).unwrap();
+        let (_a, rep) = evaluate_cut(&prep, &cut).unwrap();
+        assert_eq!(sim.host_start, rep.bottleneck);
+    }
+}

@@ -1,0 +1,103 @@
+//! Deterministic discrete-event queue.
+//!
+//! Events fire in (time, sequence) order: ties resolve by insertion order,
+//! so a simulation is a pure function of its inputs — no hash-map or thread
+//! nondeterminism can leak into results.
+
+use hsa_graph::Cost;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Simulation clock value (ticks, same unit as [`Cost`]).
+pub type SimTime = Cost;
+
+/// A deterministic time-ordered event queue.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<(SimTime, u64)>>,
+    payloads: Vec<Option<E>>,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            payloads: Vec::new(),
+        }
+    }
+
+    /// Schedules `event` at `time`.
+    pub fn push(&mut self, time: SimTime, event: E) {
+        let seq = self.payloads.len() as u64;
+        self.payloads.push(Some(event));
+        self.heap.push(Reverse((time, seq)));
+    }
+
+    /// Pops the earliest event.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let Reverse((t, seq)) = self.heap.pop()?;
+        let e = self.payloads[seq as usize]
+            .take()
+            .expect("event payload taken twice");
+        Some((t, e))
+    }
+
+    /// Whether any events remain.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: u64) -> SimTime {
+        Cost::new(v)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(t(5), "c");
+        q.push(t(1), "a");
+        q.push(t(3), "b");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_resolve_by_insertion_order() {
+        let mut q = EventQueue::new();
+        q.push(t(2), 1);
+        q.push(t(2), 2);
+        q.push(t(2), 3);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn interleaved_push_pop() {
+        let mut q = EventQueue::new();
+        q.push(t(10), "late");
+        q.push(t(1), "early");
+        assert_eq!(q.pop().unwrap(), (t(1), "early"));
+        q.push(t(5), "mid");
+        assert_eq!(q.pop().unwrap(), (t(5), "mid"));
+        assert_eq!(q.pop().unwrap(), (t(10), "late"));
+        assert!(q.is_empty());
+        assert_eq!(q.len(), 0);
+    }
+}

@@ -1,0 +1,154 @@
+//! Periodic-frame (pipelined) execution — an extension of the paper's
+//! single-frame model.
+//!
+//! The paper minimises the delay of one context frame; real monitoring
+//! applications stream frames periodically (ECG at 256 Hz in the
+//! tele-monitoring scenario). This module models the pipeline: each
+//! resource (a satellite's CPU+uplink, the host CPU) serves frames FIFO
+//! with the per-frame service times of the deployed cut. It reports
+//! per-frame latencies, the steady-state latency, and whether the pipeline
+//! saturates (a resource's service time exceeds the frame interval, making
+//! latency grow without bound).
+
+use crate::SimTime;
+use hsa_assign::{evaluate_cut, AssignError, Prepared};
+use hsa_graph::Cost;
+use hsa_tree::Cut;
+use serde::Serialize;
+
+/// Result of a periodic-frame run.
+#[derive(Clone, Debug, Serialize)]
+pub struct ThroughputResult {
+    /// Latency (completion − release) of every simulated frame.
+    pub latencies: Vec<Cost>,
+    /// Completion time of the last frame.
+    pub makespan: SimTime,
+    /// Frames per tick·10⁶ (scaled to avoid floats in the core type).
+    pub frames_per_mega_tick: u64,
+    /// True when some resource's service time exceeds the interval: the
+    /// backlog — and hence latency — grows linearly with the frame index.
+    pub saturated: bool,
+    /// The service time of the slowest resource (the pipeline's capacity
+    /// bound: sustainable interval ≥ this).
+    pub bottleneck_service: Cost,
+}
+
+/// Simulates `n_frames` frames released every `interval` ticks through the
+/// deployed cut, under the paper's per-frame timing model.
+pub fn simulate_periodic(
+    prep: &Prepared<'_>,
+    cut: &Cut,
+    interval: Cost,
+    n_frames: usize,
+) -> Result<ThroughputResult, AssignError> {
+    let (_asg, rep) = evaluate_cut(prep, cut)?;
+    // Per-frame service times: each satellite (CPU+uplink as one serial
+    // station, per the paper's model), then the host.
+    let sat_service: Vec<Cost> = rep.satellite_loads.iter().map(|l| l.total).collect();
+    let host_service = rep.host_time;
+    let bottleneck_service = sat_service
+        .iter()
+        .copied()
+        .fold(host_service, Cost::max);
+
+    let mut sat_free = vec![Cost::ZERO; sat_service.len()];
+    let mut host_free = Cost::ZERO;
+    let mut latencies = Vec::with_capacity(n_frames);
+    let mut makespan = Cost::ZERO;
+    for i in 0..n_frames {
+        let release = interval.saturating_mul(i as u64);
+        // All satellites process frame i in parallel stations.
+        let mut stage_done = release;
+        for (f, &svc) in sat_free.iter_mut().zip(&sat_service) {
+            let start = (*f).max(release);
+            let done = start + svc;
+            *f = done;
+            stage_done = stage_done.max(done);
+        }
+        // Host barrier (paper model), FIFO on the host CPU.
+        let start = host_free.max(stage_done);
+        let done = start + host_service;
+        host_free = done;
+        latencies.push(done - release);
+        makespan = makespan.max(done);
+    }
+    let saturated = !interval.is_zero() && bottleneck_service > interval
+        || interval.is_zero() && !bottleneck_service.is_zero();
+    let frames_per_mega_tick = if makespan.is_zero() {
+        0
+    } else {
+        (n_frames as u64).saturating_mul(1_000_000) / makespan.ticks()
+    };
+    Ok(ThroughputResult {
+        latencies,
+        makespan,
+        frames_per_mega_tick,
+        saturated,
+        bottleneck_service,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsa_tree::figures::fig2_tree;
+
+    fn setup() -> (hsa_tree::CruTree, hsa_tree::CostModel) {
+        fig2_tree()
+    }
+
+    #[test]
+    fn single_frame_latency_equals_analytic_delay() {
+        let (t, m) = setup();
+        let prep = Prepared::new(&t, &m).unwrap();
+        let cut = Cut::max_offload(&t, &prep.colouring);
+        let (_a, rep) = evaluate_cut(&prep, &cut).unwrap();
+        let r = simulate_periodic(&prep, &cut, Cost::new(1_000_000), 1).unwrap();
+        assert_eq!(r.latencies, vec![rep.end_to_end]);
+    }
+
+    #[test]
+    fn wide_interval_keeps_latency_flat() {
+        let (t, m) = setup();
+        let prep = Prepared::new(&t, &m).unwrap();
+        let cut = Cut::max_offload(&t, &prep.colouring);
+        let r = simulate_periodic(&prep, &cut, Cost::new(1_000_000), 10).unwrap();
+        assert!(!r.saturated);
+        assert!(r.latencies.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn narrow_interval_saturates_and_latency_grows() {
+        let (t, m) = setup();
+        let prep = Prepared::new(&t, &m).unwrap();
+        let cut = Cut::max_offload(&t, &prep.colouring);
+        let r = simulate_periodic(&prep, &cut, Cost::new(1), 20).unwrap();
+        assert!(r.saturated);
+        let first = r.latencies.first().unwrap();
+        let last = r.latencies.last().unwrap();
+        assert!(last > first, "latency must grow under saturation");
+    }
+
+    #[test]
+    fn boundary_interval_is_sustainable() {
+        let (t, m) = setup();
+        let prep = Prepared::new(&t, &m).unwrap();
+        let cut = Cut::max_offload(&t, &prep.colouring);
+        let r0 = simulate_periodic(&prep, &cut, Cost::new(1_000_000), 1).unwrap();
+        // Interval exactly the bottleneck service: steady state, flat tail.
+        let r = simulate_periodic(&prep, &cut, r0.bottleneck_service, 30).unwrap();
+        assert!(!r.saturated);
+        let tail: Vec<_> = r.latencies.iter().rev().take(5).collect();
+        assert!(tail.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn throughput_counts_frames() {
+        let (t, m) = setup();
+        let prep = Prepared::new(&t, &m).unwrap();
+        let cut = Cut::all_on_host(&t);
+        let r = simulate_periodic(&prep, &cut, Cost::new(500), 8).unwrap();
+        assert_eq!(r.latencies.len(), 8);
+        assert!(r.frames_per_mega_tick > 0);
+    }
+}

@@ -1,0 +1,113 @@
+//! Property tests for the simulator: under the paper's timing model the
+//! simulated end-to-end delay equals the analytic objective `S + B` for
+//! *every* valid cut of random instances; the relaxed models are never
+//! slower (experiment T4's invariants).
+
+use hsa_assign::{evaluate_cut, Prepared};
+use hsa_graph::Cost;
+use hsa_sim::{simulate, simulate_periodic, SimConfig};
+use hsa_tree::{for_each_cut, CostModel, CruId, CruNode, CruTree, SatelliteId};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+struct Instance {
+    tree: CruTree,
+    costs: CostModel,
+}
+
+fn arb_instance(max_nodes: usize, max_sats: u32) -> impl Strategy<Value = Instance> {
+    (2usize..=max_nodes, 1u32..=max_sats).prop_flat_map(move |(n, k)| {
+        let parents = proptest::collection::vec(0usize..n, n - 1);
+        let costs = proptest::collection::vec((0u64..30, 0u64..30, 0u64..15, 0u64..15), n);
+        let sats = proptest::collection::vec(0u32..k, n);
+        (parents, costs, sats).prop_map(move |(parents, costvec, sats)| {
+            let mut nodes: Vec<CruNode> = (0..n)
+                .map(|i| CruNode {
+                    parent: None,
+                    children: Vec::new(),
+                    name: format!("n{i}"),
+                })
+                .collect();
+            for i in 1..n {
+                let p = parents[i - 1] % i;
+                nodes[i].parent = Some(CruId(p as u32));
+                nodes[p].children.push(CruId(i as u32));
+            }
+            let tree = CruTree::from_parts(nodes, CruId(0)).unwrap();
+            let mut m = CostModel::zeroed(&tree, k);
+            for i in 0..n {
+                let id = CruId(i as u32);
+                let (h, s, cu, cr) = costvec[i];
+                m.set_host_time(id, Cost::new(h));
+                m.set_satellite_time(id, Cost::new(s));
+                if i != 0 {
+                    m.set_comm_up(id, Cost::new(cu));
+                }
+                if tree.is_leaf(id) {
+                    m.pin_leaf(id, SatelliteId(sats[i] % k), Cost::new(cr));
+                }
+            }
+            Instance { tree, costs: m }
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(80))]
+
+    /// The headline validation: sim(paper model) ≡ S + B on every cut.
+    #[test]
+    fn paper_model_equals_analytic_delay(inst in arb_instance(10, 3)) {
+        let prep = Prepared::new(&inst.tree, &inst.costs).unwrap();
+        for_each_cut(&inst.tree, &|e| prep.colouring.cuttable(e), &mut |cut| {
+            let (_a, rep) = evaluate_cut(&prep, cut).unwrap();
+            let sim = simulate(&prep, cut, &SimConfig::paper_model()).unwrap();
+            assert_eq!(sim.end_to_end, rep.end_to_end, "cut {:?}", cut.edges());
+            assert_eq!(sim.host_busy, rep.host_time);
+            for (i, load) in rep.satellite_loads.iter().enumerate() {
+                assert_eq!(sim.satellite_finish[i], load.total);
+            }
+        });
+    }
+
+    /// Relaxations never hurt: eager ≤ paper model, on every cut.
+    #[test]
+    fn eager_never_slower(inst in arb_instance(10, 3)) {
+        let prep = Prepared::new(&inst.tree, &inst.costs).unwrap();
+        for_each_cut(&inst.tree, &|e| prep.colouring.cuttable(e), &mut |cut| {
+            let paper = simulate(&prep, cut, &SimConfig::paper_model()).unwrap();
+            let eager = simulate(&prep, cut, &SimConfig::eager()).unwrap();
+            assert!(eager.end_to_end <= paper.end_to_end,
+                "eager {} > paper {} on {:?}", eager.end_to_end, paper.end_to_end, cut.edges());
+        });
+    }
+
+    /// Pipelining: first-frame latency is the single-frame delay; an
+    /// interval at the bottleneck service keeps the tail flat.
+    #[test]
+    fn pipeline_first_frame_matches(inst in arb_instance(10, 3)) {
+        let prep = Prepared::new(&inst.tree, &inst.costs).unwrap();
+        let cut = hsa_tree::Cut::max_offload(&inst.tree, &prep.colouring);
+        let (_a, rep) = evaluate_cut(&prep, &cut).unwrap();
+        let r = simulate_periodic(&prep, &cut, Cost::new(1_000_000), 3).unwrap();
+        prop_assert_eq!(r.latencies[0], rep.end_to_end);
+        if !r.bottleneck_service.is_zero() {
+            let r2 = simulate_periodic(&prep, &cut, r.bottleneck_service, 20).unwrap();
+            prop_assert!(!r2.saturated);
+            let tail: Vec<_> = r2.latencies.iter().rev().take(3).collect();
+            prop_assert!(tail.windows(2).all(|w| w[0] == w[1]));
+        }
+    }
+
+    /// Determinism: two runs of the same simulation are identical.
+    #[test]
+    fn simulation_is_deterministic(inst in arb_instance(10, 3)) {
+        let prep = Prepared::new(&inst.tree, &inst.costs).unwrap();
+        let cut = hsa_tree::Cut::max_offload(&inst.tree, &prep.colouring);
+        let cfg = SimConfig { record_trace: true, ..SimConfig::eager() };
+        let a = simulate(&prep, &cut, &cfg).unwrap();
+        let b = simulate(&prep, &cut, &cfg).unwrap();
+        prop_assert_eq!(a.end_to_end, b.end_to_end);
+        prop_assert_eq!(a.trace, b.trace);
+    }
+}

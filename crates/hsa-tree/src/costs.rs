@@ -1,0 +1,255 @@
+//! Per-CRU cost model (§5.3 of the paper).
+//!
+//! For every CRU `i` the paper assumes two processing-time indicators,
+//! obtained by "analytical benchmarking or task profiling":
+//!
+//! * `h_i` — time to process one frame on the **host**;
+//! * `s_i` — time to process one frame on its **correspondent satellite**
+//!   (the satellite its subtree's sensors are pinned to);
+//!
+//! plus communication times:
+//!
+//! * `c_up(i)` = `c_{i,parent(i)}` — time to ship `i`'s one-frame output
+//!   from a satellite up to the host when the tree is cut above `i`;
+//! * `c_raw(l)` = `c_{s,l}` — time to ship leaf `l`'s **raw** sensor frames
+//!   to the host when even `l` runs on the host;
+//!
+//! and the *pinning* of every leaf's sensors to a satellite, which the
+//! colouring scheme (§5.1) propagates rootwards.
+
+use crate::{CruId, CruTree, SatelliteId, TreeError};
+use hsa_graph::Cost;
+use serde::{Deserialize, Serialize};
+
+/// Complete cost annotation for a [`CruTree`].
+///
+/// Invariants (enforced by [`CostModel::validate`]): one entry per CRU in
+/// each cost table, and a satellite pinning for exactly the leaves.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq, Eq)]
+pub struct CostModel {
+    /// `h_i` per CRU: host processing time.
+    pub host_time: Vec<Cost>,
+    /// `s_i` per CRU: satellite processing time.
+    pub satellite_time: Vec<Cost>,
+    /// `c_up(i)` per CRU: time to transmit `i`'s output to the host
+    /// (meaningless for the root, which must keep `Cost::ZERO`).
+    pub comm_up: Vec<Cost>,
+    /// For each leaf (by CRU id): pinned satellite, or `None` for internal
+    /// nodes.
+    pub pinning: Vec<Option<SatelliteId>>,
+    /// `c_raw(l)` per CRU: raw sensor transmission time (zero for internal
+    /// nodes).
+    pub comm_raw: Vec<Cost>,
+    /// Number of satellites in the platform (ids `0..n_satellites`).
+    pub n_satellites: u32,
+}
+
+impl CostModel {
+    /// Creates a zeroed cost model shaped for `tree`, with `n_satellites`
+    /// satellites; pinnings start unset and must be provided per leaf.
+    pub fn zeroed(tree: &CruTree, n_satellites: u32) -> Self {
+        let n = tree.len();
+        CostModel {
+            host_time: vec![Cost::ZERO; n],
+            satellite_time: vec![Cost::ZERO; n],
+            comm_up: vec![Cost::ZERO; n],
+            pinning: vec![None; n],
+            comm_raw: vec![Cost::ZERO; n],
+            n_satellites,
+        }
+    }
+
+    /// Sets `h_i`.
+    pub fn set_host_time(&mut self, c: CruId, v: Cost) -> &mut Self {
+        self.host_time[c.index()] = v;
+        self
+    }
+
+    /// Sets `s_i`.
+    pub fn set_satellite_time(&mut self, c: CruId, v: Cost) -> &mut Self {
+        self.satellite_time[c.index()] = v;
+        self
+    }
+
+    /// Sets `c_up(i)`.
+    pub fn set_comm_up(&mut self, c: CruId, v: Cost) -> &mut Self {
+        self.comm_up[c.index()] = v;
+        self
+    }
+
+    /// Pins a leaf's sensors to a satellite and sets its raw-transfer cost.
+    pub fn pin_leaf(&mut self, leaf: CruId, sat: SatelliteId, c_raw: Cost) -> &mut Self {
+        self.pinning[leaf.index()] = Some(sat);
+        self.comm_raw[leaf.index()] = c_raw;
+        self
+    }
+
+    /// `h_i` accessor.
+    #[inline]
+    pub fn h(&self, c: CruId) -> Cost {
+        self.host_time[c.index()]
+    }
+
+    /// `s_i` accessor.
+    #[inline]
+    pub fn s(&self, c: CruId) -> Cost {
+        self.satellite_time[c.index()]
+    }
+
+    /// `c_up(i)` accessor.
+    #[inline]
+    pub fn c_up(&self, c: CruId) -> Cost {
+        self.comm_up[c.index()]
+    }
+
+    /// `c_raw(l)` accessor.
+    #[inline]
+    pub fn c_raw(&self, c: CruId) -> Cost {
+        self.comm_raw[c.index()]
+    }
+
+    /// The satellite a leaf is pinned to.
+    pub fn pinned_satellite(&self, leaf: CruId) -> Option<SatelliteId> {
+        self.pinning.get(leaf.index()).copied().flatten()
+    }
+
+    /// Total `h` over all CRUs — the S weight of the all-on-host partition.
+    pub fn total_host_time(&self) -> Cost {
+        self.host_time.iter().copied().sum()
+    }
+
+    /// Checks that this model covers `tree`: table lengths match, every
+    /// leaf is pinned to an existing satellite, no internal node is pinned,
+    /// and the root has no uplink cost.
+    pub fn validate(&self, tree: &CruTree) -> Result<(), TreeError> {
+        let n = tree.len();
+        for (name, len) in [
+            ("host_time", self.host_time.len()),
+            ("satellite_time", self.satellite_time.len()),
+            ("comm_up", self.comm_up.len()),
+            ("pinning", self.pinning.len()),
+            ("comm_raw", self.comm_raw.len()),
+        ] {
+            if len != n {
+                return Err(TreeError::CostModelMismatch(format!(
+                    "{name} has {len} entries for a tree of {n} CRUs"
+                )));
+            }
+        }
+        for c in tree.preorder() {
+            if tree.is_leaf(c) {
+                match self.pinning[c.index()] {
+                    None => return Err(TreeError::UnpinnedLeaf(c)),
+                    Some(sat) if sat.0 >= self.n_satellites => {
+                        return Err(TreeError::CostModelMismatch(format!(
+                            "{c} pinned to {sat} but only {} satellites exist",
+                            self.n_satellites
+                        )));
+                    }
+                    Some(_) => {}
+                }
+            } else if self.pinning[c.index()].is_some() {
+                return Err(TreeError::CostModelMismatch(format!(
+                    "internal node {c} must not carry a sensor pinning"
+                )));
+            }
+        }
+        if self.comm_up[tree.root().index()] != Cost::ZERO {
+            return Err(TreeError::CostModelMismatch(
+                "root has no parent, its comm_up must be zero".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Sum of `s_i` over the subtree of `c` — used by the β labelling.
+    pub fn subtree_satellite_time(&self, tree: &CruTree, c: CruId) -> Cost {
+        tree.subtree(c).into_iter().map(|x| self.s(x)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TreeBuilder;
+
+    fn c(v: u64) -> Cost {
+        Cost::new(v)
+    }
+
+    fn tree_and_costs() -> (CruTree, CostModel) {
+        let mut b = TreeBuilder::new("root");
+        let root = b.root();
+        let a = b.add_child(root, "a");
+        let l1 = b.add_child(a, "l1");
+        let l2 = b.add_child(a, "l2");
+        let t = b.build();
+        let mut m = CostModel::zeroed(&t, 2);
+        m.set_host_time(root, c(10))
+            .set_host_time(a, c(5))
+            .set_host_time(l1, c(3))
+            .set_host_time(l2, c(4));
+        m.set_satellite_time(a, c(8))
+            .set_satellite_time(l1, c(6))
+            .set_satellite_time(l2, c(7));
+        m.set_comm_up(a, c(2)).set_comm_up(l1, c(1)).set_comm_up(l2, c(1));
+        m.pin_leaf(l1, SatelliteId(0), c(9));
+        m.pin_leaf(l2, SatelliteId(1), c(9));
+        (t, m)
+    }
+
+    #[test]
+    fn accessors_and_validation() {
+        let (t, m) = tree_and_costs();
+        m.validate(&t).unwrap();
+        assert_eq!(m.h(CruId(0)), c(10));
+        assert_eq!(m.s(CruId(2)), c(6));
+        assert_eq!(m.c_up(CruId(1)), c(2));
+        assert_eq!(m.c_raw(CruId(2)), c(9));
+        assert_eq!(m.pinned_satellite(CruId(2)), Some(SatelliteId(0)));
+        assert_eq!(m.pinned_satellite(CruId(1)), None);
+        assert_eq!(m.total_host_time(), c(22));
+    }
+
+    #[test]
+    fn subtree_satellite_time_sums() {
+        let (t, m) = tree_and_costs();
+        assert_eq!(m.subtree_satellite_time(&t, CruId(1)), c(8 + 6 + 7));
+        assert_eq!(m.subtree_satellite_time(&t, CruId(2)), c(6));
+    }
+
+    #[test]
+    fn unpinned_leaf_is_rejected() {
+        let (t, mut m) = tree_and_costs();
+        m.pinning[2] = None;
+        assert_eq!(m.validate(&t), Err(TreeError::UnpinnedLeaf(CruId(2))));
+    }
+
+    #[test]
+    fn pinned_internal_node_is_rejected() {
+        let (t, mut m) = tree_and_costs();
+        m.pinning[1] = Some(SatelliteId(0));
+        assert!(m.validate(&t).is_err());
+    }
+
+    #[test]
+    fn pinning_to_missing_satellite_is_rejected() {
+        let (t, mut m) = tree_and_costs();
+        m.pinning[2] = Some(SatelliteId(99));
+        assert!(m.validate(&t).is_err());
+    }
+
+    #[test]
+    fn nonzero_root_uplink_is_rejected() {
+        let (t, mut m) = tree_and_costs();
+        m.comm_up[0] = c(1);
+        assert!(m.validate(&t).is_err());
+    }
+
+    #[test]
+    fn wrong_table_length_is_rejected() {
+        let (t, mut m) = tree_and_costs();
+        m.host_time.pop();
+        assert!(m.validate(&t).is_err());
+    }
+}

@@ -1,0 +1,65 @@
+//! Error type for tree construction and labelling.
+
+use crate::{CruId, TreeEdge};
+use core::fmt;
+
+/// Errors raised by the CRU tree layer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TreeError {
+    /// A CRU id referenced a node that does not exist.
+    CruOutOfRange {
+        /// The offending id.
+        cru: u32,
+        /// The number of CRUs in the tree.
+        len: u32,
+    },
+    /// The operation needs a leaf but was given an internal node.
+    NotALeaf(CruId),
+    /// The referenced edge does not exist in the closed tree (e.g.
+    /// `Parent(root)` or `Sensor(internal-node)`).
+    NoSuchEdge(TreeEdge),
+    /// A cost model does not cover the tree it is paired with.
+    CostModelMismatch(String),
+    /// A leaf has no satellite pinning (every sensor must live somewhere).
+    UnpinnedLeaf(CruId),
+    /// A proposed cut is not a valid antichain covering every leaf once.
+    InvalidCut(String),
+    /// The tree would be malformed (cycle, second root, orphan …).
+    Malformed(String),
+}
+
+impl fmt::Display for TreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TreeError::CruOutOfRange { cru, len } => {
+                write!(f, "CRU id {cru} out of range (tree has {len} CRUs)")
+            }
+            TreeError::NotALeaf(c) => write!(f, "{c} is not a leaf"),
+            TreeError::NoSuchEdge(e) => write!(f, "edge {e} does not exist in the closed tree"),
+            TreeError::CostModelMismatch(msg) => write!(f, "cost model mismatch: {msg}"),
+            TreeError::UnpinnedLeaf(c) => {
+                write!(f, "leaf {c} has no satellite pinning for its sensors")
+            }
+            TreeError::InvalidCut(msg) => write!(f, "invalid cut: {msg}"),
+            TreeError::Malformed(msg) => write!(f, "malformed tree: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TreeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        assert!(TreeError::CruOutOfRange { cru: 7, len: 3 }
+            .to_string()
+            .contains("7"));
+        assert!(TreeError::NotALeaf(CruId(2)).to_string().contains("CRU2"));
+        assert!(TreeError::NoSuchEdge(TreeEdge::Sensor(CruId(1)))
+            .to_string()
+            .contains("A,CRU1"));
+    }
+}

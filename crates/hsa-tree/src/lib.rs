@@ -1,0 +1,56 @@
+//! # hsa-tree — the CRU tree model of the IPPS 2007 paper
+//!
+//! A **context reasoning procedure** is an ordered tree of CRUs (Context
+//! Reasoning Units): leaves ingest sensor data, the root produces the
+//! high-level context consumed on the host (paper §3). This crate owns
+//! everything tree-side of the reproduction:
+//!
+//! * [`CruTree`] / [`TreeBuilder`] — ordered (planar) arena trees with the
+//!   traversals the dual construction needs (leaf order, leaf spans,
+//!   leftmost-child tests);
+//! * [`CostModel`] — the per-CRU `h`/`s` processing times, `c_up`/`c_raw`
+//!   communication times, and the physical pinning of leaf sensors to
+//!   satellites (§5.3);
+//! * [`Colouring`] — the §5.1 colouring scheme: colour propagation,
+//!   conflict detection (host-forced CRUs), colour bands and interleaving;
+//! * [`SigmaLabels`] / [`BetaLabels`] — the Figure 8 σ labelling and §5.3 β
+//!   labelling of the closed tree, each paired with a *direct oracle*
+//!   ([`host_time_of_cut`], [`satellite_loads_of_cut`]) that property tests
+//!   compare against;
+//! * [`Cut`] and exhaustive cut enumeration ([`for_each_cut`]) — the
+//!   tree-side image of assignment-graph paths and the brute-force ground
+//!   truth;
+//! * [`figures::fig2_tree`] — a canonical reconstruction of the paper's
+//!   worked example, satisfying every constraint in the surviving text.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod beta;
+mod colouring;
+mod costs;
+mod cuts;
+mod error;
+mod ids;
+mod sigma;
+mod tree;
+
+pub mod figures;
+pub mod render;
+
+pub use beta::{bottleneck_of_cut, satellite_loads_of_cut, BetaLabels};
+pub use colouring::{Band, Colour, Colouring};
+pub use costs::CostModel;
+pub use cuts::{count_cuts, for_each_cut, Cut};
+pub use error::TreeError;
+pub use ids::{CruId, SatelliteId, TreeEdge};
+pub use sigma::{host_time_of_cut, SigmaLabels};
+pub use tree::{CruNode, CruTree, TreeBuilder};
+
+/// Commonly used items, for glob import in examples and tests.
+pub mod prelude {
+    pub use crate::{
+        Colour, Colouring, CostModel, CruId, CruTree, Cut, SatelliteId, TreeBuilder, TreeEdge,
+        TreeError,
+    };
+}

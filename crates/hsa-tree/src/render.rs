@@ -1,0 +1,110 @@
+//! ASCII rendering of costed, coloured CRU trees — used by examples and the
+//! figure-reproduction harness (`repro --exp f2`).
+
+use crate::{Colour, Colouring, CostModel, CruId, CruTree};
+use std::fmt::Write as _;
+
+/// Renders the tree one node per line with box-drawing guides, e.g.
+///
+/// ```text
+/// CRU1 "root" [host-forced]
+/// ├── CRU2 "a" (h=12 s=24) → Sat0
+/// │   └── CRU4 "leaf" (h=14 s=28) ⚓ Sat0
+/// └── CRU3 "b" (h=13 s=26) → Sat1
+/// ```
+///
+/// `⚓` marks a leaf's physical sensor pinning; `→` shows the propagated
+/// subtree colour; `[host-forced]` marks conflicted nodes.
+pub fn render_tree(tree: &CruTree, costs: Option<&CostModel>, col: Option<&Colouring>) -> String {
+    let mut out = String::new();
+    render_node(tree, costs, col, tree.root(), "", "", &mut out);
+    out
+}
+
+fn render_node(
+    tree: &CruTree,
+    costs: Option<&CostModel>,
+    col: Option<&Colouring>,
+    c: CruId,
+    prefix: &str,
+    child_prefix: &str,
+    out: &mut String,
+) {
+    let node = tree.node_unchecked(c);
+    let _ = write!(out, "{prefix}{c} \"{}\"", node.name);
+    if let Some(m) = costs {
+        let _ = write!(out, " (h={} s={})", m.h(c), m.s(c));
+    }
+    if let Some(colouring) = col {
+        match colouring.node_colour[c.index()] {
+            Colour::Conflict => {
+                let _ = write!(out, " [host-forced]");
+            }
+            Colour::Satellite(s) => {
+                if tree.is_leaf(c) {
+                    let _ = write!(out, " ⚓ {s}");
+                } else {
+                    let _ = write!(out, " → {s}");
+                }
+            }
+        }
+    }
+    out.push('\n');
+    let children = tree.children(c);
+    for (i, &ch) in children.iter().enumerate() {
+        let last = i + 1 == children.len();
+        let (head, tail) = if last {
+            ("└── ", "    ")
+        } else {
+            ("├── ", "│   ")
+        };
+        render_node(
+            tree,
+            costs,
+            col,
+            ch,
+            &format!("{child_prefix}{head}"),
+            &format!("{child_prefix}{tail}"),
+            out,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures::fig2_tree;
+
+    #[test]
+    fn renders_every_node_once() {
+        let (t, m) = fig2_tree();
+        let col = Colouring::compute(&t, &m).unwrap();
+        let s = render_tree(&t, Some(&m), Some(&col));
+        assert_eq!(s.lines().count(), t.len());
+        for k in 1..=13 {
+            assert!(
+                s.contains(&format!("\"CRU{k}\"")),
+                "missing CRU{k} in:\n{s}"
+            );
+        }
+        assert!(s.contains("[host-forced]"));
+        assert!(s.contains("⚓"));
+    }
+
+    #[test]
+    fn bare_render_without_costs_or_colours() {
+        let (t, _) = fig2_tree();
+        let s = render_tree(&t, None, None);
+        assert!(!s.contains("(h="));
+        assert!(!s.contains("host-forced"));
+        assert_eq!(s.lines().count(), 13);
+    }
+
+    #[test]
+    fn guides_are_present() {
+        let (t, _) = fig2_tree();
+        let s = render_tree(&t, None, None);
+        assert!(s.contains("├──"));
+        assert!(s.contains("└──"));
+    }
+}

@@ -1,0 +1,109 @@
+//! Heterogeneity sweeps: re-derive a scenario's cost model under different
+//! host/satellite speed ratios and link qualities.
+//!
+//! Experiment T6 asks *when* distributing wins: as the host gets faster (or
+//! the satellites/links slower), the optimal cut climbs towards all-on-host
+//! and the advantage of the optimal assignment shrinks. These helpers apply
+//! such transformations to any scenario without regenerating its shape, so
+//! a sweep varies exactly one factor.
+
+use crate::Scenario;
+use hsa_graph::Cost;
+
+/// Multiplies every *host* processing time by `num/den` (exact, rounding
+/// down, minimum preserved at zero).
+pub fn scale_host_times(sc: &Scenario, num: u64, den: u64) -> Scenario {
+    assert!(den > 0, "zero denominator");
+    let mut out = sc.clone();
+    for v in &mut out.costs.host_time {
+        *v = Cost::new(v.ticks().saturating_mul(num) / den);
+    }
+    out.name = format!("{}-host×{num}/{den}", sc.name);
+    out
+}
+
+/// Multiplies every *satellite* processing time by `num/den`.
+pub fn scale_satellite_times(sc: &Scenario, num: u64, den: u64) -> Scenario {
+    assert!(den > 0, "zero denominator");
+    let mut out = sc.clone();
+    for v in &mut out.costs.satellite_time {
+        *v = Cost::new(v.ticks().saturating_mul(num) / den);
+    }
+    out.name = format!("{}-sat×{num}/{den}", sc.name);
+    out
+}
+
+/// Multiplies every communication time (`c_up` and `c_raw`) by `num/den` —
+/// a link-quality sweep.
+pub fn scale_comm_times(sc: &Scenario, num: u64, den: u64) -> Scenario {
+    assert!(den > 0, "zero denominator");
+    let mut out = sc.clone();
+    for v in out.costs.comm_up.iter_mut().chain(out.costs.comm_raw.iter_mut()) {
+        *v = Cost::new(v.ticks().saturating_mul(num) / den);
+    }
+    out.name = format!("{}-comm×{num}/{den}", sc.name);
+    out
+}
+
+/// The standard heterogeneity sweep used by T6: host speed factors from
+/// `4×` slower to `4×` faster in powers of two, as `(label, scenario)`.
+pub fn host_speed_sweep(sc: &Scenario) -> Vec<(String, Scenario)> {
+    [(4, 1), (2, 1), (1, 1), (1, 2), (1, 4)]
+        .into_iter()
+        .map(|(num, den)| (format!("host×{num}/{den}"), scale_host_times(sc, num, den)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{epilepsy_scenario, EpilepsyParams};
+    use hsa_assign::{AllOnHost, Expanded, Prepared, Solver};
+    use hsa_graph::Lambda;
+
+    #[test]
+    fn scaling_is_exact_and_validates() {
+        let sc = epilepsy_scenario(&EpilepsyParams::default());
+        let half = scale_host_times(&sc, 1, 2);
+        half.validate().unwrap();
+        for (a, b) in sc.costs.host_time.iter().zip(&half.costs.host_time) {
+            assert_eq!(b.ticks(), a.ticks() / 2);
+        }
+        let double = scale_comm_times(&sc, 2, 1);
+        for (a, b) in sc.costs.comm_raw.iter().zip(&double.costs.comm_raw) {
+            assert_eq!(b.ticks(), a.ticks() * 2);
+        }
+    }
+
+    #[test]
+    fn fast_host_shrinks_the_offloading_advantage() {
+        // The crossover claim behind T6: advantage(slow host) ≥
+        // advantage(fast host), where advantage = all-on-host / optimal.
+        let sc = epilepsy_scenario(&EpilepsyParams::default());
+        let advantage = |s: &Scenario| {
+            let prep = Prepared::new(&s.tree, &s.costs).unwrap();
+            let opt = Expanded::default().solve(&prep, Lambda::HALF).unwrap();
+            let naive = AllOnHost.solve(&prep, Lambda::HALF).unwrap();
+            naive.delay().ticks() as f64 / opt.delay().ticks().max(1) as f64
+        };
+        let slow = advantage(&scale_host_times(&sc, 4, 1));
+        let fast = advantage(&scale_host_times(&sc, 1, 4));
+        assert!(
+            slow >= fast,
+            "slow-host advantage {slow} < fast-host advantage {fast}"
+        );
+    }
+
+    #[test]
+    fn sweep_produces_distinct_scenarios() {
+        let sc = epilepsy_scenario(&EpilepsyParams::default());
+        let sweep = host_speed_sweep(&sc);
+        assert_eq!(sweep.len(), 5);
+        let names: std::collections::BTreeSet<_> =
+            sweep.iter().map(|(_, s)| s.name.clone()).collect();
+        assert_eq!(names.len(), 5);
+        for (_, s) in &sweep {
+            s.validate().unwrap();
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! The paper's motivating scenario (§1, Figure 1): context-aware epilepsy
+//! tele-monitoring.
+//!
+//! A patient's PDA (the **host**) is connected to sensor boxes (the
+//! **satellites**). Box 1 samples ECG and one accelerometer; box 2 samples
+//! a second accelerometer and GPS. The reasoning tree turns raw signals
+//! into a seizure-probability context at the root:
+//!
+//! ```text
+//!                       seizure-alarm            (root, host)
+//!                      /             \
+//!              seizure-fusion     location-context
+//!               /     |     \            |
+//!         hrv-feat  activity  motion   gps-parse
+//!            |        |         |         |
+//!        qrs-detect accel1-feat accel2-feat  [gps]      (leaves)
+//!            |        |         |
+//!          [ecg]   [accel1]  [accel2]
+//! ```
+//!
+//! Cost magnitudes follow the MobiHealth descriptions (DESIGN.md §5): DSP
+//! kernels (filtering, QRS detection, feature extraction) are sized from
+//! the sampling rates; raw frames are much larger than extracted features,
+//! so offloading the leaf DSP stages slashes communication; the PDA is
+//! `pda_slowdown`× slower than a sensor-box DSP on those kernels, while the
+//! fusion stages are lightweight. Link costs come from the Bluetooth
+//! profile in `hsa-sim`.
+
+use crate::Scenario;
+use hsa_graph::Cost;
+use hsa_sim::{sensor_frame, LinkProfile};
+use hsa_tree::{CostModel, SatelliteId, TreeBuilder};
+
+/// Tunable parameters of the tele-monitoring instance.
+#[derive(Clone, Copy, Debug)]
+pub struct EpilepsyParams {
+    /// ECG sampling rate (Hz); window is one second.
+    pub ecg_hz: usize,
+    /// Accelerometer sampling rate (Hz), 3 channels.
+    pub accel_hz: usize,
+    /// How many times slower the PDA is on DSP kernels than a sensor box.
+    pub pda_slowdown: u64,
+    /// Uplink profile from the sensor boxes to the PDA.
+    pub link: LinkProfile,
+}
+
+impl Default for EpilepsyParams {
+    fn default() -> Self {
+        EpilepsyParams {
+            ecg_hz: 256,
+            accel_hz: 100,
+            pda_slowdown: 8,
+            link: LinkProfile::BLUETOOTH,
+        }
+    }
+}
+
+/// Builds the tele-monitoring scenario.
+pub fn epilepsy_scenario(p: &EpilepsyParams) -> Scenario {
+    let box1 = SatelliteId(0); // ECG + accelerometer 1
+    let box2 = SatelliteId(1); // accelerometer 2 + GPS
+
+    let mut b = TreeBuilder::new("seizure-alarm");
+    let root = b.root();
+    let fusion = b.add_child(root, "seizure-fusion");
+    let hrv = b.add_child(fusion, "hrv-features");
+    let qrs = b.add_child(hrv, "qrs-detect");
+    let activity = b.add_child(fusion, "activity-class");
+    let accel1 = b.add_child(activity, "accel1-features");
+    let motion = b.add_child(fusion, "motion-intensity");
+    let accel2 = b.add_child(motion, "accel2-features");
+    let location = b.add_child(root, "location-context");
+    let gps = b.add_child(location, "gps-parse");
+    let tree = b.build();
+
+    let mut m = CostModel::zeroed(&tree, 2);
+
+    // --- Data volumes (bytes per one-second frame) ----------------------
+    let ecg_raw = sensor_frame(1, p.ecg_hz, 0).len();
+    let accel_raw = sensor_frame(3, p.accel_hz, 0).len();
+    let gps_raw = sensor_frame(2, 1, 0).len(); // one fix per frame
+    let features = 64; // extracted feature vectors are tiny
+
+    // --- Processing times (µs per frame) --------------------------------
+    // DSP kernels: ~40 µs per sample on a sensor-box DSP.
+    let dsp = |samples: usize| Cost::new(40 * samples as u64);
+    let on_pda = |c: Cost| c.saturating_mul(p.pda_slowdown);
+    // Fusion/classification stages: fixed light-weight costs, faster on
+    // the PDA (they are control logic, not DSP): sensor boxes are 4× slower.
+    let logic = |us: u64| Cost::new(us);
+
+    let set = |m: &mut CostModel, c, sat_cost: Cost, host_cost: Cost| {
+        m.set_satellite_time(c, sat_cost);
+        m.set_host_time(c, host_cost);
+    };
+
+    // Leaves: signal conditioning per sample.
+    set(&mut m, qrs, dsp(p.ecg_hz), on_pda(dsp(p.ecg_hz)));
+    set(&mut m, accel1, dsp(3 * p.accel_hz), on_pda(dsp(3 * p.accel_hz)));
+    set(&mut m, accel2, dsp(3 * p.accel_hz), on_pda(dsp(3 * p.accel_hz)));
+    set(&mut m, gps, logic(300), logic(100));
+    // Mid-tier feature stages.
+    set(&mut m, hrv, dsp(p.ecg_hz / 4), on_pda(dsp(p.ecg_hz / 4)));
+    set(&mut m, activity, logic(4_000), logic(1_000));
+    set(&mut m, motion, logic(2_000), logic(500));
+    set(&mut m, location, logic(800), logic(200));
+    // Host-only stages (the application consumes these on the PDA).
+    set(&mut m, fusion, logic(12_000), logic(3_000));
+    set(&mut m, root, logic(4_000), logic(1_000));
+
+    // --- Communication ---------------------------------------------------
+    // c_raw: shipping the raw signal to the PDA.
+    m.pin_leaf(qrs, box1, p.link.transfer_time(ecg_raw));
+    m.pin_leaf(accel1, box1, p.link.transfer_time(accel_raw));
+    m.pin_leaf(accel2, box2, p.link.transfer_time(accel_raw));
+    m.pin_leaf(gps, box2, p.link.transfer_time(gps_raw));
+    // c_up: shipping a stage's (much smaller) output.
+    for c in [qrs, accel1, accel2, gps, hrv, activity, motion, location, fusion] {
+        m.set_comm_up(c, p.link.transfer_time(features));
+    }
+
+    let sc = Scenario {
+        name: "epilepsy-telemonitoring".into(),
+        description: format!(
+            "Context-aware epilepsy tele-monitoring (paper §1/Figure 1): PDA host, \
+             2 sensor boxes, ECG {} Hz + 2×3-axis accelerometers {} Hz + GPS over a \
+             Bluetooth-class link; PDA {}× slower on DSP kernels.",
+            p.ecg_hz, p.accel_hz, p.pda_slowdown
+        ),
+        tree,
+        costs: m,
+    };
+    debug_assert!(sc.validate().is_ok());
+    sc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsa_assign::{AllOnHost, Expanded, MaxOffload, Prepared, Solver};
+    use hsa_graph::Lambda;
+
+    #[test]
+    fn scenario_validates() {
+        let sc = epilepsy_scenario(&EpilepsyParams::default());
+        sc.validate().unwrap();
+        assert_eq!(sc.tree.len(), 10);
+        assert_eq!(sc.tree.leaves_in_order().len(), 4);
+    }
+
+    #[test]
+    fn offloading_beats_all_on_host_by_default() {
+        // The scenario's raison d'être: shipping raw ECG over Bluetooth and
+        // running DSP on the PDA must lose against near-sensor processing.
+        let sc = epilepsy_scenario(&EpilepsyParams::default());
+        let prep = Prepared::new(&sc.tree, &sc.costs).unwrap();
+        let optimal = Expanded::default().solve(&prep, Lambda::HALF).unwrap();
+        let naive = AllOnHost.solve(&prep, Lambda::HALF).unwrap();
+        assert!(
+            optimal.delay() < naive.delay(),
+            "optimal {} !< all-on-host {}",
+            optimal.delay(),
+            naive.delay()
+        );
+    }
+
+    #[test]
+    fn optimal_is_a_genuine_split() {
+        // Neither extreme should be optimal with the default numbers: the
+        // fusion stages belong on the PDA, the DSP leaves on the boxes.
+        let sc = epilepsy_scenario(&EpilepsyParams::default());
+        let prep = Prepared::new(&sc.tree, &sc.costs).unwrap();
+        let optimal = Expanded::default().solve(&prep, Lambda::HALF).unwrap();
+        let offload = MaxOffload.solve(&prep, Lambda::HALF).unwrap();
+        let naive = AllOnHost.solve(&prep, Lambda::HALF).unwrap();
+        assert!(optimal.objective <= offload.objective);
+        assert!(optimal.objective < naive.objective);
+        assert!(!optimal.assignment.host.is_empty());
+    }
+
+    #[test]
+    fn slower_pda_pushes_work_to_the_boxes() {
+        let fast = epilepsy_scenario(&EpilepsyParams {
+            pda_slowdown: 1,
+            ..EpilepsyParams::default()
+        });
+        let slow = epilepsy_scenario(&EpilepsyParams {
+            pda_slowdown: 50,
+            ..EpilepsyParams::default()
+        });
+        let count_offloaded = |sc: &Scenario| {
+            let prep = Prepared::new(&sc.tree, &sc.costs).unwrap();
+            let sol = Expanded::default().solve(&prep, Lambda::HALF).unwrap();
+            sc.tree.len() - sol.assignment.host.len()
+        };
+        assert!(count_offloaded(&slow) >= count_offloaded(&fast));
+    }
+}

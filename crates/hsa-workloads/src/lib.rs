@@ -1,0 +1,43 @@
+//! # hsa-workloads — scenarios and instance families
+//!
+//! The paper motivates its algorithm with concrete systems; this crate
+//! builds them as costed, pinned CRU trees ([`Scenario`]):
+//!
+//! * [`epilepsy_scenario`] — the §1/Figure 1 epilepsy tele-monitoring
+//!   application (PDA + sensor boxes over Bluetooth-class links);
+//! * [`snmp_scenario`] — the §3 SNMP network-monitoring observation;
+//! * [`industrial_scenario`] — Bokhari-style production-line chains (deep
+//!   chains ⇒ parallel-edge bundles in the assignment graph);
+//! * [`paper_scenario`] — the Figure 2 worked example itself;
+//! * [`random_scenario`] — seeded random families with independently
+//!   controlled shape and sensor placement ([`Placement`]), the axes the
+//!   benchmark sweeps (T1/T2/T5/T6) walk;
+//! * [`cost_gen`] helpers — heterogeneity/link sweeps over any scenario.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod cost_gen;
+mod epilepsy;
+mod industrial;
+mod random_tree;
+mod scenario;
+mod snmp;
+
+pub use cost_gen::{
+    host_speed_sweep, scale_comm_times, scale_host_times, scale_satellite_times,
+};
+pub use epilepsy::{epilepsy_scenario, EpilepsyParams};
+pub use industrial::{industrial_scenario, IndustrialParams};
+pub use random_tree::{random_instance, random_scenario, Placement, RandomTreeParams};
+pub use scenario::{catalog, paper_scenario, Scenario};
+pub use snmp::{snmp_scenario, SnmpParams};
+
+/// Commonly used items, for glob import in examples and tests.
+pub mod prelude {
+    pub use crate::{
+        catalog, epilepsy_scenario, industrial_scenario, paper_scenario, random_scenario,
+        snmp_scenario, EpilepsyParams, IndustrialParams, Placement, RandomTreeParams, Scenario,
+        SnmpParams,
+    };
+}

@@ -1,0 +1,160 @@
+//! SNMP-style network monitoring (the paper's §3 names SNMP monitoring as
+//! a second source of tree-structured reasoning procedures).
+//!
+//! A management station (**host**) supervises `n_agents` managed devices
+//! (**satellites**). Per device, a chain of CRUs refines raw MIB counters:
+//! poll → delta/rate computation → threshold detection. The root correlates
+//! device healths into a network-health context.
+//!
+//! ```text
+//!                network-health            (root)
+//!               /      |       \
+//!        dev0-health  dev1-health  …      (one per device)
+//!             |            |
+//!        dev0-rates    dev1-rates
+//!             |            |
+//!        [dev0-poll]  [dev1-poll]         (leaves, pinned per device)
+//! ```
+
+use crate::Scenario;
+use hsa_graph::Cost;
+use hsa_sim::LinkProfile;
+use hsa_tree::{CostModel, SatelliteId, TreeBuilder};
+
+/// Parameters of the SNMP monitoring instance.
+#[derive(Clone, Copy, Debug)]
+pub struct SnmpParams {
+    /// Number of managed devices (satellites).
+    pub n_agents: usize,
+    /// MIB table size per poll (variables).
+    pub mib_vars: usize,
+    /// Link between devices and the manager.
+    pub link: LinkProfile,
+}
+
+impl Default for SnmpParams {
+    fn default() -> Self {
+        SnmpParams {
+            n_agents: 4,
+            mib_vars: 200,
+            link: LinkProfile::WIFI,
+        }
+    }
+}
+
+/// Builds the SNMP monitoring scenario.
+pub fn snmp_scenario(p: &SnmpParams) -> Scenario {
+    let n = p.n_agents.max(1);
+    let mut b = TreeBuilder::new("network-health");
+    let root = b.root();
+    let mut leaves = Vec::new();
+    for d in 0..n {
+        let health = b.add_child(root, format!("dev{d}-health"));
+        let rates = b.add_child(health, format!("dev{d}-rates"));
+        let poll = b.add_child(rates, format!("dev{d}-poll"));
+        leaves.push(poll);
+    }
+    let tree = b.build();
+
+    let mut m = CostModel::zeroed(&tree, n as u32);
+    // Raw MIB dump ≈ 32 bytes/var; rates output ≈ 8 bytes/var; health ≈ 64 B.
+    let raw_bytes = 32 * p.mib_vars;
+    let rate_bytes = 8 * p.mib_vars;
+    let health_bytes = 64;
+
+    // Device CPUs are slow embedded cores: 3× slower than the manager on
+    // the same work, but polling locally avoids shipping the MIB dump.
+    let per_var = |us_each: u64| Cost::new(us_each * p.mib_vars as u64);
+    m.set_host_time(root, Cost::new(2_000 * n as u64));
+    m.set_satellite_time(root, Cost::new(6_000 * n as u64));
+    for (d, &poll) in leaves.iter().enumerate() {
+        let rates = tree.parent(poll).unwrap();
+        let health = tree.parent(rates).unwrap();
+        // poll: reading the MIB is cheap on-device, expensive remotely
+        // (modelled as host time incl. request round-trips).
+        m.set_satellite_time(poll, per_var(5));
+        m.set_host_time(poll, per_var(15));
+        m.set_satellite_time(rates, per_var(12));
+        m.set_host_time(rates, per_var(4));
+        m.set_satellite_time(health, Cost::new(9_000));
+        m.set_host_time(health, Cost::new(3_000));
+        m.pin_leaf(poll, SatelliteId(d as u32), p.link.transfer_time(raw_bytes));
+        m.set_comm_up(poll, p.link.transfer_time(raw_bytes));
+        m.set_comm_up(rates, p.link.transfer_time(rate_bytes));
+        m.set_comm_up(health, p.link.transfer_time(health_bytes));
+    }
+
+    let sc = Scenario {
+        name: "snmp-monitoring".into(),
+        description: format!(
+            "SNMP network monitoring (paper §3): manager host, {} managed devices, \
+             {}-variable MIB polls refined on-device into rates and health flags.",
+            n, p.mib_vars
+        ),
+        tree,
+        costs: m,
+    };
+    debug_assert!(sc.validate().is_ok());
+    sc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsa_assign::{AllOnHost, Expanded, Prepared, Solver};
+    use hsa_graph::Lambda;
+
+    #[test]
+    fn scenario_shape_scales_with_agents() {
+        for n in [1usize, 3, 8] {
+            let sc = snmp_scenario(&SnmpParams {
+                n_agents: n,
+                ..SnmpParams::default()
+            });
+            sc.validate().unwrap();
+            assert_eq!(sc.tree.len(), 1 + 3 * n);
+            assert_eq!(sc.tree.leaves_in_order().len(), n);
+        }
+    }
+
+    #[test]
+    fn every_agent_chain_is_single_coloured() {
+        let sc = snmp_scenario(&SnmpParams::default());
+        let prep = Prepared::new(&sc.tree, &sc.costs).unwrap();
+        // Only the root should conflict.
+        assert_eq!(prep.colouring.host_forced.len(), 1);
+        assert!(prep.colouring.is_contiguous());
+    }
+
+    #[test]
+    fn distributed_polling_beats_central_polling() {
+        let sc = snmp_scenario(&SnmpParams::default());
+        let prep = Prepared::new(&sc.tree, &sc.costs).unwrap();
+        let optimal = Expanded::default().solve(&prep, Lambda::HALF).unwrap();
+        let central = AllOnHost.solve(&prep, Lambda::HALF).unwrap();
+        assert!(optimal.delay() < central.delay());
+    }
+
+    #[test]
+    fn more_agents_do_not_reduce_host_share() {
+        // With more devices the host aggregation grows linearly while each
+        // satellite's share is constant — sanity of the cost model.
+        let small = snmp_scenario(&SnmpParams {
+            n_agents: 2,
+            ..SnmpParams::default()
+        });
+        let large = snmp_scenario(&SnmpParams {
+            n_agents: 6,
+            ..SnmpParams::default()
+        });
+        let host_time = |sc: &Scenario| {
+            let prep = Prepared::new(&sc.tree, &sc.costs).unwrap();
+            Expanded::default()
+                .solve(&prep, Lambda::HALF)
+                .unwrap()
+                .report
+                .host_time
+        };
+        assert!(host_time(&large) >= host_time(&small));
+    }
+}

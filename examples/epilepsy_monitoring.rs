@@ -1,0 +1,68 @@
+//! The paper's motivating application (§1, Figure 1): epilepsy
+//! tele-monitoring. Finds the optimal deployment across the PDA and the
+//! sensor boxes, then *executes* it in the discrete-event simulator and
+//! prints the Gantt chart — including the pipelined (streaming) regime.
+//!
+//! ```sh
+//! cargo run --example epilepsy_monitoring
+//! ```
+
+use hsa::prelude::*;
+use hsa::sim::render_gantt;
+use hsa::tree::render::render_tree;
+
+fn main() {
+    let scenario = epilepsy_scenario(&EpilepsyParams::default());
+    println!("{}\n", scenario.description);
+    let prep = Prepared::new(&scenario.tree, &scenario.costs).expect("valid scenario");
+    println!(
+        "{}",
+        render_tree(&scenario.tree, Some(&scenario.costs), Some(&prep.colouring))
+    );
+
+    // Optimal vs naive deployments.
+    let optimal = PaperSsb::default().solve(&prep, Lambda::HALF).unwrap();
+    let naive = AllOnHost.solve(&prep, Lambda::HALF).unwrap();
+    let offload = MaxOffload.solve(&prep, Lambda::HALF).unwrap();
+    println!("end-to-end delay per 1 s context frame:");
+    println!("  everything on the PDA : {:>8} µs", naive.delay());
+    println!("  maximal offloading    : {:>8} µs", offload.delay());
+    println!("  optimal (paper SSB)   : {:>8} µs", optimal.delay());
+    println!(
+        "  speed-up over naive   : {:.2}×\n",
+        naive.delay().ticks() as f64 / optimal.delay().ticks() as f64
+    );
+
+    // Execute the optimal deployment in the simulator (paper model) and
+    // show the schedule.
+    let cfg = SimConfig {
+        record_trace: true,
+        ..SimConfig::paper_model()
+    };
+    let sim = simulate(&prep, &optimal.cut, &cfg).unwrap();
+    assert_eq!(sim.end_to_end, optimal.report.end_to_end);
+    println!("simulated schedule (paper timing model):");
+    println!("{}", render_gantt(&sim, 64));
+
+    // The eager relaxation quantifies the model's conservatism.
+    let eager = simulate(&prep, &optimal.cut, &SimConfig::eager()).unwrap();
+    println!(
+        "eager-host relaxation finishes at {} µs ({} µs earlier than the paper model)\n",
+        eager.end_to_end,
+        sim.end_to_end - eager.end_to_end
+    );
+
+    // Streaming: ECG frames arrive once per second; check the pipeline
+    // holds up and report the sustainable rate.
+    let frame_interval = Cost::new(1_000_000); // 1 s in µs
+    let stream = simulate_periodic(&prep, &optimal.cut, frame_interval, 30).unwrap();
+    println!(
+        "streaming at 1 frame/s: steady-state latency {} µs, saturated: {}",
+        stream.latencies.last().unwrap(),
+        stream.saturated
+    );
+    println!(
+        "fastest sustainable frame interval: {} µs (bottleneck resource)",
+        stream.bottleneck_service
+    );
+}

@@ -1,0 +1,68 @@
+//! SNMP network monitoring (the paper's §3 second motivating domain):
+//! where should MIB polling, rate computation and health detection run —
+//! on the managed devices or on the manager? Sweeps the fleet size and
+//! reports how the optimal split and the gains evolve.
+//!
+//! ```sh
+//! cargo run --example snmp_monitoring
+//! ```
+
+use hsa::prelude::*;
+
+fn main() {
+    println!("agents | optimal µs | central µs | speed-up | CRUs on devices");
+    println!("-------+------------+------------+----------+----------------");
+    for n_agents in [1usize, 2, 4, 8, 12] {
+        let scenario = snmp_scenario(&SnmpParams {
+            n_agents,
+            ..SnmpParams::default()
+        });
+        let prep = Prepared::new(&scenario.tree, &scenario.costs).expect("valid scenario");
+        let optimal = Expanded::default().solve(&prep, Lambda::HALF).unwrap();
+        let central = AllOnHost.solve(&prep, Lambda::HALF).unwrap();
+        let on_devices: usize = optimal
+            .assignment
+            .per_satellite
+            .iter()
+            .map(|v| v.len())
+            .sum();
+        println!(
+            "{:>6} | {:>10} | {:>10} | {:>7.2}× | {:>3} of {}",
+            n_agents,
+            optimal.delay(),
+            central.delay(),
+            central.delay().ticks() as f64 / optimal.delay().ticks().max(1) as f64,
+            on_devices,
+            scenario.tree.len(),
+        );
+    }
+
+    // Detail view for the default fleet: who does what.
+    let scenario = snmp_scenario(&SnmpParams::default());
+    let prep = Prepared::new(&scenario.tree, &scenario.costs).unwrap();
+    let sol = Expanded::default().solve(&prep, Lambda::HALF).unwrap();
+    println!("\ndefault fleet deployment:");
+    println!(
+        "  manager runs: {:?}",
+        sol.assignment
+            .host
+            .iter()
+            .map(|&c| scenario.tree.node_unchecked(c).name.clone())
+            .collect::<Vec<_>>()
+    );
+    for (d, tasks) in sol.assignment.per_satellite.iter().enumerate() {
+        println!(
+            "  device {d} runs: {:?}",
+            tasks
+                .iter()
+                .map(|&c| scenario.tree.node_unchecked(c).name.clone())
+                .collect::<Vec<_>>()
+        );
+    }
+    println!(
+        "  manager time {} µs + bottleneck device {} µs = {} µs",
+        sol.report.host_time,
+        sol.report.bottleneck,
+        sol.delay()
+    );
+}

@@ -1,0 +1,73 @@
+//! Runs every solver — the paper's adapted SSB, the full-expansion exact
+//! solver, brute force, Bokhari's SB objective, and the naive baselines —
+//! on the catalog scenarios plus random instances, comparing answers and
+//! work counters.
+//!
+//! ```sh
+//! cargo run --example solver_comparison
+//! ```
+
+use hsa::assign::all_solvers;
+use hsa::prelude::*;
+
+fn main() {
+    // Catalog scenarios first.
+    for scenario in catalog() {
+        compare(&scenario);
+    }
+    // A couple of random instances, one per placement regime.
+    for (seed, placement) in [(7u64, Placement::Blocked), (7, Placement::Interleaved)] {
+        let sc = random_scenario(
+            &RandomTreeParams {
+                n_crus: 18,
+                n_satellites: 3,
+                placement,
+                ..RandomTreeParams::default()
+            },
+            seed,
+        );
+        compare(&sc);
+    }
+}
+
+fn compare(scenario: &Scenario) {
+    println!("── {} ──", scenario.name);
+    let prep = Prepared::new(&scenario.tree, &scenario.costs).expect("valid scenario");
+    println!(
+        "   {} CRUs, {} leaves, {} satellites, colours {}; host-forced: {}",
+        scenario.tree.len(),
+        scenario.tree.leaves_in_order().len(),
+        scenario.costs.n_satellites,
+        if prep.colouring.is_contiguous() {
+            "contiguous"
+        } else {
+            "interleaved"
+        },
+        prep.colouring.host_forced.len(),
+    );
+    println!("   solver          delay µs        S        B   iter  composites");
+    let mut optimal: Option<Cost> = None;
+    for solver in all_solvers() {
+        match solver.solve(&prep, Lambda::HALF) {
+            Ok(sol) => {
+                println!(
+                    "   {:<14} {:>9} {:>8} {:>8} {:>6} {:>11}",
+                    solver.name(),
+                    sol.delay().ticks(),
+                    sol.report.host_time.ticks(),
+                    sol.report.bottleneck.ticks(),
+                    sol.stats.iterations,
+                    sol.stats.composites,
+                );
+                if ["paper-ssb", "expanded", "brute-force"].contains(&solver.name()) {
+                    match optimal {
+                        None => optimal = Some(sol.delay()),
+                        Some(o) => assert_eq!(o, sol.delay(), "exact solvers disagree!"),
+                    }
+                }
+            }
+            Err(e) => println!("   {:<14} failed: {e}", solver.name()),
+        }
+    }
+    println!();
+}

@@ -1,0 +1,100 @@
+//! Cross-layer validation through the public facade: random instances are
+//! pushed through trees, graphs, solvers, the simulator and the heuristics
+//! DAG, and every pair of independent computations of the same quantity
+//! must agree.
+
+use hsa::heuristics::{barrier_makespan, branch_and_bound, BnbConfig, TaskDag};
+use hsa::prelude::*;
+
+fn instances() -> Vec<(String, CruTree, CostModel)> {
+    let mut out = Vec::new();
+    for placement in [Placement::Blocked, Placement::Interleaved, Placement::Random] {
+        for seed in 0..4u64 {
+            let sc = random_scenario(
+                &RandomTreeParams {
+                    n_crus: 12,
+                    n_satellites: 3,
+                    placement,
+                    ..RandomTreeParams::default()
+                },
+                seed,
+            );
+            out.push((sc.name.clone() + &format!("-{placement:?}"), sc.tree, sc.costs));
+        }
+    }
+    out
+}
+
+#[test]
+fn exact_solvers_agree_across_placements() {
+    for (name, tree, costs) in instances() {
+        let prep = Prepared::new(&tree, &costs).unwrap();
+        for lambda in [Lambda::HALF, Lambda::ONE, Lambda::ZERO] {
+            let brute = BruteForce::default().solve(&prep, lambda).unwrap();
+            let paper = PaperSsb::default().solve(&prep, lambda).unwrap();
+            let expanded = Expanded::default().solve(&prep, lambda).unwrap();
+            assert_eq!(brute.objective, paper.objective, "{name} λ={lambda}");
+            assert_eq!(brute.objective, expanded.objective, "{name} λ={lambda}");
+        }
+    }
+}
+
+#[test]
+fn simulator_validates_optimal_deployments() {
+    for (name, tree, costs) in instances() {
+        let prep = Prepared::new(&tree, &costs).unwrap();
+        let sol = Expanded::default().solve(&prep, Lambda::HALF).unwrap();
+        let paper = simulate(&prep, &sol.cut, &SimConfig::paper_model()).unwrap();
+        assert_eq!(paper.end_to_end, sol.report.end_to_end, "{name}");
+        let eager = simulate(&prep, &sol.cut, &SimConfig::eager()).unwrap();
+        assert!(eager.end_to_end <= paper.end_to_end, "{name}");
+    }
+}
+
+#[test]
+fn dag_barrier_model_reproduces_tree_objective() {
+    for (name, tree, costs) in instances() {
+        let prep = Prepared::new(&tree, &costs).unwrap();
+        let sol = Expanded::default().solve(&prep, Lambda::HALF).unwrap();
+        let dag = TaskDag::from_tree(&tree, &costs);
+        let asg = dag.assignment_from_cut(&tree, &prep.colouring, &sol.cut);
+        assert_eq!(
+            barrier_makespan(&dag, &asg).unwrap(),
+            sol.report.end_to_end,
+            "{name}"
+        );
+    }
+}
+
+#[test]
+fn dag_optimum_bounds_tree_optimum_below() {
+    // General assignments + list scheduling can only improve on cut-shaped
+    // barrier execution. Small instances only (B&B is exponential).
+    for seed in [99u64, 100, 101] {
+        let sc = random_scenario(
+            &RandomTreeParams {
+                n_crus: 7,
+                n_satellites: 2,
+                ..RandomTreeParams::default()
+            },
+            seed,
+        );
+        let prep = Prepared::new(&sc.tree, &sc.costs).unwrap();
+        let tree_opt = Expanded::default().solve(&prep, Lambda::HALF).unwrap();
+        let dag = TaskDag::from_tree(&sc.tree, &sc.costs);
+        let bnb = branch_and_bound(&dag, &BnbConfig::default()).unwrap();
+        assert!(bnb.makespan <= tree_opt.delay(), "seed {seed}");
+    }
+}
+
+#[test]
+fn greedy_between_start_and_optimum() {
+    for (name, tree, costs) in instances() {
+        let prep = Prepared::new(&tree, &costs).unwrap();
+        let opt = Expanded::default().solve(&prep, Lambda::HALF).unwrap();
+        let start = MaxOffload.solve(&prep, Lambda::HALF).unwrap();
+        let greedy = GreedyDescent.solve(&prep, Lambda::HALF).unwrap();
+        assert!(greedy.objective >= opt.objective, "{name}");
+        assert!(greedy.objective <= start.objective, "{name}");
+    }
+}

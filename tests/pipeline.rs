@@ -1,0 +1,92 @@
+//! End-to-end pipeline tests through the public `hsa` facade: scenario →
+//! colouring → assignment graph → all solvers → simulator, on every
+//! catalog scenario.
+
+use hsa::prelude::*;
+use hsa::assign::all_solvers;
+
+#[test]
+fn full_pipeline_on_every_catalog_scenario() {
+    for scenario in catalog() {
+        scenario.validate().unwrap();
+        let prep = Prepared::new(&scenario.tree, &scenario.costs)
+            .unwrap_or_else(|e| panic!("{}: {e}", scenario.name));
+
+        // All solvers return valid solutions; exact ones agree.
+        let mut exact: Option<u128> = None;
+        for solver in all_solvers() {
+            let sol = solver
+                .solve(&prep, Lambda::HALF)
+                .unwrap_or_else(|e| panic!("{}/{}: {e}", scenario.name, solver.name()));
+            sol.cut.validate(&scenario.tree).unwrap();
+            if ["paper-ssb", "expanded", "brute-force"].contains(&solver.name()) {
+                match exact {
+                    None => exact = Some(sol.objective),
+                    Some(o) => assert_eq!(
+                        o,
+                        sol.objective,
+                        "{}: {} disagrees with the other exact solvers",
+                        scenario.name,
+                        solver.name()
+                    ),
+                }
+            }
+            // Simulating any solver's cut under the paper model reproduces
+            // its reported delay.
+            let sim = simulate(&prep, &sol.cut, &SimConfig::paper_model()).unwrap();
+            assert_eq!(
+                sim.end_to_end,
+                sol.report.end_to_end,
+                "{}/{}: simulation drifted from the analytic objective",
+                scenario.name,
+                solver.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn optimal_beats_or_matches_every_baseline_everywhere() {
+    for scenario in catalog() {
+        let prep = Prepared::new(&scenario.tree, &scenario.costs).unwrap();
+        let optimal = Expanded::default().solve(&prep, Lambda::HALF).unwrap();
+        for solver in all_solvers() {
+            let sol = solver.solve(&prep, Lambda::HALF).unwrap();
+            assert!(
+                sol.objective >= optimal.objective,
+                "{}: {} beat the optimum",
+                scenario.name,
+                solver.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn scenarios_round_trip_through_json() {
+    for scenario in catalog() {
+        let json = scenario.to_json();
+        let back = Scenario::from_json(&json).unwrap();
+        assert_eq!(back, scenario);
+        // And the deserialised instance solves to the same optimum.
+        let p1 = Prepared::new(&scenario.tree, &scenario.costs).unwrap();
+        let p2 = Prepared::new(&back.tree, &back.costs).unwrap();
+        let s1 = Expanded::default().solve(&p1, Lambda::HALF).unwrap();
+        let s2 = Expanded::default().solve(&p2, Lambda::HALF).unwrap();
+        assert_eq!(s1.objective, s2.objective);
+    }
+}
+
+#[test]
+fn lambda_sweep_is_consistent_on_catalog() {
+    // λ=1 minimises S alone; λ=0 minimises B alone; λ=½ sits between both
+    // optima's components.
+    for scenario in catalog() {
+        let prep = Prepared::new(&scenario.tree, &scenario.costs).unwrap();
+        let s_opt = Expanded::default().solve(&prep, Lambda::ONE).unwrap();
+        let b_opt = Expanded::default().solve(&prep, Lambda::ZERO).unwrap();
+        let mid = Expanded::default().solve(&prep, Lambda::HALF).unwrap();
+        assert!(mid.report.host_time >= s_opt.report.host_time);
+        assert!(mid.report.bottleneck >= b_opt.report.bottleneck);
+    }
+}
