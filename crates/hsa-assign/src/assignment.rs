@@ -5,9 +5,7 @@
 
 use crate::{AssignError, Prepared};
 use hsa_graph::{Cost, Lambda, ScaledSsb};
-use hsa_tree::{
-    host_time_of_cut, satellite_loads_of_cut, CruId, Cut, SatelliteId, TreeEdge,
-};
+use hsa_tree::{host_time_of_cut, satellite_loads_of_cut, CruId, Cut, SatelliteId, TreeEdge};
 use serde::Serialize;
 
 /// Where each CRU runs.
@@ -52,7 +50,10 @@ impl DelayReport {
 
 /// Evaluates a cut into its assignment + delay report, straight from the
 /// tree and the cost model.
-pub fn evaluate_cut(prep: &Prepared<'_>, cut: &Cut) -> Result<(Assignment, DelayReport), AssignError> {
+pub fn evaluate_cut(
+    prep: &Prepared<'_>,
+    cut: &Cut,
+) -> Result<(Assignment, DelayReport), AssignError> {
     cut.validate(prep.tree)?;
     // Where does each CRU go?
     let below = cut.below_mask(prep.tree);
@@ -82,16 +83,17 @@ pub fn evaluate_cut(prep: &Prepared<'_>, cut: &Cut) -> Result<(Assignment, Delay
             total,
         })
         .collect();
-    let (bottleneck, bottleneck_satellite) = loads.iter().enumerate().fold(
-        (Cost::ZERO, None),
-        |(best, who), (i, &l)| {
-            if l > best {
-                (l, Some(SatelliteId(i as u32)))
-            } else {
-                (best, who)
-            }
-        },
-    );
+    let (bottleneck, bottleneck_satellite) =
+        loads
+            .iter()
+            .enumerate()
+            .fold((Cost::ZERO, None), |(best, who), (i, &l)| {
+                if l > best {
+                    (l, Some(SatelliteId(i as u32)))
+                } else {
+                    (best, who)
+                }
+            });
 
     Ok((
         Assignment {
@@ -141,10 +143,7 @@ mod tests {
         // B gets both subtree(CRU5) and subtree(CRU6).
         let b = &asg.per_satellite[SAT_B.index()];
         assert!(b.contains(&cru(5)) && b.contains(&cru(6)) && b.contains(&cru(13)));
-        assert_eq!(
-            rep.host_time,
-            m.h(cru(1)) + m.h(cru(2)) + m.h(cru(3))
-        );
+        assert_eq!(rep.host_time, m.h(cru(1)) + m.h(cru(2)) + m.h(cru(3)));
         // Bottleneck is whichever satellite load is max; consistency checks:
         let max = rep
             .satellite_loads
@@ -174,11 +173,7 @@ mod tests {
         let cut = Cut::max_offload(&t, &prep.colouring);
         let (asg, _rep) = evaluate_cut(&prep, &cut).unwrap();
         let mut seen = vec![false; t.len()];
-        for &c in asg
-            .host
-            .iter()
-            .chain(asg.per_satellite.iter().flatten())
-        {
+        for &c in asg.host.iter().chain(asg.per_satellite.iter().flatten()) {
             assert!(!seen[c.index()], "{c} placed twice");
             seen[c.index()] = true;
         }

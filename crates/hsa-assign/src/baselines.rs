@@ -3,7 +3,7 @@
 //! objective differs from Bokhari's (T3).
 
 use crate::{
-    evaluate_cut, solve_sb_expanded, AssignError, ExpandedConfig, Prepared, SolveStats, Solution,
+    evaluate_cut, solve_sb_expanded, AssignError, ExpandedConfig, Prepared, Solution, SolveStats,
     Solver,
 };
 use hsa_graph::{Cost, Lambda};
@@ -171,7 +171,12 @@ impl Solver for RandomCut {
                 }
             }
         }
-        Solution::from_cut(prep, Cut::new(prep.tree, edges)?, lambda, SolveStats::default())
+        Solution::from_cut(
+            prep,
+            Cut::new(prep.tree, edges)?,
+            lambda,
+            SolveStats::default(),
+        )
     }
 }
 
@@ -253,12 +258,18 @@ mod tests {
     fn random_cut_is_deterministic_per_seed() {
         let (t, m) = fig2_tree();
         let prep = Prepared::new(&t, &m).unwrap();
-        let a = RandomCut { seed: 7, p_cut_permille: 400 }
-            .solve(&prep, Lambda::HALF)
-            .unwrap();
-        let b = RandomCut { seed: 7, p_cut_permille: 400 }
-            .solve(&prep, Lambda::HALF)
-            .unwrap();
+        let a = RandomCut {
+            seed: 7,
+            p_cut_permille: 400,
+        }
+        .solve(&prep, Lambda::HALF)
+        .unwrap();
+        let b = RandomCut {
+            seed: 7,
+            p_cut_permille: 400,
+        }
+        .solve(&prep, Lambda::HALF)
+        .unwrap();
         assert_eq!(a.cut, b.cut);
     }
 

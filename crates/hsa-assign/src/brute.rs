@@ -2,11 +2,9 @@
 //! optimum. Exponential — guarded by a cut-count cap — and used as the
 //! ground truth the polynomial solvers are property-tested against.
 
-use crate::{AssignError, Prepared, SolveStats, Solution, Solver};
+use crate::{AssignError, Prepared, Solution, SolveStats, Solver};
 use hsa_graph::Lambda;
-use hsa_tree::{
-    bottleneck_of_cut, count_cuts, for_each_cut, host_time_of_cut, Cut, TreeEdge,
-};
+use hsa_tree::{bottleneck_of_cut, count_cuts, for_each_cut, host_time_of_cut, Cut, TreeEdge};
 
 /// Exhaustive enumeration solver.
 #[derive(Clone, Copy, Debug)]
@@ -76,6 +74,7 @@ mod tests {
         let prep = Prepared::new(&t, &m).unwrap();
         let sol = BruteForce::default().solve(&prep, Lambda::HALF).unwrap();
         assert_eq!(sol.stats.evaluated, 300); // 5 × 5 × 3 × 2 × 2 coloured cuts
+
         // The optimum can never exceed the trivial baselines.
         let all_host = Solution::from_cut(
             &prep,

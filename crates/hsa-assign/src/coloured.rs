@@ -98,10 +98,7 @@ mod tests {
         // The B satellite really is the sum of two subtree betas.
         let b5 = prep.beta.beta(TreeEdge::Parent(hsa_tree::figures::cru(5)));
         let b6 = prep.beta.beta(TreeEdge::Parent(hsa_tree::figures::cru(6)));
-        assert_eq!(
-            mea.per_colour[hsa_tree::figures::SAT_B.index()],
-            b5 + b6
-        );
+        assert_eq!(mea.per_colour[hsa_tree::figures::SAT_B.index()], b5 + b6);
     }
 
     #[test]
@@ -122,16 +119,17 @@ mod tests {
         let prep = Prepared::new(&t, &m).unwrap();
         let mut mea = ColouredMeasure::of_edges(&prep.graph, &[], 2);
         mea.per_colour = vec![Cost::new(5), Cost::new(5)];
-        let (b, who) = mea.per_colour.iter().enumerate().fold(
-            (Cost::ZERO, None),
-            |(best, w), (i, &l)| {
-                if l > best {
-                    (l, Some(SatelliteId(i as u32)))
-                } else {
-                    (best, w)
-                }
-            },
-        );
+        let (b, who) =
+            mea.per_colour
+                .iter()
+                .enumerate()
+                .fold((Cost::ZERO, None), |(best, w), (i, &l)| {
+                    if l > best {
+                        (l, Some(SatelliteId(i as u32)))
+                    } else {
+                        (best, w)
+                    }
+                });
         assert_eq!(b, Cost::new(5));
         assert_eq!(who, Some(SatelliteId(0)));
     }

@@ -76,32 +76,24 @@ impl AssignmentGraph {
         let mut dwg = Dwg::with_nodes(k + 1);
         let mut edges = Vec::new();
 
-        let push = |dwg: &mut Dwg,
-                        edges: &mut Vec<DualEdge>,
-                        tree_edge: TreeEdge,
-                        lo: u32,
-                        hi: u32| {
-            if let Some(colour) = colouring.edge_colour(tree_edge).satellite() {
-                let meta = DualEdge {
-                    tree_edge,
-                    colour,
-                    sigma: sigma.sigma(tree_edge),
-                    beta: beta.beta(tree_edge),
-                    from_gap: lo,
-                    to_gap: hi,
-                };
-                let tag = edges.len() as u64;
-                let id = dwg.add_edge_tagged(
-                    NodeId(lo),
-                    NodeId(hi),
-                    meta.sigma,
-                    meta.beta,
-                    tag,
-                );
-                debug_assert_eq!(id.index(), edges.len());
-                edges.push(meta);
-            }
-        };
+        let push =
+            |dwg: &mut Dwg, edges: &mut Vec<DualEdge>, tree_edge: TreeEdge, lo: u32, hi: u32| {
+                if let Some(colour) = colouring.edge_colour(tree_edge).satellite() {
+                    let meta = DualEdge {
+                        tree_edge,
+                        colour,
+                        sigma: sigma.sigma(tree_edge),
+                        beta: beta.beta(tree_edge),
+                        from_gap: lo,
+                        to_gap: hi,
+                    };
+                    let tag = edges.len() as u64;
+                    let id =
+                        dwg.add_edge_tagged(NodeId(lo), NodeId(hi), meta.sigma, meta.beta, tag);
+                    debug_assert_eq!(id.index(), edges.len());
+                    edges.push(meta);
+                }
+            };
 
         // Real tree edges: one per non-root node; spans give the interval.
         for c in tree.preorder() {

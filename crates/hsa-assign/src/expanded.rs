@@ -29,11 +29,11 @@
 //! frontier size and fails loudly ([`AssignError::FrontierOverflow`])
 //! rather than degrade silently.
 
-use crate::{AssignError, Prepared, SolveStats, Solution, Solver};
+use crate::{AssignError, Prepared, Solution, SolveStats, Solver};
 use hsa_graph::{Cost, Lambda};
-use hsa_tree::{Colour, CruId, Cut, TreeEdge};
 #[cfg(test)]
 use hsa_tree::SatelliteId;
+use hsa_tree::{Colour, CruId, Cut, TreeEdge};
 
 /// One Pareto-optimal way to cover a colour's leaves.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -254,11 +254,7 @@ impl Solver for Expanded {
                 continue;
             };
             evaluated += 1;
-            let s: Cost = picks
-                .iter()
-                .zip(&frontiers)
-                .map(|(&i, f)| f[i].sigma)
-                .sum();
+            let s: Cost = picks.iter().zip(&frontiers).map(|(&i, f)| f[i].sigma).sum();
             // The *actual* B may be below θ; use it.
             let b: Cost = picks
                 .iter()
@@ -304,11 +300,7 @@ pub fn solve_sb_expanded(
         let Some(picks) = pick_for_threshold(&frontiers, theta) else {
             continue;
         };
-        let s: Cost = picks
-            .iter()
-            .zip(&frontiers)
-            .map(|(&i, f)| f[i].sigma)
-            .sum();
+        let s: Cost = picks.iter().zip(&frontiers).map(|(&i, f)| f[i].sigma).sum();
         let b: Cost = picks
             .iter()
             .zip(&frontiers)
@@ -376,7 +368,10 @@ mod tests {
             },
         ];
         let f = pareto_prune(pts, 100).unwrap();
-        let pairs: Vec<(u64, u64)> = f.iter().map(|p| (p.sigma.ticks(), p.beta.ticks())).collect();
+        let pairs: Vec<(u64, u64)> = f
+            .iter()
+            .map(|p| (p.sigma.ticks(), p.beta.ticks()))
+            .collect();
         assert_eq!(pairs, vec![(5, 1), (4, 2), (1, 9)]);
     }
 
@@ -399,7 +394,12 @@ mod tests {
     fn matches_brute_force_on_the_paper_instance() {
         let (t, m) = fig2_tree();
         let prep = Prepared::new(&t, &m).unwrap();
-        for lambda in [Lambda::HALF, Lambda::ONE, Lambda::ZERO, Lambda::new(1, 3).unwrap()] {
+        for lambda in [
+            Lambda::HALF,
+            Lambda::ONE,
+            Lambda::ZERO,
+            Lambda::new(1, 3).unwrap(),
+        ] {
             let exact = BruteForce::default().solve(&prep, lambda).unwrap();
             let fast = Expanded::default().solve(&prep, lambda).unwrap();
             assert_eq!(fast.objective, exact.objective, "λ={lambda}");
@@ -412,20 +412,16 @@ mod tests {
         let prep = Prepared::new(&t, &m).unwrap();
         // Brute-force the SB objective directly.
         let mut best = Cost::MAX;
-        hsa_tree::for_each_cut(
-            &t,
-            &|e| prep.colouring.cuttable(e),
-            &mut |cut| {
-                let s = hsa_tree::host_time_of_cut(&t, &m, cut.edges());
-                let b = hsa_tree::bottleneck_of_cut(
-                    &t,
-                    &m,
-                    |e| prep.colouring.edge_colour(e).satellite(),
-                    cut.edges(),
-                );
-                best = best.min(s.max(b));
-            },
-        );
+        hsa_tree::for_each_cut(&t, &|e| prep.colouring.cuttable(e), &mut |cut| {
+            let s = hsa_tree::host_time_of_cut(&t, &m, cut.edges());
+            let b = hsa_tree::bottleneck_of_cut(
+                &t,
+                &m,
+                |e| prep.colouring.edge_colour(e).satellite(),
+                cut.edges(),
+            );
+            best = best.min(s.max(b));
+        });
         let (_sol, sb) = solve_sb_expanded(&prep, &ExpandedConfig::default()).unwrap();
         assert_eq!(sb, best);
     }
@@ -435,7 +431,10 @@ mod tests {
         let (t, m) = fig2_tree();
         let prep = Prepared::new(&t, &m).unwrap();
         let sol = Expanded::default().solve(&prep, Lambda::HALF).unwrap();
-        assert!(sol.stats.composites >= 4, "one composite per used colour at least");
+        assert!(
+            sol.stats.composites >= 4,
+            "one composite per used colour at least"
+        );
     }
 
     #[test]

@@ -46,7 +46,7 @@ pub use expanded::{
 };
 pub use paper_ssb::{solve_with_trace, PaperSsb, PaperSsbConfig, SsbEvent};
 pub use prepared::Prepared;
-pub use solver::{SolveStats, Solution, Solver};
+pub use solver::{Solution, SolveStats, Solver};
 
 /// Commonly used items, for glob import in examples and tests.
 pub mod prelude {

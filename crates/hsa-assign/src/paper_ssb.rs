@@ -32,7 +32,7 @@
 //! Exactness is property-tested against brute force and the full-expansion
 //! solver over thousands of random instances (see `tests/`).
 
-use crate::{AssignError, Prepared, SolveStats, Solution, Solver};
+use crate::{AssignError, Prepared, Solution, SolveStats, Solver};
 use hsa_graph::{Cost, Lambda, ScaledSsb, SSB_INFINITY};
 use hsa_tree::{Band, Cut, SatelliteId, TreeEdge};
 use std::collections::BTreeSet;
@@ -401,16 +401,16 @@ fn search(
         };
         ctx.stats.iterations += 1;
         let (s, per) = graph.measure(&path, n_sats);
-        let (b, argmax) = per
-            .iter()
-            .enumerate()
-            .fold((Cost::ZERO, None), |(best, who), (i, &l)| {
-                if l > best {
-                    (l, Some(i as u32))
-                } else {
-                    (best, who)
-                }
-            });
+        let (b, argmax) =
+            per.iter()
+                .enumerate()
+                .fold((Cost::ZERO, None), |(best, who), (i, &l)| {
+                    if l > best {
+                        (l, Some(i as u32))
+                    } else {
+                        (best, who)
+                    }
+                });
         let ssb = ctx.lambda.ssb_scaled(s, b);
         let improved = ssb < ctx.best_ssb;
         if improved {
@@ -472,9 +472,9 @@ fn search(
                 removed: 0,
             });
         }
-        let colour = SatelliteId(argmax.ok_or_else(|| {
-            AssignError::Internal("stalled with zero B weight".into())
-        })?);
+        let colour = SatelliteId(
+            argmax.ok_or_else(|| AssignError::Internal("stalled with zero B weight".into()))?,
+        );
 
         if pinned.contains(&colour.0) {
             // Every path in this branch carries the same pinned load for
@@ -522,8 +522,7 @@ fn search(
             .map(|&(lo, hi)| graph.band_alive_edges(lo, hi))
             .collect();
         // Joint Pareto over the product of per-band composites.
-        let mut combos: Vec<(Cost, Cost, Vec<usize>)> =
-            vec![(Cost::ZERO, Cost::ZERO, Vec::new())];
+        let mut combos: Vec<(Cost, Cost, Vec<usize>)> = vec![(Cost::ZERO, Cost::ZERO, Vec::new())];
         for options in &per_band {
             let mut next = Vec::with_capacity(combos.len() * options.len());
             for (cs, cb, ids) in &combos {
@@ -535,7 +534,11 @@ fn search(
                 }
             }
             // Pareto prune jointly.
-            next.sort_by(|a, b| a.1.cmp(&b.1).then(a.0.cmp(&b.0)).then_with(|| a.2.cmp(&b.2)));
+            next.sort_by(|a, b| {
+                a.1.cmp(&b.1)
+                    .then(a.0.cmp(&b.0))
+                    .then_with(|| a.2.cmp(&b.2))
+            });
             let mut pruned: Vec<(Cost, Cost, Vec<usize>)> = Vec::new();
             for cand in next {
                 match pruned.last() {
@@ -596,7 +599,12 @@ mod tests {
     fn matches_brute_force_on_the_paper_instance() {
         let (t, m) = fig2_tree();
         let prep = Prepared::new(&t, &m).unwrap();
-        for lambda in [Lambda::HALF, Lambda::ONE, Lambda::ZERO, Lambda::new(2, 5).unwrap()] {
+        for lambda in [
+            Lambda::HALF,
+            Lambda::ONE,
+            Lambda::ZERO,
+            Lambda::new(2, 5).unwrap(),
+        ] {
             let exact = BruteForce::default().solve(&prep, lambda).unwrap();
             let paper = PaperSsb::default().solve(&prep, lambda).unwrap();
             assert_eq!(paper.objective, exact.objective, "λ={lambda}");

@@ -31,7 +31,10 @@ fn bench(c: &mut Criterion) {
             |b, gen| {
                 b.iter(|| {
                     let mut g = gen.graph.clone();
-                    black_box(ssb_search(&mut g, gen.source, gen.target, &SsbConfig::default()).iterations)
+                    black_box(
+                        ssb_search(&mut g, gen.source, gen.target, &SsbConfig::default())
+                            .iterations,
+                    )
                 })
             },
         );
@@ -49,26 +52,18 @@ fn bench(c: &mut Criterion) {
                 })
             },
         );
-        group.bench_with_input(
-            BenchmarkId::new("ssb_sweep", &label),
-            &gen,
-            |b, gen| {
-                b.iter(|| {
-                    let mut g = gen.graph.clone();
-                    black_box(ssb_search_sweep(&mut g, gen.source, gen.target, Lambda::HALF).probes)
-                })
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("sb_iterative", &label),
-            &gen,
-            |b, gen| {
-                b.iter(|| {
-                    let mut g = gen.graph.clone();
-                    black_box(sb_search(&mut g, gen.source, gen.target).iterations)
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("ssb_sweep", &label), &gen, |b, gen| {
+            b.iter(|| {
+                let mut g = gen.graph.clone();
+                black_box(ssb_search_sweep(&mut g, gen.source, gen.target, Lambda::HALF).probes)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("sb_iterative", &label), &gen, |b, gen| {
+            b.iter(|| {
+                let mut g = gen.graph.clone();
+                black_box(sb_search(&mut g, gen.source, gen.target).iterations)
+            })
+        });
         group.bench_with_input(BenchmarkId::new("sb_sweep", &label), &gen, |b, gen| {
             b.iter(|| {
                 let mut g = gen.graph.clone();

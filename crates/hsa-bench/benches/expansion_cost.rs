@@ -10,7 +10,11 @@ use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("expansion_cost");
-    for placement in [Placement::Blocked, Placement::Interleaved, Placement::Random] {
+    for placement in [
+        Placement::Blocked,
+        Placement::Interleaved,
+        Placement::Random,
+    ] {
         for n in [10usize, 20] {
             let (tree, costs) = random_instance(
                 &RandomTreeParams {
@@ -24,14 +28,10 @@ fn bench(c: &mut Criterion) {
             let prep = Prepared::new(&tree, &costs).unwrap();
             let label = format!("{placement:?}_{n}");
             group.bench_with_input(BenchmarkId::new("paper_ssb", &label), &prep, |b, prep| {
-                b.iter(|| {
-                    black_box(PaperSsb::default().solve(prep, Lambda::HALF).unwrap().stats)
-                })
+                b.iter(|| black_box(PaperSsb::default().solve(prep, Lambda::HALF).unwrap().stats))
             });
             group.bench_with_input(BenchmarkId::new("expanded", &label), &prep, |b, prep| {
-                b.iter(|| {
-                    black_box(Expanded::default().solve(prep, Lambda::HALF).unwrap().stats)
-                })
+                b.iter(|| black_box(Expanded::default().solve(prep, Lambda::HALF).unwrap().stats))
             });
         }
     }

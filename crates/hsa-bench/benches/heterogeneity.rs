@@ -15,7 +15,12 @@ fn bench(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("replan", &label), &sc, |b, sc| {
             b.iter(|| {
                 let prep = Prepared::new(&sc.tree, &sc.costs).unwrap();
-                black_box(Expanded::default().solve(&prep, Lambda::HALF).unwrap().objective)
+                black_box(
+                    Expanded::default()
+                        .solve(&prep, Lambda::HALF)
+                        .unwrap()
+                        .objective,
+                )
             })
         });
     }

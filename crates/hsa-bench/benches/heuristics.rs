@@ -24,7 +24,13 @@ fn bench(c: &mut Criterion) {
         );
         let dag = TaskDag::from_tree(&tree, &costs);
         group.bench_with_input(BenchmarkId::new("bnb", n), &dag, |b, dag| {
-            b.iter(|| black_box(branch_and_bound(dag, &BnbConfig::default()).unwrap().makespan))
+            b.iter(|| {
+                black_box(
+                    branch_and_bound(dag, &BnbConfig::default())
+                        .unwrap()
+                        .makespan,
+                )
+            })
         });
         group.bench_with_input(BenchmarkId::new("ga", n), &dag, |b, dag| {
             let cfg = GaConfig {
@@ -42,12 +48,21 @@ fn bench(c: &mut Criterion) {
             b.iter(|| black_box(simulated_annealing(dag, &cfg).unwrap().makespan))
         });
         let prep_input = (tree.clone(), costs.clone());
-        group.bench_with_input(BenchmarkId::new("tree_exact", n), &prep_input, |b, (t, m)| {
-            b.iter(|| {
-                let prep = Prepared::new(t, m).unwrap();
-                black_box(Expanded::default().solve(&prep, Lambda::HALF).unwrap().objective)
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("tree_exact", n),
+            &prep_input,
+            |b, (t, m)| {
+                b.iter(|| {
+                    let prep = Prepared::new(t, m).unwrap();
+                    black_box(
+                        Expanded::default()
+                            .solve(&prep, Lambda::HALF)
+                            .unwrap()
+                            .objective,
+                    )
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -12,7 +12,14 @@ fn bench(c: &mut Criterion) {
     for sc in catalog() {
         let prep = Prepared::new(&sc.tree, &sc.costs).unwrap();
         group.bench_with_input(BenchmarkId::new("ssb", &sc.name), &prep, |b, prep| {
-            b.iter(|| black_box(Expanded::default().solve(prep, Lambda::HALF).unwrap().objective))
+            b.iter(|| {
+                black_box(
+                    Expanded::default()
+                        .solve(prep, Lambda::HALF)
+                        .unwrap()
+                        .objective,
+                )
+            })
         });
         group.bench_with_input(BenchmarkId::new("sb", &sc.name), &prep, |b, prep| {
             b.iter(|| {

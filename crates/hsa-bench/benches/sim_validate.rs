@@ -17,7 +17,13 @@ fn bench(c: &mut Criterion) {
             BenchmarkId::new("paper_model", &sc.name),
             &(&prep, &optimal.cut),
             |b, (prep, cut)| {
-                b.iter(|| black_box(simulate(prep, cut, &SimConfig::paper_model()).unwrap().end_to_end))
+                b.iter(|| {
+                    black_box(
+                        simulate(prep, cut, &SimConfig::paper_model())
+                            .unwrap()
+                            .end_to_end,
+                    )
+                })
             },
         );
         group.bench_with_input(

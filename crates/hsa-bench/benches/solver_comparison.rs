@@ -24,10 +24,24 @@ fn bench(c: &mut Criterion) {
         );
         let prep = Prepared::new(&tree, &costs).unwrap();
         group.bench_with_input(BenchmarkId::new("paper_ssb", n), &prep, |b, prep| {
-            b.iter(|| black_box(PaperSsb::default().solve(prep, Lambda::HALF).unwrap().objective))
+            b.iter(|| {
+                black_box(
+                    PaperSsb::default()
+                        .solve(prep, Lambda::HALF)
+                        .unwrap()
+                        .objective,
+                )
+            })
         });
         group.bench_with_input(BenchmarkId::new("expanded", n), &prep, |b, prep| {
-            b.iter(|| black_box(Expanded::default().solve(prep, Lambda::HALF).unwrap().objective))
+            b.iter(|| {
+                black_box(
+                    Expanded::default()
+                        .solve(prep, Lambda::HALF)
+                        .unwrap()
+                        .objective,
+                )
+            })
         });
         if n <= 20 {
             group.bench_with_input(BenchmarkId::new("brute_force", n), &prep, |b, prep| {
@@ -42,9 +56,11 @@ fn bench(c: &mut Criterion) {
             });
         }
         // Preparation cost itself (colouring + labelling + dual graph).
-        group.bench_with_input(BenchmarkId::new("prepare", n), &(&tree, &costs), |b, (t, m)| {
-            b.iter(|| black_box(Prepared::new(t, m).unwrap().graph.n_edges()))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("prepare", n),
+            &(&tree, &costs),
+            |b, (t, m)| b.iter(|| black_box(Prepared::new(t, m).unwrap().graph.n_edges())),
+        );
     }
     group.finish();
 }

@@ -20,11 +20,7 @@ fn bench(c: &mut Criterion) {
             max_beta: 1000,
         };
         let gen = layered_dag(&params, 42);
-        let label = format!(
-            "v{}_e{}",
-            gen.graph.num_nodes(),
-            gen.graph.num_edges()
-        );
+        let label = format!("v{}_e{}", gen.graph.num_nodes(), gen.graph.num_edges());
         group.bench_with_input(BenchmarkId::new("ssb", &label), &gen, |b, gen| {
             b.iter(|| {
                 let mut g = gen.graph.clone();
@@ -40,7 +36,9 @@ fn bench(c: &mut Criterion) {
             })
         });
         group.bench_with_input(BenchmarkId::new("dijkstra", &label), &gen, |b, gen| {
-            b.iter(|| black_box(shortest_path(&gen.graph, gen.source, gen.target).map(|p| p.s_weight)))
+            b.iter(|| {
+                black_box(shortest_path(&gen.graph, gen.source, gen.target).map(|p| p.s_weight))
+            })
         });
     }
     group.finish();

@@ -25,8 +25,8 @@ use hsa_tree::figures::fig2_tree;
 use hsa_tree::render::render_tree;
 use hsa_tree::{Colour, Cut, TreeEdge};
 use hsa_workloads::{
-    catalog, epilepsy_scenario, paper_scenario, random_instance, scale_host_times,
-    EpilepsyParams, Placement, RandomTreeParams,
+    catalog, epilepsy_scenario, paper_scenario, random_instance, scale_host_times, EpilepsyParams,
+    Placement, RandomTreeParams,
 };
 use std::path::{Path, PathBuf};
 
@@ -53,7 +53,11 @@ fn main() {
     type Exp = (&'static str, &'static str, fn(&Path));
     let experiments: Vec<Exp> = vec![
         ("f2", "Figure 2 — the CRU tree with pinned sensors", exp_f2),
-        ("f4", "Figure 3/4 — the SSB algorithm's worked trace", exp_f4),
+        (
+            "f4",
+            "Figure 3/4 — the SSB algorithm's worked trace",
+            exp_f4,
+        ),
         ("f5", "Figure 5 — colouring and host-forced CRUs", exp_f5),
         ("f6", "Figure 6 — the coloured assignment graph", exp_f6),
         ("f8", "Figure 8 — σ (host time) labelling", exp_f8),
@@ -74,7 +78,11 @@ fn main() {
             "T4 — simulator vs analytic model (and eager ablation)",
             exp_t4,
         ),
-        ("t5", "T5 — exact solvers: agreement and runtime vs n", exp_t5),
+        (
+            "t5",
+            "T5 — exact solvers: agreement and runtime vs n",
+            exp_t5,
+        ),
         (
             "t6",
             "T6 — heterogeneity sweep: when does offloading win?",
@@ -84,6 +92,19 @@ fn main() {
         ("t8", "T8 — epilepsy tele-monitoring end-to-end", exp_t8),
     ];
 
+    if let Some(o) = only.as_deref() {
+        if !experiments.iter().any(|(id, _, _)| *id == o) {
+            eprintln!(
+                "unknown experiment id `{o}`; known ids: {}",
+                experiments
+                    .iter()
+                    .map(|(id, _, _)| *id)
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            );
+            std::process::exit(2);
+        }
+    }
     for (id, title, run) in &experiments {
         if only.as_deref().map(|o| o != *id).unwrap_or(false) {
             continue;
@@ -390,7 +411,11 @@ fn exp_t2(out: &Path) {
     );
     let suite = sweep_instances(
         &[10, 20, 40, 80],
-        &[Placement::Blocked, Placement::Interleaved, Placement::Random],
+        &[
+            Placement::Blocked,
+            Placement::Interleaved,
+            Placement::Random,
+        ],
         3,
         3,
     );

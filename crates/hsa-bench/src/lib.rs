@@ -17,9 +17,9 @@
 #![forbid(unsafe_code)]
 
 use hsa_workloads::{random_instance, Placement, RandomTreeParams};
-use parking_lot::Mutex;
 use std::fmt::Write as _;
 use std::path::Path;
+use std::sync::Mutex;
 use std::time::Instant;
 
 /// A measured duration in nanoseconds (median of `reps` runs).
@@ -116,7 +116,13 @@ pub fn sweep_instances(
     placements: &[Placement],
     n_satellites: u32,
     per_cell: u64,
-) -> Vec<(usize, Placement, u64, hsa_tree::CruTree, hsa_tree::CostModel)> {
+) -> Vec<(
+    usize,
+    Placement,
+    u64,
+    hsa_tree::CruTree,
+    hsa_tree::CostModel,
+)> {
     let mut out = Vec::new();
     for &n in sizes {
         for &pl in placements {
@@ -137,7 +143,7 @@ pub fn sweep_instances(
     out
 }
 
-/// Runs `job` over `items` on `threads` crossbeam-scoped workers, collecting
+/// Runs `job` over `items` on `threads` std-scoped workers, collecting
 /// results in input order.
 pub fn parallel_map<T, R, F>(items: Vec<T>, threads: usize, job: F) -> Vec<R>
 where
@@ -149,19 +155,19 @@ where
     let n = items.len();
     let work: Mutex<Vec<(usize, T)>> = Mutex::new(items.into_iter().enumerate().rev().collect());
     let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
-    crossbeam::scope(|s| {
+    std::thread::scope(|s| {
         for _ in 0..threads {
-            s.spawn(|_| loop {
-                let next = work.lock().pop();
+            s.spawn(|| loop {
+                let next = work.lock().expect("work queue poisoned").pop();
                 let Some((i, item)) = next else { break };
                 let r = job(item);
-                results.lock()[i] = Some(r);
+                results.lock().expect("result store poisoned")[i] = Some(r);
             });
         }
-    })
-    .expect("worker panicked");
+    });
     results
         .into_inner()
+        .expect("result store poisoned")
         .into_iter()
         .map(|r| r.expect("all slots filled"))
         .collect()

@@ -27,10 +27,7 @@ impl Path {
 
     /// The S weight: the sum of the σ weights along the path.
     pub fn s_weight(&self, g: &Dwg) -> Cost {
-        self.edges
-            .iter()
-            .map(|&e| g.edge_unchecked(e).sigma)
-            .sum()
+        self.edges.iter().map(|&e| g.edge_unchecked(e).sigma).sum()
     }
 
     /// The B weight of an *uncoloured* DWG: the maximum β along the path.

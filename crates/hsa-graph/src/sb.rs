@@ -109,12 +109,7 @@ mod tests {
         let second = g.add_edge(NodeId(0), NodeId(1), c(9), c(9));
         let sb = sb_search(&mut g.clone(), NodeId(0), NodeId(1));
         assert_eq!(sb.best.as_ref().unwrap().0.edges, vec![second]);
-        let ssb = crate::ssb_search(
-            &mut g,
-            NodeId(0),
-            NodeId(1),
-            &crate::SsbConfig::default(),
-        );
+        let ssb = crate::ssb_search(&mut g, NodeId(0), NodeId(1), &crate::SsbConfig::default());
         assert_eq!(ssb.best.as_ref().unwrap().path.edges, vec![first]);
     }
 

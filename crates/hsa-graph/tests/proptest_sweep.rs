@@ -6,8 +6,8 @@
 use hsa_graph::enumerate::optimal_ssb_by_enumeration;
 use hsa_graph::generate::{layered_dag, LayeredParams};
 use hsa_graph::{
-    sb_search, sb_search_sweep, ssb_search, ssb_search_sweep, Cost, Dwg, Lambda, NodeId,
-    ScaledSsb, SsbConfig,
+    sb_search, sb_search_sweep, ssb_search, ssb_search_sweep, Cost, Dwg, Lambda, NodeId, ScaledSsb,
+    SsbConfig,
 };
 use proptest::prelude::*;
 

@@ -81,11 +81,7 @@ pub fn branch_and_bound(dag: &TaskDag, cfg: &BnbConfig) -> Result<BnbResult, Str
                 return Err(format!("node budget {} exhausted", self.cfg.node_budget));
             }
             // Bound: max assigned machine load, and the static critical path.
-            let lb = self
-                .loads
-                .iter()
-                .copied()
-                .fold(self.static_lb, Cost::max);
+            let lb = self.loads.iter().copied().fold(self.static_lb, Cost::max);
             if let Some((ub, _)) = &self.best {
                 if lb >= *ub {
                     return Ok(()); // cannot strictly improve

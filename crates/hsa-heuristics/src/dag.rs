@@ -228,10 +228,7 @@ mod tests {
         assert_eq!(dag.len(), 20);
         assert_eq!(dag.edges.len(), 19);
         assert_eq!(dag.n_satellites, 4);
-        assert_eq!(
-            dag.tasks.iter().filter(|t| t.pinned.is_some()).count(),
-            7
-        );
+        assert_eq!(dag.tasks.iter().filter(|t| t.pinned.is_some()).count(), 7);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 use hsa_assign::{evaluate_cut, Expanded, Prepared, Solver};
 use hsa_graph::Lambda;
 use hsa_heuristics::{
-    branch_and_bound, barrier_makespan, genetic, list_makespan, BnbConfig, GaConfig, TaskDag,
+    barrier_makespan, branch_and_bound, genetic, list_makespan, BnbConfig, GaConfig, TaskDag,
 };
 use hsa_tree::for_each_cut;
 use hsa_workloads::{random_instance, Placement, RandomTreeParams};
@@ -39,7 +39,12 @@ fn barrier_makespan_equals_tree_objective_on_every_cut() {
             let (_a, rep) = evaluate_cut(&prep, cut).unwrap();
             let asg = dag.assignment_from_cut(&tree, &prep.colouring, cut);
             let barrier = barrier_makespan(&dag, &asg).unwrap();
-            assert_eq!(barrier, rep.end_to_end, "seed {seed}, cut {:?}", cut.edges());
+            assert_eq!(
+                barrier,
+                rep.end_to_end,
+                "seed {seed}, cut {:?}",
+                cut.edges()
+            );
             // List scheduling only overlaps more.
             let list = list_makespan(&dag, &asg).unwrap();
             assert!(list <= barrier, "seed {seed}");

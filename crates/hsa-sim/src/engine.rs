@@ -198,7 +198,16 @@ pub fn simulate(prep: &Prepared<'_>, cut: &Cut, cfg: &SimConfig) -> Result<SimRe
                 // compute item is done (paper model).
                 match cfg.uplink {
                     UplinkModel::OverlapCompute => {
-                        schedule_msg(&mut q, &mut trace, cfg, &items[s], item, s, t, &mut sat_link_free);
+                        schedule_msg(
+                            &mut q,
+                            &mut trace,
+                            cfg,
+                            &items[s],
+                            item,
+                            s,
+                            t,
+                            &mut sat_link_free,
+                        );
                     }
                     UplinkModel::SerialAfterCompute => {
                         if sat_items_done[s] == items[s].len() {

@@ -60,8 +60,10 @@ pub fn sensor_frame(channels: usize, samples: usize, seq: u32) -> Bytes {
     for i in 0..samples {
         for c in 0..channels {
             // Deterministic pseudo-signal: cheap, reproducible, non-constant.
-            let v = ((i as u32).wrapping_mul(2654435761).wrapping_add(c as u32 * 97) & 0xFFFF)
-                as u16;
+            let v = ((i as u32)
+                .wrapping_mul(2654435761)
+                .wrapping_add(c as u32 * 97)
+                & 0xFFFF) as u16;
             buf.put_u16(v);
         }
     }

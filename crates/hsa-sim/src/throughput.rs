@@ -46,10 +46,7 @@ pub fn simulate_periodic(
     // station, per the paper's model), then the host.
     let sat_service: Vec<Cost> = rep.satellite_loads.iter().map(|l| l.total).collect();
     let host_service = rep.host_time;
-    let bottleneck_service = sat_service
-        .iter()
-        .copied()
-        .fold(host_service, Cost::max);
+    let bottleneck_service = sat_service.iter().copied().fold(host_service, Cost::max);
 
     let mut sat_free = vec![Cost::ZERO; sat_service.len()];
     let mut host_free = Cost::ZERO;

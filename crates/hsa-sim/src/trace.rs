@@ -40,7 +40,11 @@ pub fn render_gantt(result: &SimResult, width: usize) -> String {
             let a = (b.start.ticks().saturating_mul(width as u64) / span) as usize;
             let z = (b.end.ticks().saturating_mul(width as u64) / span) as usize;
             let z = z.clamp(a.min(width - 1), width);
-            for slot in row.iter_mut().take(z.max(a + 1).min(width)).skip(a.min(width - 1)) {
+            for slot in row
+                .iter_mut()
+                .take(z.max(a + 1).min(width))
+                .skip(a.min(width - 1))
+            {
                 *slot = '▓';
             }
         }

@@ -74,7 +74,11 @@ impl Colouring {
         let mut node_colour = vec![Colour::Conflict; tree.len()];
         for c in tree.postorder() {
             node_colour[c.index()] = if tree.is_leaf(c) {
-                Colour::Satellite(costs.pinned_satellite(c).ok_or(TreeError::UnpinnedLeaf(c))?)
+                Colour::Satellite(
+                    costs
+                        .pinned_satellite(c)
+                        .ok_or(TreeError::UnpinnedLeaf(c))?,
+                )
             } else {
                 let mut it = tree.children(c).iter();
                 let first = node_colour[it.next().expect("internal node").index()];
@@ -282,7 +286,10 @@ mod tests {
         let col = Colouring::compute(&t, &m).unwrap();
         assert_eq!(col.node_colour[x.index()], Colour::Conflict);
         assert_eq!(col.node_colour[root.index()], Colour::Conflict);
-        assert_eq!(col.node_colour[c.index()], Colour::Satellite(SatelliteId(0)));
+        assert_eq!(
+            col.node_colour[c.index()],
+            Colour::Satellite(SatelliteId(0))
+        );
         assert_eq!(col.host_forced, vec![CruId(0), x]);
     }
 

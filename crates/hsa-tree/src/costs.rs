@@ -192,7 +192,9 @@ mod tests {
         m.set_satellite_time(a, c(8))
             .set_satellite_time(l1, c(6))
             .set_satellite_time(l2, c(7));
-        m.set_comm_up(a, c(2)).set_comm_up(l1, c(1)).set_comm_up(l2, c(1));
+        m.set_comm_up(a, c(2))
+            .set_comm_up(l1, c(1))
+            .set_comm_up(l2, c(1));
         m.pin_leaf(l1, SatelliteId(0), c(9));
         m.pin_leaf(l2, SatelliteId(1), c(9));
         (t, m)

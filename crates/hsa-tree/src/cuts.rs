@@ -237,7 +237,7 @@ pub fn count_cuts(tree: &CruTree, cuttable: &dyn Fn(TreeEdge) -> bool) -> u64 {
 mod tests {
     use super::*;
     use crate::figures::{cru, fig2_tree};
-    use crate::{CostModel, Colouring, SatelliteId, TreeBuilder};
+    use crate::{Colouring, CostModel, SatelliteId, TreeBuilder};
     use hsa_graph::Cost;
 
     #[test]

@@ -38,7 +38,12 @@ pub fn scale_satellite_times(sc: &Scenario, num: u64, den: u64) -> Scenario {
 pub fn scale_comm_times(sc: &Scenario, num: u64, den: u64) -> Scenario {
     assert!(den > 0, "zero denominator");
     let mut out = sc.clone();
-    for v in out.costs.comm_up.iter_mut().chain(out.costs.comm_raw.iter_mut()) {
+    for v in out
+        .costs
+        .comm_up
+        .iter_mut()
+        .chain(out.costs.comm_raw.iter_mut())
+    {
         *v = Cost::new(v.ticks().saturating_mul(num) / den);
     }
     out.name = format!("{}-comm×{num}/{den}", sc.name);

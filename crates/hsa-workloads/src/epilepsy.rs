@@ -96,8 +96,18 @@ pub fn epilepsy_scenario(p: &EpilepsyParams) -> Scenario {
 
     // Leaves: signal conditioning per sample.
     set(&mut m, qrs, dsp(p.ecg_hz), on_pda(dsp(p.ecg_hz)));
-    set(&mut m, accel1, dsp(3 * p.accel_hz), on_pda(dsp(3 * p.accel_hz)));
-    set(&mut m, accel2, dsp(3 * p.accel_hz), on_pda(dsp(3 * p.accel_hz)));
+    set(
+        &mut m,
+        accel1,
+        dsp(3 * p.accel_hz),
+        on_pda(dsp(3 * p.accel_hz)),
+    );
+    set(
+        &mut m,
+        accel2,
+        dsp(3 * p.accel_hz),
+        on_pda(dsp(3 * p.accel_hz)),
+    );
     set(&mut m, gps, logic(300), logic(100));
     // Mid-tier feature stages.
     set(&mut m, hrv, dsp(p.ecg_hz / 4), on_pda(dsp(p.ecg_hz / 4)));
@@ -115,7 +125,9 @@ pub fn epilepsy_scenario(p: &EpilepsyParams) -> Scenario {
     m.pin_leaf(accel2, box2, p.link.transfer_time(accel_raw));
     m.pin_leaf(gps, box2, p.link.transfer_time(gps_raw));
     // c_up: shipping a stage's (much smaller) output.
-    for c in [qrs, accel1, accel2, gps, hrv, activity, motion, location, fusion] {
+    for c in [
+        qrs, accel1, accel2, gps, hrv, activity, motion, location, fusion,
+    ] {
         m.set_comm_up(c, p.link.transfer_time(features));
     }
 

@@ -24,9 +24,7 @@ mod random_tree;
 mod scenario;
 mod snmp;
 
-pub use cost_gen::{
-    host_speed_sweep, scale_comm_times, scale_host_times, scale_satellite_times,
-};
+pub use cost_gen::{host_speed_sweep, scale_comm_times, scale_host_times, scale_satellite_times};
 pub use epilepsy::{epilepsy_scenario, EpilepsyParams};
 pub use industrial::{industrial_scenario, IndustrialParams};
 pub use random_tree::{random_instance, random_scenario, Placement, RandomTreeParams};

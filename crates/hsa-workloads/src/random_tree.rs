@@ -92,8 +92,14 @@ pub fn random_scenario(p: &RandomTreeParams, seed: u64) -> Scenario {
     let tree = b.build();
 
     let mut m = CostModel::zeroed(&tree, p.n_satellites.max(1));
-    let (wlo, whi) = (p.work_range.0.max(1), p.work_range.1.max(p.work_range.0 + 1));
-    let (clo, chi) = (p.comm_range.0.max(1), p.comm_range.1.max(p.comm_range.0 + 1));
+    let (wlo, whi) = (
+        p.work_range.0.max(1),
+        p.work_range.1.max(p.work_range.0 + 1),
+    );
+    let (clo, chi) = (
+        p.comm_range.0.max(1),
+        p.comm_range.1.max(p.comm_range.0 + 1),
+    );
     for c in tree.preorder() {
         let work = rng.random_range(wlo..whi);
         m.set_satellite_time(c, Cost::new(work));
@@ -106,9 +112,7 @@ pub fn random_scenario(p: &RandomTreeParams, seed: u64) -> Scenario {
     let k = p.n_satellites.max(1);
     for (i, &l) in leaves.iter().enumerate() {
         let sat = match p.placement {
-            Placement::Blocked => {
-                SatelliteId(((i as u64 * k as u64) / leaves.len() as u64) as u32)
-            }
+            Placement::Blocked => SatelliteId(((i as u64 * k as u64) / leaves.len() as u64) as u32),
             Placement::Interleaved => SatelliteId(i as u32 % k),
             Placement::Random => SatelliteId(rng.random_range(0..k)),
         };

@@ -36,7 +36,11 @@ fn main() {
             it.s,
             it.b,
             it.ssb,
-            if it.improved { "  → new candidate" } else { "" },
+            if it.improved {
+                "  → new candidate"
+            } else {
+                ""
+            },
             it.removed.len(),
         );
     }
@@ -68,7 +72,9 @@ fn main() {
     let ssb_pick = ssb_search(&mut g4.clone(), NodeId(0), NodeId(1), &SsbConfig::default())
         .best
         .unwrap();
-    let sb_pick = sb_search(&mut g4.clone(), NodeId(0), NodeId(1)).best.unwrap();
+    let sb_pick = sb_search(&mut g4.clone(), NodeId(0), NodeId(1))
+        .best
+        .unwrap();
     println!("\ncontrast graph: e0 <2,10> vs e1 <9,9>");
     println!(
         "  SSB (end-to-end delay) picks e{} with S+B = {}",

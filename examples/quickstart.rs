@@ -24,7 +24,9 @@ fn main() {
     // raw signal.
     let mut costs = CostModel::zeroed(&tree, 2);
     let us = Cost::new;
-    costs.set_host_time(root, us(2_000)).set_satellite_time(root, us(8_000));
+    costs
+        .set_host_time(root, us(2_000))
+        .set_satellite_time(root, us(8_000));
     costs
         .set_host_time(ecg_feat, us(9_000))
         .set_satellite_time(ecg_feat, us(3_000))
@@ -47,7 +49,10 @@ fn main() {
     // Prepare: colouring, σ/β labels, coloured assignment graph.
     let prep = Prepared::new(&tree, &costs).expect("valid instance");
     println!("The CRU tree (colours propagated from the pinned sensors):\n");
-    println!("{}", render_tree(&tree, Some(&costs), Some(&prep.colouring)));
+    println!(
+        "{}",
+        render_tree(&tree, Some(&costs), Some(&prep.colouring))
+    );
 
     // Solve with the paper's adapted SSB algorithm (λ = ½ ⇒ minimise S+B).
     let sol = PaperSsb::default()

@@ -8,7 +8,11 @@ use hsa::prelude::*;
 
 fn instances() -> Vec<(String, CruTree, CostModel)> {
     let mut out = Vec::new();
-    for placement in [Placement::Blocked, Placement::Interleaved, Placement::Random] {
+    for placement in [
+        Placement::Blocked,
+        Placement::Interleaved,
+        Placement::Random,
+    ] {
         for seed in 0..4u64 {
             let sc = random_scenario(
                 &RandomTreeParams {
@@ -19,7 +23,11 @@ fn instances() -> Vec<(String, CruTree, CostModel)> {
                 },
                 seed,
             );
-            out.push((sc.name.clone() + &format!("-{placement:?}"), sc.tree, sc.costs));
+            out.push((
+                sc.name.clone() + &format!("-{placement:?}"),
+                sc.tree,
+                sc.costs,
+            ));
         }
     }
     out

@@ -2,8 +2,8 @@
 //! assertions the `repro` binary makes, kept under `cargo test` so a
 //! regression in any figure fails CI).
 
-use hsa::prelude::*;
 use hsa::graph::figures::fig4_graph;
+use hsa::prelude::*;
 use hsa::tree::figures::{cru, fig2_tree};
 use hsa::tree::TreeEdge;
 
@@ -42,12 +42,9 @@ fn figure6_assignment_graph() {
     let prep = Prepared::new(&tree, &costs).unwrap();
     assert_eq!(prep.graph.dwg.num_nodes(), 8);
     assert_eq!(prep.graph.n_edges(), 17);
-    assert!(!prep
-        .graph
-        .edges
-        .iter()
-        .any(|m| m.tree_edge == TreeEdge::Parent(cru(2))
-            || m.tree_edge == TreeEdge::Parent(cru(3))));
+    assert!(!prep.graph.edges.iter().any(
+        |m| m.tree_edge == TreeEdge::Parent(cru(2)) || m.tree_edge == TreeEdge::Parent(cru(3))
+    ));
 }
 
 /// Figure 8: the σ labels the paper prints, symbolically.

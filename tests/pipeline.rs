@@ -2,8 +2,8 @@
 //! colouring → assignment graph → all solvers → simulator, on every
 //! catalog scenario.
 
-use hsa::prelude::*;
 use hsa::assign::all_solvers;
+use hsa::prelude::*;
 
 #[test]
 fn full_pipeline_on_every_catalog_scenario() {

@@ -1,0 +1,72 @@
+//! Workspace smoke test: every registered solver runs on the paper's own
+//! Figure 2 instance, and the three *exact* solvers (`PaperSsb`, `Expanded`,
+//! `BruteForce`) agree on the objective at the λ extremes and the paper's
+//! λ = ½ — the quickest possible end-to-end sanity check that the whole
+//! pipeline (tree → colouring → assignment graph → search) is wired up.
+
+use hsa::prelude::*;
+
+fn lambdas() -> [Lambda; 3] {
+    [
+        Lambda::new(0, 1).unwrap(),
+        Lambda::HALF,
+        Lambda::new(1, 1).unwrap(),
+    ]
+}
+
+#[test]
+fn exact_solvers_agree_on_paper_scenario_at_lambda_extremes_and_half() {
+    let scenario = hsa::workloads::paper_scenario();
+    scenario.validate().unwrap();
+    let prep = Prepared::new(&scenario.tree, &scenario.costs).unwrap();
+    for lambda in lambdas() {
+        let brute = BruteForce::default().solve(&prep, lambda).unwrap();
+        let expanded = Expanded::default().solve(&prep, lambda).unwrap();
+        let paper = PaperSsb::default().solve(&prep, lambda).unwrap();
+        assert_eq!(
+            brute.objective, expanded.objective,
+            "Expanded disagrees with BruteForce at λ={lambda}"
+        );
+        assert_eq!(
+            brute.objective, paper.objective,
+            "PaperSsb disagrees with BruteForce at λ={lambda}"
+        );
+    }
+}
+
+#[test]
+fn every_registered_solver_runs_and_respects_the_optimum() {
+    let scenario = hsa::workloads::paper_scenario();
+    let prep = Prepared::new(&scenario.tree, &scenario.costs).unwrap();
+    for lambda in lambdas() {
+        let optimum = BruteForce::default().solve(&prep, lambda).unwrap();
+        for solver in hsa::assign::all_solvers() {
+            let sol = solver
+                .solve(&prep, lambda)
+                .unwrap_or_else(|e| panic!("{} failed at λ={lambda}: {e}", solver.name()));
+            sol.cut.validate(&scenario.tree).unwrap();
+            assert!(
+                sol.objective >= optimum.objective,
+                "{} reported an objective below the optimum at λ={lambda}",
+                solver.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn whole_catalog_solves_and_simulates() {
+    for scenario in hsa::workloads::catalog() {
+        scenario.validate().unwrap();
+        let prep = Prepared::new(&scenario.tree, &scenario.costs).unwrap();
+        let sol = PaperSsb::default().solve(&prep, Lambda::HALF).unwrap();
+        // The simulator must reproduce the analytic objective on the
+        // solver's own cut (the paper's timing model).
+        let sim = hsa::sim::simulate(&prep, &sol.cut, &hsa::sim::SimConfig::paper_model()).unwrap();
+        assert_eq!(
+            sim.end_to_end, sol.report.end_to_end,
+            "simulated delay diverges from the analytic S+B on {}",
+            scenario.name
+        );
+    }
+}

@@ -1,0 +1,311 @@
+//! Offline vendored stand-in for [`criterion`](https://bheisler.github.io/criterion.rs/book/).
+//!
+//! A minimal wall-clock harness with the same surface the workspace benches
+//! use: `Criterion::default().sample_size(..).warm_up_time(..)
+//! .measurement_time(..)`, `bench_function`, `benchmark_group` +
+//! `bench_with_input(BenchmarkId::new(..), ..)`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Output is one line per benchmark: median ns/iter over `sample_size`
+//! samples. `--test` (as passed by `cargo test --benches`) runs each
+//! benchmark body exactly once without timing; a positional CLI argument
+//! filters benchmarks by substring, like upstream.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier of a parameterised benchmark: `function_name/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("solve", n)` → `solve/n`.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// A bare id with no parameter part.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// The timing loop handed to benchmark closures.
+pub struct Bencher<'a> {
+    cfg: &'a RunConfig,
+    id: String,
+}
+
+#[derive(Clone, Debug)]
+struct RunConfig {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    test_mode: bool,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`, printing one summary line.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.cfg.test_mode {
+            black_box(routine());
+            println!("test {} ... ok (bench smoke)", self.id);
+            return;
+        }
+        // Warm-up: find an iteration count that fills a sample.
+        let warm_start = Instant::now();
+        let mut iters_done: u64 = 0;
+        while warm_start.elapsed() < self.cfg.warm_up_time || iters_done == 0 {
+            black_box(routine());
+            iters_done += 1;
+            if iters_done >= 1_000_000 {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed().as_nanos().max(1) / (iters_done as u128);
+        let samples = self.cfg.sample_size.max(2);
+        let budget_per_sample = self.cfg.measurement_time.as_nanos() / (samples as u128);
+        let iters_per_sample = (budget_per_sample / per_iter.max(1)).clamp(1, 1_000_000) as u64;
+
+        let mut measured: Vec<u128> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            measured.push(t.elapsed().as_nanos() / (iters_per_sample as u128));
+        }
+        measured.sort_unstable();
+        let median = measured[measured.len() / 2];
+        let lo = measured[0];
+        let hi = measured[measured.len() - 1];
+        println!(
+            "{:<52} time: [{} {} {}]  ({} samples × {} iters)",
+            self.id,
+            fmt_ns(lo),
+            fmt_ns(median),
+            fmt_ns(hi),
+            samples,
+            iters_per_sample
+        );
+    }
+}
+
+fn fmt_ns(ns: u128) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// The harness entry point.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    cfg: RunConfig,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            cfg: RunConfig {
+                sample_size: 100,
+                warm_up_time: Duration::from_secs(3),
+                measurement_time: Duration::from_secs(5),
+                test_mode: false,
+            },
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.cfg.sample_size = n;
+        self
+    }
+
+    /// Warm-up duration before timing starts.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.cfg.warm_up_time = d;
+        self
+    }
+
+    /// Total measurement budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.cfg.measurement_time = d;
+        self
+    }
+
+    /// Applies CLI arguments (`--test`, substring filter); called by
+    /// [`criterion_group!`].
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1).peekable();
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--test" => self.cfg.test_mode = true,
+                // Boolean flags cargo or upstream criterion pass through.
+                "--bench" | "--verbose" | "--quiet" | "--noplot" | "--list" => {}
+                s if s.starts_with("--") => {
+                    // Any other `--flag`: assume it takes a value (upstream
+                    // criterion's unrecognised flags all do) and swallow it,
+                    // so the value is never mistaken for a name filter.
+                    if args.peek().is_some_and(|v| !v.starts_with("--")) {
+                        let _ = args.next();
+                    }
+                }
+                other => self.filter = Some(other.to_string()),
+            }
+        }
+        self
+    }
+
+    fn selected(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        if self.selected(id) {
+            let mut b = Bencher {
+                cfg: &self.cfg,
+                id: id.to_string(),
+            };
+            f(&mut b);
+        }
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        if self.parent.selected(&full) {
+            let mut b = Bencher {
+                cfg: &self.parent.cfg,
+                id: full,
+            };
+            f(&mut b);
+        }
+        self
+    }
+
+    /// Runs one parameterised benchmark in the group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        if self.parent.selected(&full) {
+            let mut b = Bencher {
+                cfg: &self.parent.cfg,
+                id: full,
+            };
+            f(&mut b, input);
+        }
+        self
+    }
+
+    /// Finishes the group (upstream emits summaries here; we have none).
+    pub fn finish(self) {}
+}
+
+/// Declares a group-runner function from a config and target benchmarks.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg.configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares `main()` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_formatting() {
+        assert_eq!(BenchmarkId::new("solve", 7).id, "solve/7");
+        assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+    }
+
+    #[test]
+    fn bench_runs_in_test_mode() {
+        let mut c = Criterion::default();
+        c.cfg.test_mode = true;
+        let mut hits = 0u32;
+        c.bench_function("counts", |b| b.iter(|| hits += 1));
+        assert!(hits >= 1);
+    }
+
+    #[test]
+    fn filter_skips_unmatched() {
+        let mut c = Criterion::default();
+        c.cfg.test_mode = true;
+        c.filter = Some("nope".to_string());
+        let mut hits = 0u32;
+        c.bench_function("counts", |b| b.iter(|| hits += 1));
+        assert_eq!(hits, 0);
+    }
+}

@@ -1,0 +1,456 @@
+//! Derive macros for the vendored `serde` stand-in.
+//!
+//! Hand-rolled over `proc_macro::TokenStream` (no `syn`/`quote`, which are
+//! unavailable offline). Supports exactly the shapes this workspace uses:
+//!
+//! * structs with named fields (plus `#[serde(transparent)]` newtypes);
+//! * tuple structs (single-field ones serialise as the inner value, like
+//!   upstream serde's newtype convention);
+//! * enums with unit / newtype / tuple variants (unit ⇒ string, data ⇒
+//!   one-entry map keyed by the variant name).
+//!
+//! Generics are intentionally unsupported — the derive panics with a clear
+//! message rather than emitting wrong code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Fields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+        transparent: bool,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Returns `true` if this attribute group is `serde(transparent)`.
+fn attr_is_transparent(group: &proc_macro::Group) -> bool {
+    let mut it = group.stream().into_iter();
+    match (it.next(), it.next()) {
+        (Some(TokenTree::Ident(i)), Some(TokenTree::Group(inner))) if i.to_string() == "serde" => {
+            inner
+                .stream()
+                .into_iter()
+                .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "transparent"))
+        }
+        _ => false,
+    }
+}
+
+/// Consumes leading attributes from `toks[*i]`, reporting whether any was
+/// `#[serde(transparent)]`.
+fn skip_attrs(toks: &[TokenTree], i: &mut usize) -> bool {
+    let mut transparent = false;
+    while *i < toks.len() {
+        match &toks[*i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = toks.get(*i) {
+                    if attr_is_transparent(g) {
+                        transparent = true;
+                    }
+                    *i += 1;
+                }
+            }
+            _ => break,
+        }
+    }
+    transparent
+}
+
+/// Consumes an optional `pub` / `pub(...)` visibility.
+fn skip_vis(toks: &[TokenTree], i: &mut usize) {
+    if matches!(&toks[*i], TokenTree::Ident(id) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(toks.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+/// Splits the tokens of a brace/paren group at top-level commas (tracking
+/// `<…>` nesting, which is *not* a token group). The `>` of a joint `->`
+/// (e.g. in an `fn(..) -> T` field type) is not a closing angle bracket,
+/// and a stray `>` never drives the depth negative.
+fn split_top_level_commas(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut out: Vec<Vec<TokenTree>> = vec![Vec::new()];
+    let mut angle: i32 = 0;
+    let mut prev_joint_minus = false;
+    for t in stream {
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' && !prev_joint_minus => {
+                angle = (angle - 1).max(0);
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                prev_joint_minus = false;
+                out.push(Vec::new());
+                continue;
+            }
+            _ => {}
+        }
+        prev_joint_minus = matches!(
+            &t,
+            TokenTree::Punct(p)
+                if p.as_char() == '-' && p.spacing() == proc_macro::Spacing::Joint
+        );
+        out.last_mut().unwrap().push(t);
+    }
+    if out.last().map(Vec::is_empty).unwrap_or(false) {
+        out.pop();
+    }
+    out
+}
+
+/// Parses the field list of a named-fields body, returning field names.
+fn parse_named_fields(group: &proc_macro::Group) -> Vec<String> {
+    split_top_level_commas(group.stream())
+        .into_iter()
+        .map(|toks| {
+            let mut i = 0usize;
+            skip_attrs(&toks, &mut i);
+            skip_vis(&toks, &mut i);
+            match &toks[i] {
+                TokenTree::Ident(id) => id.to_string(),
+                other => panic!("serde_derive: unexpected token in field position: {other}"),
+            }
+        })
+        .collect()
+}
+
+fn parse_variant_fields(toks: &[TokenTree], i: &mut usize) -> Fields {
+    match toks.get(*i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            *i += 1;
+            Fields::Tuple(split_top_level_commas(g.stream()).len())
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            *i += 1;
+            Fields::Named(parse_named_fields(g))
+        }
+        _ => Fields::Unit,
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0usize;
+    let transparent = skip_attrs(&toks, &mut i);
+    skip_vis(&toks, &mut i);
+    let kind = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, found {other}"),
+    };
+    i += 1;
+    let name = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected item name, found {other}"),
+    };
+    i += 1;
+    if matches!(&toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive (vendored): generic types are not supported — `{name}`");
+    }
+    match kind.as_str() {
+        "struct" => {
+            let fields = match toks.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(split_top_level_commas(g.stream()).len())
+                }
+                _ => Fields::Unit,
+            };
+            Item::Struct {
+                name,
+                fields,
+                transparent,
+            }
+        }
+        "enum" => {
+            let body = match toks.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.clone(),
+                other => panic!("serde_derive: expected enum body, found {other:?}"),
+            };
+            let variants = split_top_level_commas(body.stream())
+                .into_iter()
+                .map(|vtoks| {
+                    let mut j = 0usize;
+                    skip_attrs(&vtoks, &mut j);
+                    let vname = match &vtoks[j] {
+                        TokenTree::Ident(id) => id.to_string(),
+                        other => panic!("serde_derive: bad variant: {other}"),
+                    };
+                    j += 1;
+                    let fields = parse_variant_fields(&vtoks, &mut j);
+                    Variant {
+                        name: vname,
+                        fields,
+                    }
+                })
+                .collect();
+            Item::Enum { name, variants }
+        }
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation (as strings; `TokenStream: FromStr` does the lexing)
+// ---------------------------------------------------------------------------
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let body = match parse_item(input) {
+        Item::Struct {
+            name,
+            fields,
+            transparent,
+        } => {
+            let expr = match &fields {
+                Fields::Unit => "::serde::Value::Null".to_string(),
+                Fields::Named(names) if transparent && names.len() == 1 => {
+                    format!("::serde::Serialize::to_value(&self.{})", names[0])
+                }
+                Fields::Named(names) => {
+                    let entries: Vec<String> = names
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}))"
+                            )
+                        })
+                        .collect();
+                    format!("::serde::Value::Map(vec![{}])", entries.join(", "))
+                }
+                Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    let elems: Vec<String> = (0..*n)
+                        .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                        .collect();
+                    format!("::serde::Value::Seq(vec![{}])", elems.join(", "))
+                }
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ {expr} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        Fields::Unit => format!(
+                            "{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),"
+                        ),
+                        Fields::Tuple(1) => format!(
+                            "{name}::{vn}(x0) => ::serde::Value::Map(vec![(\"{vn}\".to_string(), \
+                             ::serde::Serialize::to_value(x0))]),"
+                        ),
+                        Fields::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|k| format!("x{k}")).collect();
+                            let elems: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => ::serde::Value::Map(vec![(\"{vn}\".to_string(), \
+                                 ::serde::Value::Seq(vec![{}]))]),",
+                                binds.join(", "),
+                                elems.join(", ")
+                            )
+                        }
+                        Fields::Named(fs) => {
+                            let binds = fs.join(", ");
+                            let entries: Vec<String> = fs
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(\"{f}\".to_string(), ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => ::serde::Value::Map(vec![(\"{vn}\"\
+                                 .to_string(), ::serde::Value::Map(vec![{}]))]),",
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ match self {{ {} }} }}\n\
+                 }}",
+                arms.join("\n")
+            )
+        }
+    };
+    body.parse()
+        .expect("serde_derive: generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let body = match parse_item(input) {
+        Item::Struct {
+            name,
+            fields,
+            transparent,
+        } => {
+            let expr = match &fields {
+                Fields::Unit => format!("::std::result::Result::Ok({name})"),
+                Fields::Named(names) if transparent && names.len() == 1 => format!(
+                    "::std::result::Result::Ok({name} {{ {}: ::serde::Deserialize::from_value(v)? }})",
+                    names[0]
+                ),
+                Fields::Named(names) => {
+                    let inits: Vec<String> = names
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "{f}: ::serde::Deserialize::from_value(::serde::value::field(m, \"{f}\")?)?"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "let m = v.as_map().ok_or_else(|| ::serde::DeError::custom(\
+                         format!(\"expected map for struct {name}, got {{v:?}}\")))?;\n\
+                         ::std::result::Result::Ok({name} {{ {} }})",
+                        inits.join(", ")
+                    )
+                }
+                Fields::Tuple(1) => format!(
+                    "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))"
+                ),
+                Fields::Tuple(n) => {
+                    let inits: Vec<String> = (0..*n)
+                        .map(|k| format!("::serde::Deserialize::from_value(&seq[{k}])?"))
+                        .collect();
+                    format!(
+                        "let seq = v.as_seq().ok_or_else(|| ::serde::DeError::custom(\
+                         format!(\"expected sequence for tuple struct {name}\")))?;\n\
+                         if seq.len() != {n} {{ return ::std::result::Result::Err(\
+                         ::serde::DeError::custom(format!(\"expected {n} elements\"))); }}\n\
+                         ::std::result::Result::Ok({name}({}))",
+                        inits.join(", ")
+                    )
+                }
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         {expr}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.fields, Fields::Unit))
+                .map(|v| {
+                    format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),",
+                        vn = v.name
+                    )
+                })
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        Fields::Unit => None,
+                        Fields::Tuple(1) => Some(format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(\
+                             ::serde::Deserialize::from_value(inner)?)),"
+                        )),
+                        Fields::Tuple(n) => {
+                            let inits: Vec<String> = (0..*n)
+                                .map(|k| format!("::serde::Deserialize::from_value(&seq[{k}])?"))
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => {{\n\
+                                 let seq = inner.as_seq().ok_or_else(|| ::serde::DeError::custom(\
+                                 \"expected sequence for tuple variant\"))?;\n\
+                                 if seq.len() != {n} {{ return ::std::result::Result::Err(\
+                                 ::serde::DeError::custom(\"wrong tuple variant arity\")); }}\n\
+                                 ::std::result::Result::Ok({name}::{vn}({}))\n}}",
+                                inits.join(", ")
+                            ))
+                        }
+                        Fields::Named(fs) => {
+                            let inits: Vec<String> = fs
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::Deserialize::from_value(\
+                                         ::serde::value::field(fm, \"{f}\")?)?"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => {{\n\
+                                 let fm = inner.as_map().ok_or_else(|| ::serde::DeError::custom(\
+                                 \"expected map for struct variant\"))?;\n\
+                                 ::std::result::Result::Ok({name}::{vn} {{ {} }})\n}}",
+                                inits.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                     match v {{\n\
+                         ::serde::Value::Str(s) => match s.as_str() {{\n\
+                             {units}\n\
+                             other => ::std::result::Result::Err(::serde::DeError::custom(\
+                                 format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+                         }},\n\
+                         ::serde::Value::Map(entries) if entries.len() == 1 => {{\n\
+                             let (tag, inner) = &entries[0];\n\
+                             let _ = inner;\n\
+                             match tag.as_str() {{\n\
+                                 {datas}\n\
+                                 other => ::std::result::Result::Err(::serde::DeError::custom(\
+                                     format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+                             }}\n\
+                         }},\n\
+                         other => ::std::result::Result::Err(::serde::DeError::custom(\
+                             format!(\"expected {name} variant, got {{other:?}}\"))),\n\
+                     }}\n\
+                 }}\n\
+                 }}",
+                units = unit_arms.join("\n"),
+                datas = data_arms.join("\n"),
+            )
+        }
+    };
+    body.parse()
+        .expect("serde_derive: generated invalid Deserialize impl")
+}
