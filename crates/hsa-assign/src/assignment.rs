@@ -54,9 +54,9 @@ pub fn evaluate_cut(
     prep: &Prepared<'_>,
     cut: &Cut,
 ) -> Result<(Assignment, DelayReport), AssignError> {
-    cut.validate(prep.tree)?;
+    cut.validate(&prep.tree)?;
     // Where does each CRU go?
-    let below = cut.below_mask(prep.tree);
+    let below = cut.below_mask(&prep.tree);
     let mut host = Vec::new();
     let mut per_satellite: Vec<Vec<CruId>> = vec![Vec::new(); prep.n_satellites() as usize];
     for c in prep.tree.preorder() {
@@ -72,9 +72,9 @@ pub fn evaluate_cut(
         }
     }
 
-    let host_time = host_time_of_cut(prep.tree, prep.costs, cut.edges());
+    let host_time = host_time_of_cut(&prep.tree, &prep.costs, cut.edges());
     let colour_of = |e: TreeEdge| prep.colouring.edge_colour(e).satellite();
-    let loads = satellite_loads_of_cut(prep.tree, prep.costs, colour_of, cut.edges());
+    let loads = satellite_loads_of_cut(&prep.tree, &prep.costs, colour_of, cut.edges());
     let satellite_loads: Vec<SatelliteLoad> = loads
         .iter()
         .enumerate()

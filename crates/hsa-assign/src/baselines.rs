@@ -6,7 +6,7 @@ use crate::{
     evaluate_cut, solve_sb_expanded, AssignError, ExpandedConfig, Prepared, Solution, SolveStats,
     Solver,
 };
-use hsa_graph::{Cost, Lambda};
+use hsa_graph::{Cost, Lambda, SolveScratch};
 use hsa_tree::{Cut, TreeEdge};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -20,10 +20,15 @@ impl Solver for AllOnHost {
         "all-on-host"
     }
 
-    fn solve(&self, prep: &Prepared<'_>, lambda: Lambda) -> Result<Solution, AssignError> {
+    fn solve_in(
+        &self,
+        prep: &Prepared<'_>,
+        lambda: Lambda,
+        _scratch: &mut SolveScratch,
+    ) -> Result<Solution, AssignError> {
         Solution::from_cut(
             prep,
-            Cut::all_on_host(prep.tree),
+            Cut::all_on_host(&prep.tree),
             lambda,
             SolveStats::default(),
         )
@@ -40,10 +45,15 @@ impl Solver for MaxOffload {
         "max-offload"
     }
 
-    fn solve(&self, prep: &Prepared<'_>, lambda: Lambda) -> Result<Solution, AssignError> {
+    fn solve_in(
+        &self,
+        prep: &Prepared<'_>,
+        lambda: Lambda,
+        _scratch: &mut SolveScratch,
+    ) -> Result<Solution, AssignError> {
         Solution::from_cut(
             prep,
-            Cut::max_offload(prep.tree, &prep.colouring),
+            Cut::max_offload(&prep.tree, &prep.colouring),
             lambda,
             SolveStats::default(),
         )
@@ -63,12 +73,17 @@ impl Solver for GreedyDescent {
         "greedy-descent"
     }
 
-    fn solve(&self, prep: &Prepared<'_>, lambda: Lambda) -> Result<Solution, AssignError> {
-        let mut current = Cut::max_offload(prep.tree, &prep.colouring);
+    fn solve_in(
+        &self,
+        prep: &Prepared<'_>,
+        lambda: Lambda,
+        _scratch: &mut SolveScratch,
+    ) -> Result<Solution, AssignError> {
+        let mut current = Cut::max_offload(&prep.tree, &prep.colouring);
         let (_, rep) = evaluate_cut(prep, &current)?;
         let mut best_obj = rep.ssb_scaled(lambda);
         let mut evaluated = 1u64;
-        let mut iterations = 0usize;
+        let mut iterations = 0u64;
         loop {
             iterations += 1;
             let mut improved: Option<(Cut, u128)> = None;
@@ -79,7 +94,7 @@ impl Solver for GreedyDescent {
                 let mut edges: Vec<TreeEdge> = current.edges().to_vec();
                 edges.remove(i);
                 edges.extend(children);
-                let cand = Cut::new(prep.tree, edges)?;
+                let cand = Cut::new(&prep.tree, edges)?;
                 let (_, rep) = evaluate_cut(prep, &cand)?;
                 evaluated += 1;
                 let obj = rep.ssb_scaled(lambda);
@@ -153,7 +168,12 @@ impl Solver for RandomCut {
         "random-cut"
     }
 
-    fn solve(&self, prep: &Prepared<'_>, lambda: Lambda) -> Result<Solution, AssignError> {
+    fn solve_in(
+        &self,
+        prep: &Prepared<'_>,
+        lambda: Lambda,
+        _scratch: &mut SolveScratch,
+    ) -> Result<Solution, AssignError> {
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut edges = Vec::new();
         let mut stack = vec![prep.tree.root()];
@@ -173,7 +193,7 @@ impl Solver for RandomCut {
         }
         Solution::from_cut(
             prep,
-            Cut::new(prep.tree, edges)?,
+            Cut::new(&prep.tree, edges)?,
             lambda,
             SolveStats::default(),
         )
@@ -194,7 +214,12 @@ impl Solver for SbObjective {
         "sb-objective"
     }
 
-    fn solve(&self, prep: &Prepared<'_>, lambda: Lambda) -> Result<Solution, AssignError> {
+    fn solve_in(
+        &self,
+        prep: &Prepared<'_>,
+        lambda: Lambda,
+        _scratch: &mut SolveScratch,
+    ) -> Result<Solution, AssignError> {
         let (mut sol, _sb) = solve_sb_expanded(prep, &self.config)?;
         // Re-report the objective under the requested λ for comparability.
         sol.lambda = lambda;

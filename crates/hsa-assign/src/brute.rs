@@ -3,7 +3,7 @@
 //! ground truth the polynomial solvers are property-tested against.
 
 use crate::{AssignError, Prepared, Solution, SolveStats, Solver};
-use hsa_graph::Lambda;
+use hsa_graph::{Lambda, SolveScratch};
 use hsa_tree::{bottleneck_of_cut, count_cuts, for_each_cut, host_time_of_cut, Cut, TreeEdge};
 
 /// Exhaustive enumeration solver.
@@ -26,19 +26,24 @@ impl Solver for BruteForce {
         "brute-force"
     }
 
-    fn solve(&self, prep: &Prepared<'_>, lambda: Lambda) -> Result<Solution, AssignError> {
+    fn solve_in(
+        &self,
+        prep: &Prepared<'_>,
+        lambda: Lambda,
+        _scratch: &mut SolveScratch,
+    ) -> Result<Solution, AssignError> {
         let cuttable = |e: TreeEdge| prep.colouring.cuttable(e);
-        let total = count_cuts(prep.tree, &cuttable);
+        let total = count_cuts(&prep.tree, &cuttable);
         if total > self.max_cuts {
             return Err(AssignError::BruteForceTooLarge { cap: self.max_cuts });
         }
         let colour_of = |e: TreeEdge| prep.colouring.edge_colour(e).satellite();
         let mut best: Option<(Cut, u128)> = None;
         let mut evaluated = 0u64;
-        for_each_cut(prep.tree, &cuttable, &mut |cut| {
+        for_each_cut(&prep.tree, &cuttable, &mut |cut| {
             evaluated += 1;
-            let s = host_time_of_cut(prep.tree, prep.costs, cut.edges());
-            let b = bottleneck_of_cut(prep.tree, prep.costs, colour_of, cut.edges());
+            let s = host_time_of_cut(&prep.tree, &prep.costs, cut.edges());
+            let b = bottleneck_of_cut(&prep.tree, &prep.costs, colour_of, cut.edges());
             let obj = lambda.ssb_scaled(s, b);
             // Deterministic tie-break: first (lexicographically smallest
             // edge list, since enumeration order is deterministic) wins.

@@ -30,7 +30,7 @@
 //! rather than degrade silently.
 
 use crate::{AssignError, Prepared, Solution, SolveStats, Solver};
-use hsa_graph::{Cost, Lambda};
+use hsa_graph::{Cost, Lambda, SolveScratch};
 #[cfg(test)]
 use hsa_tree::SatelliteId;
 use hsa_tree::{Colour, CruId, Cut, TreeEdge};
@@ -196,7 +196,9 @@ pub fn colour_frontiers(
 
 /// For each colour, the index of the cheapest-σ point with β ≤ θ (i.e. the
 /// last frontier point with β ≤ θ, frontiers being β-sorted/σ-descending).
-fn pick_for_threshold(frontiers: &[Frontier], theta: Cost) -> Option<Vec<usize>> {
+/// Shared with the λ-frontier so both sweeps pick identically by
+/// construction.
+pub(crate) fn pick_for_threshold(frontiers: &[Frontier], theta: Cost) -> Option<Vec<usize>> {
     let mut picks = Vec::with_capacity(frontiers.len());
     for f in frontiers {
         let idx = f.partition_point(|p| p.beta <= theta);
@@ -219,8 +221,91 @@ fn assemble(
     for (f, &i) in frontiers.iter().zip(picks) {
         edges.extend_from_slice(&f[i].edges);
     }
-    let cut = Cut::new(prep.tree, edges)?;
+    let cut = Cut::new(&prep.tree, edges)?;
     Solution::from_cut(prep, cut, lambda, stats)
+}
+
+/// The λ-independent half of the full-expansion solver: per-colour Pareto
+/// frontiers plus the sorted candidate thresholds.
+///
+/// Preparing a `FrontierSet` is the expensive part of every
+/// [`Expanded`] solve (the post-order Minkowski DP); the per-λ remainder
+/// ([`solve_with_frontiers`]) is a single sweep over the thresholds. Batch
+/// services cache one `FrontierSet` per instance and answer each λ query
+/// from it — byte-identically to a fresh [`Expanded::solve`], at a fraction
+/// of the cost.
+#[derive(Clone, Debug)]
+pub struct FrontierSet {
+    /// Per-satellite Pareto frontiers (β ascending, σ strictly descending).
+    pub frontiers: Vec<Frontier>,
+    /// Sorted distinct candidate thresholds (every frontier β value).
+    pub thetas: Vec<Cost>,
+    /// Total frontier points — the paper's |E′|.
+    pub composites: u64,
+}
+
+impl FrontierSet {
+    /// Computes the frontiers and thresholds for an instance.
+    pub fn prepare(prep: &Prepared<'_>, cfg: &ExpandedConfig) -> Result<FrontierSet, AssignError> {
+        let frontiers = colour_frontiers(prep, cfg)?;
+        let composites: u64 = frontiers.iter().map(|f| f.len() as u64).sum();
+        let mut thetas: Vec<Cost> = frontiers
+            .iter()
+            .flat_map(|f| f.iter().map(|p| p.beta))
+            .collect();
+        thetas.sort();
+        thetas.dedup();
+        Ok(FrontierSet {
+            frontiers,
+            thetas,
+            composites,
+        })
+    }
+}
+
+/// Solves one λ query from a prepared [`FrontierSet`]: the threshold sweep
+/// half of the full-expansion solver. Produces exactly the answer (cut,
+/// objective, stats) that [`Expanded::solve`] computes from scratch.
+pub fn solve_with_frontiers(
+    prep: &Prepared<'_>,
+    fs: &FrontierSet,
+    lambda: Lambda,
+) -> Result<Solution, AssignError> {
+    let mut best: Option<(u128, Vec<usize>)> = None;
+    let mut evaluated = 0u64;
+    for &theta in &fs.thetas {
+        let Some(picks) = pick_for_threshold(&fs.frontiers, theta) else {
+            continue;
+        };
+        evaluated += 1;
+        let s: Cost = picks
+            .iter()
+            .zip(&fs.frontiers)
+            .map(|(&i, f)| f[i].sigma)
+            .sum();
+        // The *actual* B may be below θ; use it.
+        let b: Cost = picks
+            .iter()
+            .zip(&fs.frontiers)
+            .map(|(&i, f)| f[i].beta)
+            .fold(Cost::ZERO, Cost::max);
+        let obj = lambda.ssb_scaled(s, b);
+        if best.as_ref().map(|(o, _)| obj < *o).unwrap_or(true) {
+            best = Some((obj, picks));
+        }
+    }
+    let (_, picks) = best.ok_or(AssignError::NoFeasibleAssignment)?;
+    assemble(
+        prep,
+        &fs.frontiers,
+        &picks,
+        lambda,
+        SolveStats {
+            composites: fs.composites,
+            evaluated,
+            ..SolveStats::default()
+        },
+    )
 }
 
 /// The full-expansion exact solver for the SSB objective.
@@ -235,49 +320,14 @@ impl Solver for Expanded {
         "expanded"
     }
 
-    fn solve(&self, prep: &Prepared<'_>, lambda: Lambda) -> Result<Solution, AssignError> {
-        let frontiers = colour_frontiers(prep, &self.config)?;
-        let composites: usize = frontiers.iter().map(|f| f.len()).sum();
-
-        // Candidate thresholds: every frontier β value.
-        let mut thetas: Vec<Cost> = frontiers
-            .iter()
-            .flat_map(|f| f.iter().map(|p| p.beta))
-            .collect();
-        thetas.sort();
-        thetas.dedup();
-
-        let mut best: Option<(u128, Vec<usize>)> = None;
-        let mut evaluated = 0u64;
-        for &theta in &thetas {
-            let Some(picks) = pick_for_threshold(&frontiers, theta) else {
-                continue;
-            };
-            evaluated += 1;
-            let s: Cost = picks.iter().zip(&frontiers).map(|(&i, f)| f[i].sigma).sum();
-            // The *actual* B may be below θ; use it.
-            let b: Cost = picks
-                .iter()
-                .zip(&frontiers)
-                .map(|(&i, f)| f[i].beta)
-                .fold(Cost::ZERO, Cost::max);
-            let obj = lambda.ssb_scaled(s, b);
-            if best.as_ref().map(|(o, _)| obj < *o).unwrap_or(true) {
-                best = Some((obj, picks));
-            }
-        }
-        let (_, picks) = best.ok_or(AssignError::NoFeasibleAssignment)?;
-        assemble(
-            prep,
-            &frontiers,
-            &picks,
-            lambda,
-            SolveStats {
-                composites,
-                evaluated,
-                ..SolveStats::default()
-            },
-        )
+    fn solve_in(
+        &self,
+        prep: &Prepared<'_>,
+        lambda: Lambda,
+        _scratch: &mut SolveScratch,
+    ) -> Result<Solution, AssignError> {
+        let fs = FrontierSet::prepare(prep, &self.config)?;
+        solve_with_frontiers(prep, &fs, lambda)
     }
 }
 
@@ -287,23 +337,20 @@ pub fn solve_sb_expanded(
     prep: &Prepared<'_>,
     config: &ExpandedConfig,
 ) -> Result<(Solution, Cost), AssignError> {
-    let frontiers = colour_frontiers(prep, config)?;
-    let mut thetas: Vec<Cost> = frontiers
-        .iter()
-        .flat_map(|f| f.iter().map(|p| p.beta))
-        .collect();
-    thetas.sort();
-    thetas.dedup();
-
+    let fs = FrontierSet::prepare(prep, config)?;
     let mut best: Option<(Cost, Vec<usize>)> = None;
-    for &theta in &thetas {
-        let Some(picks) = pick_for_threshold(&frontiers, theta) else {
+    for &theta in &fs.thetas {
+        let Some(picks) = pick_for_threshold(&fs.frontiers, theta) else {
             continue;
         };
-        let s: Cost = picks.iter().zip(&frontiers).map(|(&i, f)| f[i].sigma).sum();
+        let s: Cost = picks
+            .iter()
+            .zip(&fs.frontiers)
+            .map(|(&i, f)| f[i].sigma)
+            .sum();
         let b: Cost = picks
             .iter()
-            .zip(&frontiers)
+            .zip(&fs.frontiers)
             .map(|(&i, f)| f[i].beta)
             .fold(Cost::ZERO, Cost::max);
         let sb = s.max(b);
@@ -312,16 +359,15 @@ pub fn solve_sb_expanded(
         }
     }
     let (sb, picks) = best.ok_or(AssignError::NoFeasibleAssignment)?;
-    let composites: usize = frontiers.iter().map(|f| f.len()).sum();
     let sol = assemble(
         prep,
-        &frontiers,
+        &fs.frontiers,
         &picks,
         // Report with λ=½ so `objective` is the S+B delay of the SB-optimal
         // partition — what T3 compares.
         Lambda::HALF,
         SolveStats {
-            composites,
+            composites: fs.composites,
             ..SolveStats::default()
         },
     )?;

@@ -29,6 +29,7 @@ mod coloured;
 mod dual;
 mod error;
 mod expanded;
+mod frontier;
 mod paper_ssb;
 mod prepared;
 mod solver;
@@ -42,16 +43,23 @@ pub use coloured::ColouredMeasure;
 pub use dual::{AssignmentGraph, DualEdge};
 pub use error::AssignError;
 pub use expanded::{
-    colour_frontiers, solve_sb_expanded, Expanded, ExpandedConfig, Frontier, FrontierPoint,
+    colour_frontiers, solve_sb_expanded, solve_with_frontiers, Expanded, ExpandedConfig, Frontier,
+    FrontierPoint, FrontierSet,
 };
-pub use paper_ssb::{solve_with_trace, PaperSsb, PaperSsbConfig, SsbEvent};
+pub use frontier::{lambda_frontier, lambda_frontier_with, LambdaFrontier};
+pub use paper_ssb::{solve_with_trace, solve_with_trace_in, PaperSsb, PaperSsbConfig, SsbEvent};
 pub use prepared::Prepared;
 pub use solver::{Solution, SolveStats, Solver};
+
+// Re-exported so downstream crates name the workspace type without a direct
+// hsa-graph dependency.
+pub use hsa_graph::SolveScratch;
 
 /// Commonly used items, for glob import in examples and tests.
 pub mod prelude {
     pub use crate::{
-        evaluate_cut, AllOnHost, AssignError, Assignment, BruteForce, DelayReport, Expanded,
-        GreedyDescent, MaxOffload, PaperSsb, Prepared, SbObjective, Solution, Solver,
+        evaluate_cut, lambda_frontier, AllOnHost, AssignError, Assignment, BruteForce, DelayReport,
+        Expanded, GreedyDescent, LambdaFrontier, MaxOffload, PaperSsb, Prepared, SbObjective,
+        Solution, SolveScratch, Solver,
     };
 }

@@ -33,7 +33,7 @@
 //! solver over thousands of random instances (see `tests/`).
 
 use crate::{AssignError, Prepared, Solution, SolveStats, Solver};
-use hsa_graph::{Cost, Lambda, ScaledSsb, SSB_INFINITY};
+use hsa_graph::{Cost, Lambda, ScaledSsb, SolveScratch, SSB_INFINITY};
 use hsa_tree::{Band, Cut, SatelliteId, TreeEdge};
 use std::collections::BTreeSet;
 
@@ -104,8 +104,13 @@ impl Solver for PaperSsb {
         "paper-ssb"
     }
 
-    fn solve(&self, prep: &Prepared<'_>, lambda: Lambda) -> Result<Solution, AssignError> {
-        let (sol, _trace) = solve_with_trace(prep, lambda, &self.config)?;
+    fn solve_in(
+        &self,
+        prep: &Prepared<'_>,
+        lambda: Lambda,
+        scratch: &mut SolveScratch,
+    ) -> Result<Solution, AssignError> {
+        let (sol, _trace) = solve_with_trace_in(prep, lambda, &self.config, scratch)?;
         Ok(sol)
     }
 }
@@ -117,6 +122,17 @@ pub fn solve_with_trace(
     lambda: Lambda,
     config: &PaperSsbConfig,
 ) -> Result<(Solution, Vec<SsbEvent>), AssignError> {
+    solve_with_trace_in(prep, lambda, config, &mut SolveScratch::new())
+}
+
+/// [`solve_with_trace`] running in a reusable workspace: the per-iteration
+/// min-S DP and the per-colour load sums reuse the scratch buffers.
+pub fn solve_with_trace_in(
+    prep: &Prepared<'_>,
+    lambda: Lambda,
+    config: &PaperSsbConfig,
+    ws: &mut SolveScratch,
+) -> Result<(Solution, Vec<SsbEvent>), AssignError> {
     let graph = SearchGraph::from_prepared(prep);
     let mut ctx = Ctx {
         prep,
@@ -127,9 +143,9 @@ pub fn solve_with_trace(
         stats: SolveStats::default(),
         trace: Vec::new(),
     };
-    search(&mut ctx, graph, &BTreeSet::new())?;
+    search(&mut ctx, graph, &BTreeSet::new(), ws)?;
     let best = ctx.best.ok_or(AssignError::NoFeasibleAssignment)?;
-    let cut = Cut::new(prep.tree, best)?;
+    let cut = Cut::new(&prep.tree, best)?;
     let sol = Solution::from_cut(prep, cut, lambda, ctx.stats)?;
     Ok((sol, ctx.trace))
 }
@@ -190,14 +206,17 @@ impl SearchGraph {
         idx
     }
 
-    /// Min-S path via DP over the gap order. Returns edge indexes.
-    fn min_s_path(&self) -> Option<Vec<usize>> {
+    /// Min-S path via DP over the gap order, run inside the reusable
+    /// workspace (the DAG analogue of the scratch-threaded Dijkstra).
+    /// Returns edge indexes.
+    fn min_s_path(&self, ws: &mut SolveScratch) -> Option<Vec<usize>> {
         let n = self.n_gaps + 1;
-        let mut dist = vec![Cost::MAX; n];
-        let mut pred: Vec<Option<usize>> = vec![None; n];
-        dist[0] = Cost::ZERO;
+        debug_assert!(self.edges.len() < u32::MAX as usize);
+        ws.begin(n);
+        ws.seed(0, Cost::ZERO);
         for g in 0..self.n_gaps {
-            if dist[g] == Cost::MAX {
+            let dg = ws.dist(g);
+            if dg == Cost::MAX {
                 continue;
             }
             for &ei in &self.out[g] {
@@ -205,20 +224,16 @@ impl SearchGraph {
                 if !e.alive {
                     continue;
                 }
-                let nd = dist[g] + e.sigma;
-                if nd < dist[e.to as usize] {
-                    dist[e.to as usize] = nd;
-                    pred[e.to as usize] = Some(ei);
-                }
+                ws.improve(e.to as usize, dg + e.sigma, ei as u32);
             }
         }
-        if dist[self.n_gaps] == Cost::MAX {
+        if ws.dist(self.n_gaps) == Cost::MAX {
             return None;
         }
         let mut path = Vec::new();
         let mut at = self.n_gaps;
         while at != 0 {
-            let ei = pred[at]?;
+            let ei = ws.pred(at)? as usize;
             path.push(ei);
             at = self.edges[ei].from as usize;
         }
@@ -226,16 +241,17 @@ impl SearchGraph {
         Some(path)
     }
 
-    /// S and per-colour β sums of a path.
-    fn measure(&self, path: &[usize], n_sats: u32) -> (Cost, Vec<Cost>) {
+    /// S of a path, with the per-colour β sums written into `per`.
+    fn measure_into(&self, path: &[usize], n_sats: u32, per: &mut Vec<Cost>) -> Cost {
+        per.clear();
+        per.resize(n_sats as usize, Cost::ZERO);
         let mut s = Cost::ZERO;
-        let mut per = vec![Cost::ZERO; n_sats as usize];
         for &ei in path {
             let e = &self.edges[ei];
             s += e.sigma;
             per[e.colour.index()] += e.beta;
         }
-        (s, per)
+        s
     }
 
     /// Expands every band of `colour` into Pareto-pruned composites.
@@ -393,14 +409,16 @@ fn search(
     ctx: &mut Ctx<'_, '_>,
     mut graph: SearchGraph,
     pinned: &BTreeSet<u32>,
+    ws: &mut SolveScratch,
 ) -> Result<(), AssignError> {
     let n_sats = ctx.prep.n_satellites();
     loop {
-        let Some(path) = graph.min_s_path() else {
+        let Some(path) = graph.min_s_path(ws) else {
             return Ok(()); // disconnected: candidate (if any) is optimal here
         };
         ctx.stats.iterations += 1;
-        let (s, per) = graph.measure(&path, n_sats);
+        let mut per = std::mem::take(&mut ws.cost_buf);
+        let s = graph.measure_into(&path, n_sats, &mut per);
         let (b, argmax) =
             per.iter()
                 .enumerate()
@@ -411,6 +429,7 @@ fn search(
                         (best, who)
                     }
                 });
+        ws.cost_buf = per;
         let ssb = ctx.lambda.ssb_scaled(s, b);
         let improved = ssb < ctx.best_ssb;
         if improved {
@@ -448,7 +467,7 @@ fn search(
             for &ei in &removable {
                 graph.edges[ei].alive = false;
             }
-            ctx.stats.edges_removed += removable.len();
+            ctx.stats.edges_removed += removable.len() as u64;
             if ctx.config.record_trace {
                 ctx.trace.push(SsbEvent::Iteration {
                     s,
@@ -495,7 +514,7 @@ fn search(
             let composites =
                 graph.expand_colour(colour, &ctx.prep.colouring.bands, ctx.config.frontier_cap)?;
             ctx.stats.expansions += 1;
-            ctx.stats.composites += composites;
+            ctx.stats.composites += composites as u64;
             if ctx.config.record_trace {
                 ctx.trace.push(SsbEvent::Expansion {
                     colour,
@@ -553,8 +572,8 @@ fn search(
                 });
             }
         }
-        ctx.stats.branches += combos.len();
-        if ctx.stats.branches > ctx.config.max_branches {
+        ctx.stats.branches += combos.len() as u64;
+        if ctx.stats.branches > ctx.config.max_branches as u64 {
             return Err(AssignError::Internal(format!(
                 "branch budget of {} exceeded",
                 ctx.config.max_branches
@@ -578,7 +597,7 @@ fn search(
                     }
                 }
             }
-            search(ctx, g2, &pinned2)?;
+            search(ctx, g2, &pinned2, ws)?;
         }
         return Ok(());
     }

@@ -2,16 +2,23 @@
 
 use crate::{AssignError, AssignmentGraph};
 use hsa_tree::{BetaLabels, Colouring, CostModel, CruTree, SigmaLabels};
+use std::borrow::Cow;
 
 /// Everything the solvers need, computed once per instance:
 /// colouring (§5.1), σ/β labels (§5.3) and the coloured assignment graph
 /// (§5.2).
+///
+/// The tree and cost model are held as [`Cow`]s: [`Prepared::new`] borrows
+/// the caller's instance (zero-copy, the common one-shot case), while
+/// [`Prepared::new_owned`] produces a self-contained `Prepared<'static>`
+/// that batch services (the `hsa-engine` crate) can cache and share across
+/// queries without rebuilding or re-labelling anything.
 #[derive(Clone, Debug)]
 pub struct Prepared<'a> {
     /// The CRU tree.
-    pub tree: &'a CruTree,
+    pub tree: Cow<'a, CruTree>,
     /// Its cost model.
-    pub costs: &'a CostModel,
+    pub costs: Cow<'a, CostModel>,
     /// The §5.1 colouring.
     pub colouring: Colouring,
     /// The Figure 8 σ labelling.
@@ -22,24 +29,61 @@ pub struct Prepared<'a> {
     pub graph: AssignmentGraph,
 }
 
+/// The derived (λ-independent) parts of an instance.
+type Derived = (Colouring, SigmaLabels, BetaLabels, AssignmentGraph);
+
+fn derive(tree: &CruTree, costs: &CostModel) -> Result<Derived, AssignError> {
+    tree.validate()?;
+    costs.validate(tree)?;
+    let colouring = Colouring::compute(tree, costs)?;
+    let sigma = SigmaLabels::compute(tree, costs)?;
+    let beta = BetaLabels::compute(tree, costs)?;
+    let graph = AssignmentGraph::build(tree, &colouring, &sigma, &beta)?;
+    Ok((colouring, sigma, beta, graph))
+}
+
 impl<'a> Prepared<'a> {
-    /// Prepares an instance: validates the cost model, colours the tree,
-    /// labels the edges, and builds the dual graph.
+    /// Prepares an instance borrowed from the caller: validates the cost
+    /// model, colours the tree, labels the edges, and builds the dual
+    /// graph.
     pub fn new(tree: &'a CruTree, costs: &'a CostModel) -> Result<Self, AssignError> {
-        tree.validate()?;
-        costs.validate(tree)?;
-        let colouring = Colouring::compute(tree, costs)?;
-        let sigma = SigmaLabels::compute(tree, costs)?;
-        let beta = BetaLabels::compute(tree, costs)?;
-        let graph = AssignmentGraph::build(tree, &colouring, &sigma, &beta)?;
+        let (colouring, sigma, beta, graph) = derive(tree, costs)?;
         Ok(Prepared {
-            tree,
-            costs,
+            tree: Cow::Borrowed(tree),
+            costs: Cow::Borrowed(costs),
             colouring,
             sigma,
             beta,
             graph,
         })
+    }
+
+    /// Prepares an instance that *owns* its tree and cost model, severing
+    /// every borrow: the result can be stored, cached, and shared across
+    /// threads for repeated solving.
+    pub fn new_owned(tree: CruTree, costs: CostModel) -> Result<Prepared<'static>, AssignError> {
+        let (colouring, sigma, beta, graph) = derive(&tree, &costs)?;
+        Ok(Prepared {
+            tree: Cow::Owned(tree),
+            costs: Cow::Owned(costs),
+            colouring,
+            sigma,
+            beta,
+            graph,
+        })
+    }
+
+    /// Converts into a self-contained instance, cloning the tree and cost
+    /// model if they were borrowed. Derived data is moved, never recomputed.
+    pub fn into_owned(self) -> Prepared<'static> {
+        Prepared {
+            tree: Cow::Owned(self.tree.into_owned()),
+            costs: Cow::Owned(self.costs.into_owned()),
+            colouring: self.colouring,
+            sigma: self.sigma,
+            beta: self.beta,
+            graph: self.graph,
+        }
     }
 
     /// Number of satellites in the platform.
@@ -60,5 +104,22 @@ mod tests {
         assert_eq!(prep.n_satellites(), 4);
         assert_eq!(prep.colouring.host_forced.len(), 3);
         assert!(prep.graph.dwg.num_edges() > 0);
+    }
+
+    #[test]
+    fn owned_instance_matches_borrowed_preparation() {
+        let (t, m) = fig2_tree();
+        let borrowed = Prepared::new(&t, &m).unwrap();
+        let owned: Prepared<'static> = Prepared::new_owned(t.clone(), m.clone()).unwrap();
+        assert_eq!(owned.n_satellites(), borrowed.n_satellites());
+        assert_eq!(
+            owned.colouring.host_forced, borrowed.colouring.host_forced,
+            "derived data must be identical"
+        );
+        assert_eq!(owned.graph.n_edges(), borrowed.graph.n_edges());
+        // into_owned moves derived data without recomputation.
+        let converted = borrowed.into_owned();
+        assert_eq!(converted.graph.n_edges(), owned.graph.n_edges());
+        assert_eq!(&*converted.tree, &t);
     }
 }

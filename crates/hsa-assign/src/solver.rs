@@ -1,25 +1,42 @@
 //! The common solver interface and solution type.
 
 use crate::{evaluate_cut, AssignError, Assignment, DelayReport, Prepared};
-use hsa_graph::{Cost, Lambda, ScaledSsb};
+use hsa_graph::{Cost, Lambda, ScaledSsb, SolveScratch};
 use hsa_tree::Cut;
 
 /// Search statistics, for the complexity experiments (T1/T2/T5).
+///
+/// All counters are `u64` so they aggregate portably across queries and
+/// platforms — the batch engine sums millions of per-query stats via
+/// [`SolveStats::merge`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct SolveStats {
     /// Iterations of the candidate/eliminate loop (0 for non-iterative
     /// solvers).
-    pub iterations: usize,
+    pub iterations: u64,
     /// Edges eliminated.
-    pub edges_removed: usize,
+    pub edges_removed: u64,
     /// Expansion steps performed (paper Figure 9/10).
-    pub expansions: usize,
+    pub expansions: u64,
     /// Composite edges materialised by expansions — the paper's |E′|.
-    pub composites: usize,
+    pub composites: u64,
     /// Branches explored (multi-band colours; 0 when never needed).
-    pub branches: usize,
+    pub branches: u64,
     /// Cuts/candidates explicitly evaluated (brute force, heuristics).
     pub evaluated: u64,
+}
+
+impl SolveStats {
+    /// Accumulates another query's counters into this one (saturating, so
+    /// long-running services never wrap).
+    pub fn merge(&mut self, other: &SolveStats) {
+        self.iterations = self.iterations.saturating_add(other.iterations);
+        self.edges_removed = self.edges_removed.saturating_add(other.edges_removed);
+        self.expansions = self.expansions.saturating_add(other.expansions);
+        self.composites = self.composites.saturating_add(other.composites);
+        self.branches = self.branches.saturating_add(other.branches);
+        self.evaluated = self.evaluated.saturating_add(other.evaluated);
+    }
 }
 
 /// A solved assignment with its objective breakdown.
@@ -66,11 +83,29 @@ impl Solution {
 }
 
 /// A solver of the coloured assignment problem.
+///
+/// The workspace-based entry point [`Solver::solve_in`] is the one
+/// implementations provide; [`Solver::solve`] is a convenience wrapper that
+/// allocates a throwaway [`SolveScratch`]. Batch services keep one scratch
+/// per worker and call `solve_in` so steady-state solving allocates only
+/// for the returned [`Solution`].
 pub trait Solver {
     /// Short stable name used in benches and reports.
     fn name(&self) -> &'static str;
-    /// Solves the prepared instance for the given λ.
-    fn solve(&self, prep: &Prepared<'_>, lambda: Lambda) -> Result<Solution, AssignError>;
+
+    /// Solves the prepared instance for the given λ inside a reusable
+    /// workspace. Solvers that need no search buffers simply ignore it.
+    fn solve_in(
+        &self,
+        prep: &Prepared<'_>,
+        lambda: Lambda,
+        scratch: &mut SolveScratch,
+    ) -> Result<Solution, AssignError>;
+
+    /// Solves the prepared instance for the given λ (fresh workspace).
+    fn solve(&self, prep: &Prepared<'_>, lambda: Lambda) -> Result<Solution, AssignError> {
+        self.solve_in(prep, lambda, &mut SolveScratch::new())
+    }
 }
 
 #[cfg(test)]
@@ -89,5 +124,32 @@ mod tests {
             sol.report.host_time.ticks() as u128 + sol.report.bottleneck.ticks() as u128
         );
         assert_eq!(sol.delay(), sol.report.end_to_end);
+    }
+
+    #[test]
+    fn stats_merge_accumulates_and_saturates() {
+        let mut a = SolveStats {
+            iterations: 2,
+            edges_removed: 3,
+            expansions: 1,
+            composites: 4,
+            branches: 0,
+            evaluated: u64::MAX - 1,
+        };
+        let b = SolveStats {
+            iterations: 5,
+            edges_removed: 7,
+            expansions: 0,
+            composites: 6,
+            branches: 9,
+            evaluated: 10,
+        };
+        a.merge(&b);
+        assert_eq!(a.iterations, 7);
+        assert_eq!(a.edges_removed, 10);
+        assert_eq!(a.expansions, 1);
+        assert_eq!(a.composites, 10);
+        assert_eq!(a.branches, 9);
+        assert_eq!(a.evaluated, u64::MAX, "saturates instead of wrapping");
     }
 }

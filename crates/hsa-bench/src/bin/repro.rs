@@ -7,8 +7,10 @@
 //! ```
 //!
 //! Experiment ids follow DESIGN.md §4: `f2 f4 f5 f6 f8 f9` reproduce the
-//! paper's figures; `t1 … t8` are the quantitative studies. Tables are
-//! printed and also written as CSV under the output directory.
+//! paper's figures; `t1 … t8` are the quantitative studies and `t9` is the
+//! engine batch-throughput experiment (DESIGN.md §7). Tables are printed
+//! and also written as CSV under the output directory (`t9` additionally
+//! writes `BENCH_engine.json`).
 
 use hsa_assign::{
     all_solvers, evaluate_cut, sb_optimum, solve_with_trace, AllOnHost, BruteForce, Expanded,
@@ -40,7 +42,7 @@ fn main() {
             "--exp" => only = Some(args.next().expect("--exp needs an id")),
             "--help" | "-h" => {
                 println!("usage: repro [--exp <id>] [--out <dir>]");
-                println!("ids: f2 f4 f5 f6 f8 f9 t1 t2 t3 t4 t5 t6 t7 t8");
+                println!("ids: f2 f4 f5 f6 f8 f9 t1 t2 t3 t4 t5 t6 t7 t8 t9");
                 return;
             }
             other => {
@@ -90,6 +92,11 @@ fn main() {
         ),
         ("t7", "T7 — future-work heuristics vs exact optimum", exp_t7),
         ("t8", "T8 — epilepsy tele-monitoring end-to-end", exp_t8),
+        (
+            "t9",
+            "T9 — engine batch throughput: batched+cached vs naive per-call",
+            exp_t9,
+        ),
     ];
 
     if let Some(o) = only.as_deref() {
@@ -435,10 +442,10 @@ fn exp_t2(out: &Path) {
         (
             n,
             format!("{pl:?}"),
-            fast.stats.composites as u64,
-            paper.stats.iterations as u64,
-            paper.stats.expansions as u64,
-            paper.stats.branches as u64,
+            fast.stats.composites,
+            paper.stats.iterations,
+            paper.stats.expansions,
+            paper.stats.branches,
             paper_ns,
             exp_ns,
         )
@@ -749,6 +756,47 @@ fn exp_t7(out: &Path) {
     println!("optimum (assignments ⊇ cuts and list scheduling only overlaps more);");
     println!("GA/SA sit at or slightly above B&B — the paper's §6 expectation.");
     table.write_csv(out).unwrap();
+}
+
+fn exp_t9(out: &Path) {
+    let report = hsa_bench::engine_throughput(&hsa_bench::ThroughputConfig::default());
+    let mut table = CsvTable::new(
+        "t9_engine_throughput",
+        &[
+            "arm",
+            "instances",
+            "queries",
+            "threads",
+            "total_ns",
+            "solves_per_sec",
+        ],
+    );
+    table.row(&[
+        "naive-per-call".into(),
+        report.instances.to_string(),
+        report.queries.to_string(),
+        "1".into(),
+        report.naive_ns.to_string(),
+        format!("{:.1}", report.naive_solves_per_sec()),
+    ]);
+    table.row(&[
+        "engine-batched".into(),
+        report.instances.to_string(),
+        report.queries.to_string(),
+        report.threads.to_string(),
+        report.batched_ns.to_string(),
+        format!("{:.1}", report.batched_solves_per_sec()),
+    ]);
+    println!("{}", table.render_text());
+    println!(
+        "speedup: {:.2}x  (batched answers are asserted byte-identical to the naive arm)",
+        report.speedup()
+    );
+    println!("shape check: the engine amortises preparation and the λ-independent frontier");
+    println!("DP across the λ grid — the speedup must stay ≥ 2x even on one core.");
+    table.write_csv(out).unwrap();
+    let json = report.write_json(out).unwrap();
+    println!("bench artefact: {}", json.display());
 }
 
 fn exp_t8(out: &Path) {

@@ -10,8 +10,10 @@
 //!   runtime side of the same experiments.
 //!
 //! This library hosts the shared pieces: deterministic instance suites,
-//! wall-clock measurement helpers, a tiny CSV writer, and a parallel sweep
-//! runner (crossbeam scoped threads — sweeps are embarrassingly parallel).
+//! wall-clock measurement helpers, a tiny CSV writer, the engine-throughput
+//! measurement ([`engine_throughput`], behind the `BENCH_engine.json`
+//! artefact), and a re-export of the parallel sweep runner that now lives
+//! in `hsa-engine` (sweeps are embarrassingly parallel).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -19,8 +21,13 @@
 use hsa_workloads::{random_instance, Placement, RandomTreeParams};
 use std::fmt::Write as _;
 use std::path::Path;
-use std::sync::Mutex;
 use std::time::Instant;
+
+pub use hsa_engine::parallel_map;
+
+mod throughput;
+
+pub use throughput::{engine_throughput, EngineThroughput, ThroughputConfig};
 
 /// A measured duration in nanoseconds (median of `reps` runs).
 pub fn time_median_ns<F: FnMut()>(reps: usize, mut f: F) -> u64 {
@@ -141,36 +148,6 @@ pub fn sweep_instances(
         }
     }
     out
-}
-
-/// Runs `job` over `items` on `threads` std-scoped workers, collecting
-/// results in input order.
-pub fn parallel_map<T, R, F>(items: Vec<T>, threads: usize, job: F) -> Vec<R>
-where
-    T: Send,
-    R: Send,
-    F: Fn(T) -> R + Sync,
-{
-    let threads = threads.max(1);
-    let n = items.len();
-    let work: Mutex<Vec<(usize, T)>> = Mutex::new(items.into_iter().enumerate().rev().collect());
-    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
-    std::thread::scope(|s| {
-        for _ in 0..threads {
-            s.spawn(|| loop {
-                let next = work.lock().expect("work queue poisoned").pop();
-                let Some((i, item)) = next else { break };
-                let r = job(item);
-                results.lock().expect("result store poisoned")[i] = Some(r);
-            });
-        }
-    });
-    results
-        .into_inner()
-        .expect("result store poisoned")
-        .into_iter()
-        .map(|r| r.expect("all slots filled"))
-        .collect()
 }
 
 #[cfg(test)]

@@ -1,0 +1,215 @@
+//! The engine throughput experiment: batched (prepared-cache + cached
+//! frontiers + thread fan-out) versus **naive per-call** solving
+//! (allocate-and-destroy: a fresh `Prepared` and a fresh solve for every
+//! single query) on one and the same workload.
+//!
+//! This is the quantitative case for the `hsa-engine` service layer; the
+//! result is written as `BENCH_engine.json` to seed the bench trajectory
+//! and is asserted to stay exact (both arms must produce identical
+//! objectives before any timing is believed).
+
+use crate::time_median_ns;
+use hsa_assign::{Expanded, Prepared, Solver};
+use hsa_engine::{Engine, EngineConfig, InstanceId};
+use hsa_graph::Lambda;
+use hsa_tree::{CostModel, CruTree};
+use hsa_workloads::{catalog, random_instance, Placement, RandomTreeParams};
+use std::path::Path;
+
+/// Workload shape for [`engine_throughput`].
+#[derive(Clone, Copy, Debug)]
+pub struct ThroughputConfig {
+    /// Random instances added on top of the scenario catalog.
+    pub random_instances: usize,
+    /// CRUs per random instance.
+    pub n_crus: usize,
+    /// λ grid resolution (queries per instance = `lambda_steps` + 1).
+    pub lambda_steps: u32,
+    /// Timing repetitions (median is reported).
+    pub reps: usize,
+}
+
+impl Default for ThroughputConfig {
+    fn default() -> Self {
+        ThroughputConfig {
+            random_instances: 6,
+            n_crus: 26,
+            lambda_steps: 15,
+            reps: 5,
+        }
+    }
+}
+
+/// Measured throughput of batched-vs-naive solving. Times are medians in
+/// nanoseconds for the *whole* query set.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineThroughput {
+    /// Distinct instances in the workload.
+    pub instances: usize,
+    /// Total `(instance, λ)` queries.
+    pub queries: usize,
+    /// Worker threads the engine used.
+    pub threads: usize,
+    /// Naive arm: fresh `Prepared` + fresh solve per query.
+    pub naive_ns: u64,
+    /// Batched arm: `Engine::solve_batch` over the cached instances.
+    pub batched_ns: u64,
+}
+
+impl EngineThroughput {
+    /// Naive solves per second.
+    pub fn naive_solves_per_sec(&self) -> f64 {
+        self.queries as f64 * 1e9 / self.naive_ns.max(1) as f64
+    }
+
+    /// Batched solves per second.
+    pub fn batched_solves_per_sec(&self) -> f64 {
+        self.queries as f64 * 1e9 / self.batched_ns.max(1) as f64
+    }
+
+    /// Batched-over-naive speedup.
+    pub fn speedup(&self) -> f64 {
+        self.naive_ns as f64 / self.batched_ns.max(1) as f64
+    }
+
+    /// The `BENCH_engine.json` payload.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"bench\": \"engine_throughput\",\n  \"instances\": {},\n  \"queries\": {},\n  \"threads\": {},\n  \"naive_ns\": {},\n  \"batched_ns\": {},\n  \"naive_solves_per_sec\": {:.1},\n  \"batched_solves_per_sec\": {:.1},\n  \"speedup\": {:.2}\n}}\n",
+            self.instances,
+            self.queries,
+            self.threads,
+            self.naive_ns,
+            self.batched_ns,
+            self.naive_solves_per_sec(),
+            self.batched_solves_per_sec(),
+            self.speedup(),
+        )
+    }
+
+    /// Writes `BENCH_engine.json` under `dir`.
+    pub fn write_json(&self, dir: &Path) -> std::io::Result<std::path::PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join("BENCH_engine.json");
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+}
+
+fn throughput_workload(cfg: &ThroughputConfig) -> Vec<(CruTree, CostModel)> {
+    let mut instances: Vec<(CruTree, CostModel)> = catalog()
+        .into_iter()
+        .map(|sc| (sc.tree, sc.costs))
+        .collect();
+    let placements = [
+        Placement::Blocked,
+        Placement::Interleaved,
+        Placement::Random,
+    ];
+    for i in 0..cfg.random_instances {
+        instances.push(random_instance(
+            &RandomTreeParams {
+                n_crus: cfg.n_crus,
+                n_satellites: 3,
+                placement: placements[i % placements.len()],
+                ..RandomTreeParams::default()
+            },
+            100 + i as u64,
+        ));
+    }
+    instances
+}
+
+/// Runs the batched-vs-naive throughput measurement (see module docs).
+///
+/// # Panics
+/// Panics if the two arms disagree on any query's objective — a timing
+/// number for a wrong answer is worse than no number.
+pub fn engine_throughput(cfg: &ThroughputConfig) -> EngineThroughput {
+    let instances = throughput_workload(cfg);
+    let lambdas: Vec<Lambda> = (0..=cfg.lambda_steps)
+        .map(|n| Lambda::new(n, cfg.lambda_steps.max(1)).unwrap())
+        .collect();
+
+    // Batched arm setup outside the timed region mirrors a warm service;
+    // prepare() itself is *inside* the timed region so the comparison
+    // charges the engine for its cache fills too.
+    let mut engine = Engine::new(EngineConfig::default());
+    let ids: Vec<InstanceId> = instances
+        .iter()
+        .map(|(t, c)| engine.prepare(t, c).expect("workload prepares"))
+        .collect();
+    let queries: Vec<(InstanceId, Lambda)> = ids
+        .iter()
+        .flat_map(|&id| lambdas.iter().map(move |&l| (id, l)))
+        .collect();
+
+    // Exactness gate: batched answers ≡ naive answers, query for query.
+    let batched = engine.solve_batch(&queries);
+    let mut q = 0;
+    for (tree, costs) in &instances {
+        let prep = Prepared::new(tree, costs).expect("workload prepares");
+        for &lambda in &lambdas {
+            let want = Expanded::default().solve(&prep, lambda).unwrap();
+            let got = batched[q].as_ref().expect("batched solve succeeds");
+            assert_eq!(
+                got.objective, want.objective,
+                "batched and naive disagree — refusing to time a wrong answer"
+            );
+            assert_eq!(got.cut, want.cut);
+            q += 1;
+        }
+    }
+
+    let naive_ns = time_median_ns(cfg.reps, || {
+        for (tree, costs) in &instances {
+            for &lambda in &lambdas {
+                // Allocate-and-destroy per call: the pre-engine code path.
+                let prep = Prepared::new(tree, costs).expect("workload prepares");
+                let sol = Expanded::default().solve(&prep, lambda).unwrap();
+                std::hint::black_box(sol.objective);
+            }
+        }
+    });
+
+    let batched_ns = time_median_ns(cfg.reps, || {
+        let mut engine = Engine::new(EngineConfig::default());
+        for (t, c) in &instances {
+            engine.prepare(t, c).expect("workload prepares");
+        }
+        let out = engine.solve_batch(&queries);
+        std::hint::black_box(out.len());
+    });
+
+    EngineThroughput {
+        instances: instances.len(),
+        queries: queries.len(),
+        threads: engine.threads(),
+        naive_ns,
+        batched_ns,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_measures_and_serialises() {
+        let cfg = ThroughputConfig {
+            random_instances: 1,
+            n_crus: 10,
+            lambda_steps: 3,
+            reps: 1,
+        };
+        let t = engine_throughput(&cfg);
+        assert!(t.queries >= 4 * t.instances.min(t.queries));
+        assert!(t.naive_ns > 0 && t.batched_ns > 0);
+        let json = t.to_json();
+        assert!(json.contains("\"bench\": \"engine_throughput\""));
+        assert!(json.contains("speedup"));
+        let dir = std::env::temp_dir().join("hsa-bench-engine-test");
+        let p = t.write_json(&dir).unwrap();
+        assert!(std::fs::read_to_string(p).unwrap().contains("queries"));
+    }
+}

@@ -1,0 +1,458 @@
+//! # hsa-engine — the batch solving service layer
+//!
+//! The paper presents a one-shot solve: build the coloured assignment
+//! graph, run the adapted SSB search, read off the cut. A production
+//! deployment re-solves the *same* prepared instance under many λ
+//! weightings and many instances per second. This crate turns the solver
+//! stack into a service shaped for that traffic:
+//!
+//! * [`Engine::prepare`] caches fully prepared instances
+//!   ([`Prepared`]`<'static>` + the λ-independent [`FrontierSet`]) keyed by
+//!   a content hash of the tree and cost model — preparing twice is a
+//!   cache hit, and every later query reuses the colouring, σ/β labels,
+//!   dual graph and Pareto frontiers without rebuilding anything;
+//! * [`Engine::solve_batch`] fans a slice of `(instance, λ)` queries across
+//!   worker threads via [`parallel_map`], answering each from the cached
+//!   frontiers **byte-identically** to a fresh
+//!   [`Expanded`](hsa_assign::Expanded)`::solve` — same cut, same
+//!   objective, same stats semantics;
+//! * [`Engine::solve_batch_with`] runs any [`Solver`] instead, drawing
+//!   reusable [`SolveScratch`] workspaces from a pool so steady-state
+//!   solving stays allocation-free;
+//! * [`Engine::frontier`] exposes the full **λ-frontier** — the
+//!   piecewise-linear lower envelope of optimal cuts over λ ∈ [0, 1] with
+//!   exact rational breakpoints — so a λ-sweep costs one envelope pass
+//!   instead of N independent solves.
+//!
+//! Per-query [`SolveStats`] aggregate into [`EngineStats`] via
+//! [`SolveStats::merge`].
+//!
+//! ```
+//! use hsa_engine::{Engine, EngineConfig};
+//! use hsa_graph::Lambda;
+//!
+//! let scenario = hsa_workloads::paper_scenario();
+//! let mut engine = Engine::new(EngineConfig::default());
+//! let id = engine.prepare(&scenario.tree, &scenario.costs).unwrap();
+//!
+//! // A λ-sweep as one batch…
+//! let queries: Vec<_> = (0..=4).map(|n| (id, Lambda::new(n, 4).unwrap())).collect();
+//! let solutions = engine.solve_batch(&queries);
+//! assert!(solutions.iter().all(|s| s.is_ok()));
+//!
+//! // …or as one frontier: every optimal cut for every λ at once. The
+//! // scaled objective agrees with the per-query solve at the same λ.
+//! let frontier = engine.frontier(id).unwrap();
+//! assert_eq!(
+//!     frontier.objective_at(Lambda::new(2, 4).unwrap()),
+//!     solutions[2].as_ref().unwrap().objective,
+//! );
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use hsa_assign::{
+    lambda_frontier_with, solve_with_frontiers, AssignError, ExpandedConfig, FrontierSet,
+    LambdaFrontier, Prepared, Solution, SolveStats, Solver,
+};
+use hsa_graph::Lambda;
+use hsa_tree::{CostModel, CruTree};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Mutex;
+
+mod pool;
+
+pub use pool::parallel_map;
+
+/// Identifier of a cached instance: the 64-bit structural content hash of
+/// its tree and cost model. Stable across engines and runs of the same
+/// build.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct InstanceId(u64);
+
+impl InstanceId {
+    /// The raw content hash.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for InstanceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "inst-{:016x}", self.0)
+    }
+}
+
+/// Errors raised by the engine.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EngineError {
+    /// A query referenced an instance id that was never prepared.
+    UnknownInstance {
+        /// The offending id.
+        id: InstanceId,
+    },
+    /// Two distinct instances collided on the 64-bit content hash (the
+    /// engine verifies equality on every cache hit rather than alias them).
+    HashCollision {
+        /// The colliding id.
+        id: InstanceId,
+    },
+    /// A solver error on the underlying instance.
+    Assign(AssignError),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::UnknownInstance { id } => write!(f, "unknown instance {id}"),
+            EngineError::HashCollision { id } => {
+                write!(f, "content-hash collision on {id}; instances differ")
+            }
+            EngineError::Assign(e) => write!(f, "solve failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Assign(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<AssignError> for EngineError {
+    fn from(e: AssignError) -> Self {
+        EngineError::Assign(e)
+    }
+}
+
+/// Engine configuration.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EngineConfig {
+    /// Worker threads for batch fan-out (0, the default, means one per
+    /// available core).
+    pub threads: usize,
+    /// Frontier caps for the cached full-expansion preparation.
+    pub expanded: ExpandedConfig,
+}
+
+/// Aggregated service counters (see [`Engine::stats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Queries answered successfully by the batch entry points.
+    pub queries: u64,
+    /// Queries that failed (unknown instance or solver error).
+    pub failed: u64,
+    /// `prepare` calls that found the instance already cached.
+    pub cache_hits: u64,
+    /// `prepare` calls that built a new cached instance.
+    pub cache_misses: u64,
+    /// Per-query solver counters, merged via [`SolveStats::merge`].
+    pub solve: SolveStats,
+}
+
+/// One cached instance: the owned prepared form plus the λ-independent
+/// frontier preparation of the full-expansion solver.
+struct CachedInstance {
+    prepared: Prepared<'static>,
+    frontiers: FrontierSet,
+}
+
+/// The batch solving engine. See the crate docs for the full tour.
+pub struct Engine {
+    cfg: EngineConfig,
+    /// Cache keyed by content hash; BTreeMap for deterministic iteration.
+    instances: BTreeMap<u64, CachedInstance>,
+    /// Reusable per-worker solver workspaces.
+    scratch: pool::ScratchPool,
+    stats: Mutex<EngineStats>,
+}
+
+impl Engine {
+    /// Creates an engine with the given configuration.
+    pub fn new(cfg: EngineConfig) -> Engine {
+        Engine {
+            cfg,
+            instances: BTreeMap::new(),
+            scratch: pool::ScratchPool::new(),
+            stats: Mutex::new(EngineStats::default()),
+        }
+    }
+
+    /// The effective worker-thread count.
+    pub fn threads(&self) -> usize {
+        if self.cfg.threads > 0 {
+            self.cfg.threads
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    }
+
+    /// Prepares (or re-finds) an instance and returns its id.
+    ///
+    /// First preparation pays the full pipeline — validation, colouring,
+    /// σ/β labelling, dual-graph construction and the per-colour Pareto
+    /// frontier DP. Subsequent calls with an equal instance are cache hits
+    /// costing one allocation-free structural hash plus an equality check
+    /// of the instance (so distinct instances can never alias —
+    /// [`EngineError::HashCollision`]); hot paths should hold on to the
+    /// returned [`InstanceId`] rather than re-present the instance.
+    pub fn prepare(
+        &mut self,
+        tree: &CruTree,
+        costs: &CostModel,
+    ) -> Result<InstanceId, EngineError> {
+        let id = InstanceId(instance_hash(tree, costs));
+        if let Some(cached) = self.instances.get(&id.0) {
+            if &*cached.prepared.tree != tree || &*cached.prepared.costs != costs {
+                return Err(EngineError::HashCollision { id });
+            }
+            self.stats.lock().expect("stats lock").cache_hits += 1;
+            return Ok(id);
+        }
+        let prepared = Prepared::new_owned(tree.clone(), costs.clone())?;
+        let frontiers = FrontierSet::prepare(&prepared, &self.cfg.expanded)?;
+        self.instances.insert(
+            id.0,
+            CachedInstance {
+                prepared,
+                frontiers,
+            },
+        );
+        self.stats.lock().expect("stats lock").cache_misses += 1;
+        Ok(id)
+    }
+
+    /// The cached prepared instance, if `id` is known.
+    pub fn prepared(&self, id: InstanceId) -> Option<&Prepared<'static>> {
+        self.instances.get(&id.0).map(|c| &c.prepared)
+    }
+
+    /// Number of cached instances.
+    pub fn len(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.instances.is_empty()
+    }
+
+    /// Answers a batch of `(instance, λ)` queries, fanned across worker
+    /// threads, each from the instance's cached [`FrontierSet`].
+    ///
+    /// Results are in query order and **byte-identical** — same
+    /// `Solution::objective`, same `Solution::cut` — to calling
+    /// [`hsa_assign::Expanded`]`::solve` per query on a freshly prepared
+    /// instance: the cached-frontier path runs the very same threshold
+    /// sweep, it just skips re-deriving what cannot change.
+    pub fn solve_batch(
+        &self,
+        queries: &[(InstanceId, Lambda)],
+    ) -> Vec<Result<Solution, EngineError>> {
+        let results = parallel_map(queries.to_vec(), self.threads(), |(id, lambda)| {
+            let cached = self
+                .instances
+                .get(&id.0)
+                .ok_or(EngineError::UnknownInstance { id })?;
+            solve_with_frontiers(&cached.prepared, &cached.frontiers, lambda)
+                .map_err(EngineError::from)
+        });
+        self.record(&results);
+        results
+    }
+
+    /// Answers a batch of queries with an arbitrary [`Solver`], drawing
+    /// reusable [`SolveScratch`] workspaces from the engine's pool (one per
+    /// in-flight query, recycled across the batch).
+    pub fn solve_batch_with(
+        &self,
+        queries: &[(InstanceId, Lambda)],
+        solver: &(dyn Solver + Sync),
+    ) -> Vec<Result<Solution, EngineError>> {
+        let results = parallel_map(queries.to_vec(), self.threads(), |(id, lambda)| {
+            let cached = self
+                .instances
+                .get(&id.0)
+                .ok_or(EngineError::UnknownInstance { id })?;
+            let mut ws = self.scratch.acquire();
+            let out = solver
+                .solve_in(&cached.prepared, lambda, &mut ws)
+                .map_err(EngineError::from);
+            self.scratch.release(ws);
+            out
+        });
+        self.record(&results);
+        results
+    }
+
+    /// The λ-frontier of a cached instance: every optimal cut over
+    /// λ ∈ [0, 1] as a piecewise-linear lower envelope with exact rational
+    /// breakpoints. One pass over the cached frontiers answers any number
+    /// of λ queries.
+    pub fn frontier(&self, id: InstanceId) -> Result<LambdaFrontier, EngineError> {
+        let cached = self
+            .instances
+            .get(&id.0)
+            .ok_or(EngineError::UnknownInstance { id })?;
+        lambda_frontier_with(&cached.prepared, &cached.frontiers).map_err(EngineError::from)
+    }
+
+    /// A snapshot of the aggregated service counters.
+    pub fn stats(&self) -> EngineStats {
+        *self.stats.lock().expect("stats lock")
+    }
+
+    fn record(&self, results: &[Result<Solution, EngineError>]) {
+        let mut stats = self.stats.lock().expect("stats lock");
+        for r in results {
+            match r {
+                Ok(sol) => {
+                    stats.queries += 1;
+                    stats.solve.merge(&sol.stats);
+                }
+                Err(_) => stats.failed += 1,
+            }
+        }
+    }
+}
+
+/// A keyless FNV-1a [`std::hash::Hasher`]: unlike the std `DefaultHasher`
+/// it has no per-process random state, so instance ids are reproducible
+/// run to run (for a given build).
+struct Fnv1a(u64);
+
+impl std::hash::Hasher for Fnv1a {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for b in bytes {
+            self.0 ^= *b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+}
+
+/// Structural FNV-1a content hash of `(tree, costs)`: one allocation-free
+/// traversal, no serialization.
+fn instance_hash(tree: &CruTree, costs: &CostModel) -> u64 {
+    use std::hash::Hash as _;
+    let mut h = Fnv1a(0xcbf2_9ce4_8422_2325);
+    tree.hash(&mut h);
+    costs.hash(&mut h);
+    std::hash::Hasher::finish(&h)
+}
+
+/// Commonly used items, for glob import in examples and tests.
+pub mod prelude {
+    pub use crate::{parallel_map, Engine, EngineConfig, EngineError, EngineStats, InstanceId};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsa_assign::{Expanded, PaperSsb};
+    use hsa_workloads::paper_scenario;
+
+    #[test]
+    fn prepare_twice_hits_the_cache() {
+        let sc = paper_scenario();
+        let mut engine = Engine::new(EngineConfig::default());
+        let a = engine.prepare(&sc.tree, &sc.costs).unwrap();
+        let b = engine.prepare(&sc.tree, &sc.costs).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(engine.len(), 1);
+        let stats = engine.stats();
+        assert_eq!((stats.cache_misses, stats.cache_hits), (1, 1));
+    }
+
+    #[test]
+    fn unknown_instance_is_an_error_not_a_panic() {
+        let engine = Engine::new(EngineConfig::default());
+        let bogus = InstanceId(42);
+        let out = engine.solve_batch(&[(bogus, Lambda::HALF)]);
+        assert!(matches!(
+            out[0],
+            Err(EngineError::UnknownInstance { id }) if id == bogus
+        ));
+        assert!(matches!(
+            engine.frontier(bogus),
+            Err(EngineError::UnknownInstance { .. })
+        ));
+        assert_eq!(engine.stats().failed, 1);
+    }
+
+    #[test]
+    fn batch_answers_match_fresh_solves() {
+        let sc = paper_scenario();
+        let mut engine = Engine::new(EngineConfig::default());
+        let id = engine.prepare(&sc.tree, &sc.costs).unwrap();
+        let queries: Vec<_> = (0..=8).map(|n| (id, Lambda::new(n, 8).unwrap())).collect();
+        let batch = engine.solve_batch(&queries);
+        let prep = Prepared::new(&sc.tree, &sc.costs).unwrap();
+        for ((_, lambda), got) in queries.iter().zip(&batch) {
+            let got = got.as_ref().unwrap();
+            let want = Expanded::default().solve(&prep, *lambda).unwrap();
+            assert_eq!(got.objective, want.objective);
+            assert_eq!(got.cut, want.cut);
+        }
+        assert_eq!(engine.stats().queries, 9);
+    }
+
+    #[test]
+    fn custom_solver_batch_uses_the_scratch_pool() {
+        let sc = paper_scenario();
+        let mut engine = Engine::new(EngineConfig::default());
+        let id = engine.prepare(&sc.tree, &sc.costs).unwrap();
+        let queries = vec![(id, Lambda::HALF); 4];
+        let batch = engine.solve_batch_with(&queries, &PaperSsb::default());
+        let prep = Prepared::new(&sc.tree, &sc.costs).unwrap();
+        let want = PaperSsb::default().solve(&prep, Lambda::HALF).unwrap();
+        for got in &batch {
+            let got = got.as_ref().unwrap();
+            assert_eq!(got.objective, want.objective);
+            assert_eq!(got.cut, want.cut);
+        }
+        assert!(engine.stats().solve.iterations >= 4);
+    }
+
+    #[test]
+    fn instance_hash_distinguishes_cost_changes() {
+        let sc = paper_scenario();
+        let mut other = sc.costs.clone();
+        // Perturb one host time: the hash (and hence the id) must change.
+        let root = sc.tree.root();
+        let h = other.h(root);
+        other.set_host_time(root, h + hsa_graph::Cost::new(1));
+        assert_ne!(
+            instance_hash(&sc.tree, &sc.costs),
+            instance_hash(&sc.tree, &other)
+        );
+        let mut engine = Engine::new(EngineConfig::default());
+        let a = engine.prepare(&sc.tree, &sc.costs).unwrap();
+        let b = engine.prepare(&sc.tree, &other).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(engine.len(), 2);
+    }
+
+    #[test]
+    fn frontier_matches_batch_objectives() {
+        let sc = paper_scenario();
+        let mut engine = Engine::new(EngineConfig::default());
+        let id = engine.prepare(&sc.tree, &sc.costs).unwrap();
+        let fr = engine.frontier(id).unwrap();
+        for n in 0..=10u32 {
+            let lambda = Lambda::new(n, 10).unwrap();
+            let sol = &engine.solve_batch(&[(id, lambda)])[0];
+            assert_eq!(fr.objective_at(lambda), sol.as_ref().unwrap().objective);
+        }
+    }
+}

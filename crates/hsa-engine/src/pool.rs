@@ -1,0 +1,96 @@
+//! Thread fan-out and workspace pooling for the batch engine.
+
+use hsa_assign::SolveScratch;
+use std::sync::Mutex;
+
+/// Runs `job` over `items` on `threads` std-scoped workers, collecting
+/// results in input order.
+///
+/// Work-stealing from a shared deque; a `threads` of 1 degrades to a plain
+/// in-order loop on the calling thread's spawn. (Moved here from
+/// `hsa-bench`, which re-exports it, so the service layer does not depend
+/// on the benchmark crate.)
+pub fn parallel_map<T, R, F>(items: Vec<T>, threads: usize, job: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let threads = threads.max(1);
+    let n = items.len();
+    let work: Mutex<Vec<(usize, T)>> = Mutex::new(items.into_iter().enumerate().rev().collect());
+    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let next = work.lock().expect("work queue poisoned").pop();
+                let Some((i, item)) = next else { break };
+                let r = job(item);
+                results.lock().expect("result store poisoned")[i] = Some(r);
+            });
+        }
+    });
+    results
+        .into_inner()
+        .expect("result store poisoned")
+        .into_iter()
+        .map(|r| r.expect("all slots filled"))
+        .collect()
+}
+
+/// A free-list of [`SolveScratch`] workspaces shared by a batch run:
+/// workers check a workspace out per query and return it afterwards, so
+/// the number of live workspaces equals the in-flight query count and their
+/// buffers keep their high-water capacity across the whole batch.
+pub(crate) struct ScratchPool {
+    free: Mutex<Vec<SolveScratch>>,
+}
+
+impl ScratchPool {
+    pub(crate) fn new() -> ScratchPool {
+        ScratchPool {
+            free: Mutex::new(Vec::new()),
+        }
+    }
+
+    pub(crate) fn acquire(&self) -> SolveScratch {
+        self.free
+            .lock()
+            .expect("scratch pool poisoned")
+            .pop()
+            .unwrap_or_default()
+    }
+
+    pub(crate) fn release(&self, ws: SolveScratch) {
+        self.free.lock().expect("scratch pool poisoned").push(ws);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let out = parallel_map(items, 4, |x| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_handles_empty_and_single_thread() {
+        let out: Vec<u32> = parallel_map(Vec::<u32>::new(), 3, |x| x);
+        assert!(out.is_empty());
+        let out = parallel_map(vec![5u32, 6], 0, |x| x + 1);
+        assert_eq!(out, vec![6, 7]);
+    }
+
+    #[test]
+    fn scratch_pool_recycles() {
+        let pool = ScratchPool::new();
+        let ws = pool.acquire();
+        pool.release(ws);
+        let _again = pool.acquire();
+        assert!(pool.free.lock().unwrap().is_empty());
+    }
+}

@@ -5,14 +5,17 @@
 //! canonical choice). Only *alive* edges participate, so the elimination
 //! loop never rebuilds the graph.
 //!
+//! Both variants run inside a caller-provided [`SolveScratch`]
+//! ([`shortest_path_in`], [`distances_from_in`]) so repeated searches on
+//! the same graph allocate nothing; the scratch-free entry points remain
+//! as convenience wrappers.
+//!
 //! Determinism: ties are broken first on distance, then on node id, and the
 //! predecessor of a node is only replaced by a *strictly* shorter distance,
 //! so repeated runs return identical paths — important for reproducing the
 //! paper's iteration traces exactly.
 
-use crate::{Cost, Dwg, EdgeId, NodeId, Path};
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use crate::{Cost, Dwg, EdgeId, NodeId, Path, SolveScratch};
 
 /// The result of a single-source, single-target run.
 #[derive(Clone, Debug)]
@@ -26,41 +29,48 @@ pub struct ShortestPath {
 /// Finds the σ-shortest alive path from `source` to `target`.
 ///
 /// Returns `None` when `target` is unreachable through alive edges.
+/// Convenience wrapper over [`shortest_path_in`] with a throwaway
+/// workspace.
 pub fn shortest_path(g: &Dwg, source: NodeId, target: NodeId) -> Option<ShortestPath> {
+    shortest_path_in(g, source, target, &mut SolveScratch::new())
+}
+
+/// [`shortest_path`] running in a reusable workspace: no per-call
+/// allocation beyond the returned path itself.
+pub fn shortest_path_in(
+    g: &Dwg,
+    source: NodeId,
+    target: NodeId,
+    ws: &mut SolveScratch,
+) -> Option<ShortestPath> {
     let n = g.num_nodes();
     debug_assert!(source.index() < n && target.index() < n);
-    let mut dist: Vec<Cost> = vec![Cost::MAX; n];
-    let mut pred: Vec<Option<EdgeId>> = vec![None; n];
-    let mut done: Vec<bool> = vec![false; n];
-    let mut heap: BinaryHeap<Reverse<(Cost, u32)>> = BinaryHeap::new();
+    ws.begin(n);
+    ws.seed(source.index(), Cost::ZERO);
+    ws.push(Cost::ZERO, source.0);
 
-    dist[source.index()] = Cost::ZERO;
-    heap.push(Reverse((Cost::ZERO, source.0)));
-
-    while let Some(Reverse((d, u))) = heap.pop() {
+    while let Some((d, u)) = ws.pop() {
         let u = NodeId(u);
-        if done[u.index()] {
+        if ws.is_done(u.index()) {
             continue;
         }
-        done[u.index()] = true;
+        ws.mark_done(u.index());
         if u == target {
             break;
         }
         for (eid, edge) in g.out_edges(u) {
             let v = edge.to;
-            if done[v.index()] {
+            if ws.is_done(v.index()) {
                 continue;
             }
             let nd = d + edge.sigma;
-            if nd < dist[v.index()] {
-                dist[v.index()] = nd;
-                pred[v.index()] = Some(eid);
-                heap.push(Reverse((nd, v.0)));
+            if ws.improve(v.index(), nd, eid.0) {
+                ws.push(nd, v.0);
             }
         }
     }
 
-    if dist[target.index()] == Cost::MAX && source != target {
+    if ws.dist(target.index()) == Cost::MAX && source != target {
         return None;
     }
 
@@ -68,42 +78,50 @@ pub fn shortest_path(g: &Dwg, source: NodeId, target: NodeId) -> Option<Shortest
     let mut edges = Vec::new();
     let mut at = target;
     while at != source {
-        let e = pred[at.index()]?;
+        let e = EdgeId(ws.pred(at.index())?);
         edges.push(e);
         at = g.edge_unchecked(e).from;
     }
     edges.reverse();
     Some(ShortestPath {
-        s_weight: dist[target.index()],
+        s_weight: ws.dist(target.index()),
         path: Path::new(edges),
     })
 }
 
 /// All-targets σ distances from `source` (alive edges only); `Cost::MAX`
-/// marks unreachable nodes.
+/// marks unreachable nodes. Convenience wrapper over
+/// [`distances_from_in`].
 pub fn distances_from(g: &Dwg, source: NodeId) -> Vec<Cost> {
+    let mut out = Vec::new();
+    distances_from_in(g, source, &mut SolveScratch::new(), &mut out);
+    out
+}
+
+/// [`distances_from`] running in a reusable workspace; the result is
+/// written into `out` (cleared first) so steady-state callers allocate
+/// nothing.
+pub fn distances_from_in(g: &Dwg, source: NodeId, ws: &mut SolveScratch, out: &mut Vec<Cost>) {
     let n = g.num_nodes();
-    let mut dist: Vec<Cost> = vec![Cost::MAX; n];
-    let mut done: Vec<bool> = vec![false; n];
-    let mut heap: BinaryHeap<Reverse<(Cost, u32)>> = BinaryHeap::new();
-    dist[source.index()] = Cost::ZERO;
-    heap.push(Reverse((Cost::ZERO, source.0)));
-    while let Some(Reverse((d, u))) = heap.pop() {
+    ws.begin(n);
+    ws.seed(source.index(), Cost::ZERO);
+    ws.push(Cost::ZERO, source.0);
+    while let Some((d, u)) = ws.pop() {
         let u = NodeId(u);
-        if done[u.index()] {
+        if ws.is_done(u.index()) {
             continue;
         }
-        done[u.index()] = true;
-        for (_, edge) in g.out_edges(u) {
+        ws.mark_done(u.index());
+        for (eid, edge) in g.out_edges(u) {
             let v = edge.to;
             let nd = d + edge.sigma;
-            if !done[v.index()] && nd < dist[v.index()] {
-                dist[v.index()] = nd;
-                heap.push(Reverse((nd, v.0)));
+            if !ws.is_done(v.index()) && ws.improve(v.index(), nd, eid.0) {
+                ws.push(nd, v.0);
             }
         }
     }
-    dist
+    out.clear();
+    out.extend((0..n).map(|i| ws.dist(i)));
 }
 
 #[cfg(test)]
@@ -197,6 +215,38 @@ mod tests {
             let sp = shortest_path(&g, NodeId(0), NodeId(t)).unwrap();
             assert_eq!(sp.s_weight, d[t as usize]);
         }
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_runs() {
+        // One workspace across different graphs and sizes must behave as if
+        // freshly allocated each time.
+        let mut ws = SolveScratch::new();
+        let mut big = Dwg::with_nodes(6);
+        for i in 0..5u32 {
+            big.add_edge(NodeId(i), NodeId(i + 1), c(i as u64 + 1), c(0));
+        }
+        let mut small = Dwg::with_nodes(2);
+        small.add_edge(NodeId(0), NodeId(1), c(4), c(0));
+        for _ in 0..3 {
+            let a = shortest_path_in(&big, NodeId(0), NodeId(5), &mut ws).unwrap();
+            assert_eq!(a.s_weight, c(15));
+            let b = shortest_path_in(&small, NodeId(0), NodeId(1), &mut ws).unwrap();
+            assert_eq!(b.s_weight, c(4));
+            assert_eq!(b.path.len(), 1);
+            // Stale state from the 6-node run must not leak into this one.
+            assert!(shortest_path_in(&small, NodeId(1), NodeId(0), &mut ws).is_none());
+        }
+    }
+
+    #[test]
+    fn distances_from_in_reuses_output_buffer() {
+        let mut g = Dwg::with_nodes(3);
+        g.add_edge(NodeId(0), NodeId(1), c(2), c(0));
+        let mut ws = SolveScratch::new();
+        let mut out = vec![c(99); 17]; // stale, oversized
+        distances_from_in(&g, NodeId(0), &mut ws, &mut out);
+        assert_eq!(out, vec![c(0), c(2), Cost::MAX]);
     }
 
     #[test]

@@ -63,13 +63,25 @@ pub struct Edge {
 /// [`Dwg::add_undirected_edge`]; killing either twin kills both, so the
 /// elimination steps of the SSB/SB algorithms behave as on an undirected
 /// graph.
+///
+/// ## Generation-stamped liveness
+///
+/// Liveness is tracked by *generation stamps* rather than booleans: killing
+/// an edge stamps it with the current generation, and an edge is alive iff
+/// its stamp differs from the generation. [`Dwg::revive_all`] therefore
+/// runs in O(1) — it just bumps the generation — so one prepared graph can
+/// be solved by the destructive SSB/SB elimination loops repeatedly without
+/// rebuilding or O(|E|) clearing between solves.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct Dwg {
     edges: Vec<Edge>,
     /// Out-adjacency: for each node, the edge ids leaving it.
     adj: Vec<Vec<EdgeId>>,
-    /// Liveness flag per edge (false = eliminated).
-    alive: Vec<bool>,
+    /// Generation in which each edge was eliminated; an edge is alive iff
+    /// `killed_in[e] != generation` (0 = never, generations start at 1).
+    killed_in: Vec<u32>,
+    /// Current liveness generation (≥ 1).
+    generation: u32,
     alive_count: usize,
     /// Twin arc of an undirected pair, if any.
     twin: Vec<Option<EdgeId>>,
@@ -88,7 +100,8 @@ impl Dwg {
         Dwg {
             edges: Vec::new(),
             adj: Vec::new(),
-            alive: Vec::new(),
+            killed_in: Vec::new(),
+            generation: 1,
             alive_count: 0,
             twin: Vec::new(),
         }
@@ -166,7 +179,7 @@ impl Dwg {
             tag,
         });
         self.adj[from.index()].push(id);
-        self.alive.push(true);
+        self.killed_in.push(0);
         self.alive_count += 1;
         self.twin.push(None);
         id
@@ -211,7 +224,13 @@ impl Dwg {
     /// Whether the edge is currently alive.
     #[inline]
     pub fn is_alive(&self, e: EdgeId) -> bool {
-        self.alive[e.index()]
+        self.killed_in[e.index()] != self.generation
+    }
+
+    /// The current liveness generation (bumped by [`Dwg::revive_all`]).
+    #[inline]
+    pub fn generation(&self) -> u32 {
+        self.generation
     }
 
     /// Disables an edge (and its twin, for undirected pairs). Idempotent.
@@ -223,25 +242,29 @@ impl Dwg {
     }
 
     fn kill_one(&mut self, e: EdgeId) {
-        let slot = &mut self.alive[e.index()];
-        if *slot {
-            *slot = false;
+        if self.is_alive(e) {
+            self.killed_in[e.index()] = self.generation;
             self.alive_count -= 1;
         }
     }
 
-    /// Re-enables every edge.
+    /// Re-enables every edge in O(1) by starting a new liveness generation.
     pub fn revive_all(&mut self) {
-        for a in &mut self.alive {
-            *a = true;
+        if self.generation == u32::MAX {
+            // Stamp wrap: reset once every 2³²−1 generations.
+            self.killed_in.fill(0);
+            self.generation = 0;
         }
-        self.alive_count = self.alive.len();
+        self.generation += 1;
+        self.alive_count = self.killed_in.len();
     }
 
     /// Captures the current liveness state.
     pub fn snapshot(&self) -> AliveSnapshot {
         AliveSnapshot {
-            alive: self.alive.clone(),
+            alive: (0..self.edges.len())
+                .map(|i| self.is_alive(EdgeId(i as u32)))
+                .collect(),
             alive_count: self.alive_count,
         }
     }
@@ -253,11 +276,19 @@ impl Dwg {
     pub fn restore(&mut self, snap: &AliveSnapshot) {
         assert_eq!(
             snap.alive.len(),
-            self.alive.len(),
+            self.killed_in.len(),
             "snapshot taken on a graph with a different edge count"
         );
-        self.alive.clone_from(&snap.alive);
-        self.alive_count = snap.alive_count;
+        self.revive_all();
+        for (i, &alive) in snap.alive.iter().enumerate() {
+            if !alive {
+                // Direct stamp: twins are represented individually in the
+                // snapshot, so no twin propagation here.
+                self.killed_in[i] = self.generation;
+                self.alive_count -= 1;
+            }
+        }
+        debug_assert_eq!(self.alive_count, snap.alive_count);
     }
 
     /// Iterates the *alive* out-edges of a node.
@@ -265,7 +296,7 @@ impl Dwg {
         self.adj[n.index()]
             .iter()
             .copied()
-            .filter(|e| self.alive[e.index()])
+            .filter(|e| self.is_alive(*e))
             .map(move |e| (e, &self.edges[e.index()]))
     }
 
@@ -282,7 +313,7 @@ impl Dwg {
         self.edges
             .iter()
             .enumerate()
-            .filter(|(i, _)| self.alive[*i])
+            .filter(|(i, _)| self.killed_in[*i] != self.generation)
             .map(|(i, e)| (EdgeId(i as u32), e))
     }
 
@@ -405,5 +436,38 @@ mod tests {
     fn bad_endpoint_panics_at_construction() {
         let mut g = Dwg::with_nodes(1);
         g.add_edge(NodeId(0), NodeId(3), c(1), c(1));
+    }
+
+    #[test]
+    fn revive_all_bumps_generation_without_touching_stamps() {
+        let mut g = Dwg::with_nodes(2);
+        let e0 = g.add_edge(NodeId(0), NodeId(1), c(1), c(1));
+        let e1 = g.add_edge(NodeId(0), NodeId(1), c(2), c(2));
+        let gen0 = g.generation();
+        g.kill_edge(e0);
+        assert!(!g.is_alive(e0) && g.is_alive(e1));
+        g.revive_all();
+        assert_eq!(g.generation(), gen0 + 1);
+        assert!(g.is_alive(e0) && g.is_alive(e1));
+        assert_eq!(g.num_alive(), 2);
+        // Edges added after a revive are alive in the new generation.
+        let e2 = g.add_edge(NodeId(1), NodeId(0), c(3), c(3));
+        assert!(g.is_alive(e2));
+        assert_eq!(g.num_alive(), 3);
+    }
+
+    #[test]
+    fn snapshot_survives_generation_bumps() {
+        let mut g = Dwg::with_nodes(2);
+        let e0 = g.add_edge(NodeId(0), NodeId(1), c(1), c(1));
+        let e1 = g.add_edge(NodeId(0), NodeId(1), c(2), c(2));
+        g.kill_edge(e0);
+        let snap = g.snapshot(); // e0 dead, e1 alive
+        g.revive_all();
+        g.kill_edge(e1);
+        g.restore(&snap);
+        assert!(!g.is_alive(e0));
+        assert!(g.is_alive(e1));
+        assert_eq!(g.num_alive(), 1);
     }
 }

@@ -32,10 +32,12 @@ mod cost;
 mod dwg;
 mod error;
 mod path;
+mod scratch;
 
 pub mod connectivity;
 pub mod dijkstra;
 pub mod enumerate;
+pub mod envelope;
 pub mod figures;
 pub mod generate;
 pub mod sb;
@@ -44,18 +46,21 @@ pub mod sweep;
 
 pub use cost::{Cost, Lambda, ScaledSsb, SSB_INFINITY};
 pub use dwg::{AliveSnapshot, Dwg, Edge, EdgeId, NodeId};
+pub use envelope::{lower_envelope, EnvelopeSegment, LambdaEnvelope, LambdaQ};
 pub use error::GraphError;
 pub use path::Path;
-pub use sb::{sb_search, SbOutcome};
+pub use sb::{sb_search, sb_search_in, SbOutcome};
+pub use scratch::SolveScratch;
 pub use ssb::{
-    ssb_search, EliminationRule, SsbBest, SsbConfig, SsbIteration, SsbOutcome, Termination,
+    ssb_search, ssb_search_in, EliminationRule, SsbBest, SsbConfig, SsbIteration, SsbOutcome,
+    Termination,
 };
-pub use sweep::{sb_search_sweep, ssb_search_sweep, SweepOutcome};
+pub use sweep::{sb_search_sweep, ssb_frontier, ssb_frontier_in, ssb_search_sweep, SweepOutcome};
 
 /// Commonly used items, for glob import in examples and tests.
 pub mod prelude {
     pub use crate::{
-        sb_search, ssb_search, Cost, Dwg, EdgeId, EliminationRule, GraphError, Lambda, NodeId,
-        Path, SsbConfig, SsbOutcome, Termination,
+        sb_search, ssb_frontier, ssb_search, Cost, Dwg, EdgeId, EliminationRule, GraphError,
+        Lambda, LambdaQ, NodeId, Path, SolveScratch, SsbConfig, SsbOutcome, Termination,
     };
 }

@@ -7,7 +7,7 @@
 //! path through an edge with `β(e) ≥ SB_can` weighs at least `SB_can` and
 //! cannot strictly improve.
 
-use crate::{dijkstra::shortest_path, Cost, Dwg, EdgeId, NodeId, Path};
+use crate::{dijkstra::shortest_path_in, Cost, Dwg, EdgeId, NodeId, Path, SolveScratch};
 
 /// Outcome of an SB search.
 #[derive(Clone, Debug)]
@@ -23,13 +23,25 @@ pub struct SbOutcome {
 /// Runs Bokhari's SB algorithm between `source` and `target`.
 ///
 /// Like [`crate::ssb_search`], the search consumes edge liveness.
+/// Convenience wrapper over [`sb_search_in`] with a throwaway workspace.
 pub fn sb_search(g: &mut Dwg, source: NodeId, target: NodeId) -> SbOutcome {
+    sb_search_in(g, source, target, &mut SolveScratch::new())
+}
+
+/// [`sb_search`] running in a reusable [`SolveScratch`]; repeated solves
+/// reuse the Dijkstra and elimination buffers.
+pub fn sb_search_in(
+    g: &mut Dwg,
+    source: NodeId,
+    target: NodeId,
+    ws: &mut SolveScratch,
+) -> SbOutcome {
     let mut best: Option<(Path, Cost)> = None;
     let mut best_sb = Cost::MAX;
     let mut iterations = 0usize;
     let mut edges_removed = 0usize;
 
-    while let Some(sp) = shortest_path(g, source, target) {
+    while let Some(sp) = shortest_path_in(g, source, target, ws) {
         iterations += 1;
         let s = sp.s_weight;
         let b = sp.path.b_weight(g);
@@ -44,22 +56,26 @@ pub fn sb_search(g: &mut Dwg, source: NodeId, target: NodeId) -> SbOutcome {
             break;
         }
         // Eliminate edges that can no longer be on a strictly better path.
-        let removable: Vec<EdgeId> = g
-            .alive_edges()
-            .filter(|(_, e)| e.beta >= best_sb)
-            .map(|(id, _)| id)
-            .collect();
-        if removable.is_empty() {
+        let mut buf = std::mem::take(&mut ws.edge_buf);
+        buf.clear();
+        buf.extend(
+            g.alive_edges()
+                .filter(|(_, e)| e.beta >= best_sb)
+                .map(|(id, _)| id.0),
+        );
+        if buf.is_empty() {
             // S < best_sb and every alive β < best_sb: the current path
             // already weighs max(S,B) < best_sb — impossible, since the
             // candidate would have been updated to it. Defensive stop.
             debug_assert!(false, "SB loop stalled");
+            ws.edge_buf = buf;
             break;
         }
-        edges_removed += removable.len();
-        for e in removable {
-            g.kill_edge(e);
+        edges_removed += buf.len();
+        for &e in &buf {
+            g.kill_edge(EdgeId(e));
         }
+        ws.edge_buf = buf;
     }
 
     SbOutcome {

@@ -23,7 +23,8 @@
 //! which reproduces Figure 4 exactly.
 
 use crate::{
-    dijkstra::shortest_path, Cost, Dwg, EdgeId, Lambda, NodeId, Path, ScaledSsb, SSB_INFINITY,
+    dijkstra::shortest_path_in, Cost, Dwg, EdgeId, Lambda, NodeId, Path, ScaledSsb, SolveScratch,
+    SSB_INFINITY,
 };
 
 /// How edges are eliminated relative to the current path's B weight.
@@ -124,10 +125,27 @@ pub struct SsbOutcome {
 /// Runs the SSB algorithm between `source` and `target`.
 ///
 /// The search *consumes* edge liveness (eliminated edges stay eliminated);
-/// callers who need the graph back take a [`Dwg::snapshot`] first. This
-/// mirrors the paper's formulation, where each iteration works on the
-/// reduced graph `Gᵢ`.
+/// callers who need the graph back take a [`Dwg::snapshot`] first, or call
+/// [`Dwg::revive_all`] afterwards (O(1)) when the graph started fully
+/// alive. This mirrors the paper's formulation, where each iteration works
+/// on the reduced graph `Gᵢ`.
+///
+/// Convenience wrapper over [`ssb_search_in`] with a throwaway workspace.
 pub fn ssb_search(g: &mut Dwg, source: NodeId, target: NodeId, cfg: &SsbConfig) -> SsbOutcome {
+    ssb_search_in(g, source, target, cfg, &mut SolveScratch::new())
+}
+
+/// [`ssb_search`] running in a reusable [`SolveScratch`]: the per-iteration
+/// Dijkstra runs and the elimination sweeps reuse the workspace buffers, so
+/// a steady-state caller allocates only for the returned best path (and the
+/// trace, when requested).
+pub fn ssb_search_in(
+    g: &mut Dwg,
+    source: NodeId,
+    target: NodeId,
+    cfg: &SsbConfig,
+    ws: &mut SolveScratch,
+) -> SsbOutcome {
     let mut best: Option<SsbBest> = None;
     let mut best_ssb: ScaledSsb = SSB_INFINITY;
     let mut iterations = 0usize;
@@ -138,7 +156,7 @@ pub fn ssb_search(g: &mut Dwg, source: NodeId, target: NodeId, cfg: &SsbConfig) 
         if iterations >= cfg.max_iterations {
             break Termination::IterationCap;
         }
-        let Some(sp) = shortest_path(g, source, target) else {
+        let Some(sp) = shortest_path_in(g, source, target, ws) else {
             break Termination::Disconnected;
         };
         iterations += 1;
@@ -174,22 +192,23 @@ pub fn ssb_search(g: &mut Dwg, source: NodeId, target: NodeId, cfg: &SsbConfig) 
             break Termination::SBound;
         }
 
-        // Elimination step.
+        // Elimination step (edge ids collected into the reusable buffer).
         let strict_first = cfg.rule == EliminationRule::Strict;
-        let mut removed = collect_removable(g, b, /*strict=*/ strict_first);
+        let mut buf = std::mem::take(&mut ws.edge_buf);
+        collect_removable_into(g, b, /*strict=*/ strict_first, &mut buf);
         let mut stall_fallback = false;
-        if removed.is_empty() && strict_first {
+        if buf.is_empty() && strict_first {
             stall_fallback = true;
-            removed = collect_removable(g, b, /*strict=*/ false);
+            collect_removable_into(g, b, /*strict=*/ false, &mut buf);
         }
         debug_assert!(
-            !removed.is_empty(),
+            !buf.is_empty(),
             "elimination must make progress (β≥B(P) holds for P's max-β edge)"
         );
-        for &e in &removed {
-            g.kill_edge(e);
+        for &e in &buf {
+            g.kill_edge(EdgeId(e));
         }
-        edges_removed += removed.len();
+        edges_removed += buf.len();
         if cfg.record_trace {
             trace.push(SsbIteration {
                 path: sp.path,
@@ -197,10 +216,11 @@ pub fn ssb_search(g: &mut Dwg, source: NodeId, target: NodeId, cfg: &SsbConfig) 
                 b,
                 ssb,
                 improved,
-                removed,
+                removed: buf.iter().copied().map(EdgeId).collect(),
                 stall_fallback,
             });
         }
+        ws.edge_buf = buf;
     };
 
     SsbOutcome {
@@ -212,11 +232,13 @@ pub fn ssb_search(g: &mut Dwg, source: NodeId, target: NodeId, cfg: &SsbConfig) 
     }
 }
 
-fn collect_removable(g: &Dwg, b: Cost, strict: bool) -> Vec<EdgeId> {
-    g.alive_edges()
-        .filter(|(_, e)| if strict { e.beta > b } else { e.beta >= b })
-        .map(|(id, _)| id)
-        .collect()
+fn collect_removable_into(g: &Dwg, b: Cost, strict: bool, out: &mut Vec<u32>) {
+    out.clear();
+    out.extend(
+        g.alive_edges()
+            .filter(|(_, e)| if strict { e.beta > b } else { e.beta >= b })
+            .map(|(id, _)| id.0),
+    );
 }
 
 #[cfg(test)]
@@ -344,6 +366,24 @@ mod tests {
         let out = ssb_search(&mut g, NodeId(0), NodeId(3), &cfg);
         assert_eq!(out.trace.len(), out.iterations);
         assert!(out.trace.iter().any(|it| it.improved));
+    }
+
+    #[test]
+    fn repeated_solves_with_revive_and_scratch_are_identical() {
+        // One graph, one workspace, many solves: revive_all() (O(1)) between
+        // runs must reproduce the fresh-graph answer bit for bit.
+        let mut g = diamond();
+        let mut ws = SolveScratch::new();
+        let fresh = ssb_search(&mut diamond(), NodeId(0), NodeId(3), &SsbConfig::default());
+        let expect = fresh.best.unwrap();
+        for _ in 0..5 {
+            let out = ssb_search_in(&mut g, NodeId(0), NodeId(3), &SsbConfig::default(), &mut ws);
+            let best = out.best.unwrap();
+            assert_eq!(best.ssb, expect.ssb);
+            assert_eq!(best.path.edges, expect.path.edges);
+            assert_eq!(out.iterations, fresh.iterations);
+            g.revive_all();
+        }
     }
 
     #[test]

@@ -20,7 +20,8 @@
 //! implementations* in the property-test suite and as an ablation in the
 //! benchmarks (iterate-eliminate vs parametric sweep).
 
-use crate::{dijkstra::shortest_path, Cost, Dwg, Lambda, NodeId, Path, ScaledSsb};
+use crate::envelope::{lower_envelope, LambdaEnvelope};
+use crate::{dijkstra::shortest_path_in, Cost, Dwg, Lambda, NodeId, Path, ScaledSsb, SolveScratch};
 
 /// Result of a sweep search.
 #[derive(Clone, Debug)]
@@ -38,69 +39,97 @@ pub fn ssb_search_sweep(
     target: NodeId,
     lambda: Lambda,
 ) -> SweepOutcome {
-    let snapshot = g.snapshot();
-    let mut thetas: Vec<Cost> = g.alive_edges().map(|(_, e)| e.beta).collect();
-    thetas.sort();
-    thetas.dedup();
-
+    let mut ws = SolveScratch::new();
     let mut best: Option<(Path, Cost, Cost, ScaledSsb)> = None;
-    let mut probes = 0;
-    for &theta in &thetas {
-        g.restore(&snapshot);
-        let victims: Vec<_> = g
-            .alive_edges()
-            .filter(|(_, e)| e.beta > theta)
-            .map(|(id, _)| id)
-            .collect();
-        for e in victims {
-            g.kill_edge(e);
+    let probes = sweep_thresholds(g, source, target, &mut ws, |path, s, b| {
+        let obj = lambda.ssb_scaled(s, b);
+        if best.as_ref().map(|(_, _, _, o)| obj < *o).unwrap_or(true) {
+            best = Some((path, s, b, obj));
         }
-        probes += 1;
-        if let Some(sp) = shortest_path(g, source, target) {
-            let b = sp.path.b_weight(g);
-            let obj = lambda.ssb_scaled(sp.s_weight, b);
-            if best.as_ref().map(|(_, _, _, o)| obj < *o).unwrap_or(true) {
-                best = Some((sp.path, sp.s_weight, b, obj));
-            }
-        }
-    }
-    g.restore(&snapshot);
+    });
     SweepOutcome { best, probes }
 }
 
-/// Exact SB (`max(S,B)`) optimum by threshold sweep. Leaves edge liveness
-/// untouched.
-pub fn sb_search_sweep(g: &mut Dwg, source: NodeId, target: NodeId) -> SweepOutcome {
+/// Runs the β-threshold sweep shared by every parametric search: for each
+/// distinct alive β value θ (ascending), restricts the graph to `β ≤ θ`,
+/// finds the σ-shortest path, and hands `(path, S, B)` to `visit`. Edge
+/// liveness is left untouched; returns the number of probes.
+fn sweep_thresholds<F: FnMut(Path, Cost, Cost)>(
+    g: &mut Dwg,
+    source: NodeId,
+    target: NodeId,
+    ws: &mut SolveScratch,
+    mut visit: F,
+) -> usize {
     let snapshot = g.snapshot();
     let mut thetas: Vec<Cost> = g.alive_edges().map(|(_, e)| e.beta).collect();
     thetas.sort();
     thetas.dedup();
 
-    let mut best: Option<(Path, Cost, Cost, ScaledSsb)> = None;
     let mut probes = 0;
     for &theta in &thetas {
-        // Monotone refinement: once max(S(θ),θ) for growing θ exceeds the
-        // candidate *and* S(θ) can only shrink as θ grows, we cannot prune
-        // blindly; probe everything (|thetas| is ≤ |E| anyway).
         g.restore(&snapshot);
-        let victims: Vec<_> = g
-            .alive_edges()
-            .filter(|(_, e)| e.beta > theta)
-            .map(|(id, _)| id)
-            .collect();
-        for e in victims {
-            g.kill_edge(e);
+        let mut victims = std::mem::take(&mut ws.edge_buf);
+        victims.clear();
+        victims.extend(
+            g.alive_edges()
+                .filter(|(_, e)| e.beta > theta)
+                .map(|(id, _)| id.0),
+        );
+        for &e in &victims {
+            g.kill_edge(crate::EdgeId(e));
         }
+        ws.edge_buf = victims;
         probes += 1;
-        if let Some(sp) = shortest_path(g, source, target) {
+        if let Some(sp) = shortest_path_in(g, source, target, ws) {
             let b = sp.path.b_weight(g);
-            let obj = sp.s_weight.max(b).ticks() as ScaledSsb;
-            if best.as_ref().map(|(_, _, _, o)| obj < *o).unwrap_or(true) {
-                best = Some((sp.path, sp.s_weight, b, obj));
-            }
+            visit(sp.path, sp.s_weight, b);
         }
     }
     g.restore(&snapshot);
+    probes
+}
+
+/// The **λ-frontier** of the SSB path problem: the exact lower envelope of
+/// `λ·S + (1−λ)·B` over *every* λ ∈ [0, 1], from one threshold sweep.
+///
+/// Correctness piggybacks on the sweep argument (module docs): for any λ
+/// the optimum's B equals some θ, and the candidate probed at that θ has a
+/// no-worse objective; every candidate is achievable. The envelope of the
+/// sweep's candidate set therefore touches the optimum at every λ — N
+/// λ-queries cost one sweep instead of N searches.
+///
+/// Returns `None` when S and T are disconnected. Leaves liveness untouched.
+pub fn ssb_frontier(g: &mut Dwg, source: NodeId, target: NodeId) -> Option<LambdaEnvelope<Path>> {
+    ssb_frontier_in(g, source, target, &mut SolveScratch::new())
+}
+
+/// [`ssb_frontier`] running in a reusable workspace.
+pub fn ssb_frontier_in(
+    g: &mut Dwg,
+    source: NodeId,
+    target: NodeId,
+    ws: &mut SolveScratch,
+) -> Option<LambdaEnvelope<Path>> {
+    let mut candidates: Vec<(Cost, Cost, Path)> = Vec::new();
+    sweep_thresholds(g, source, target, ws, |path, s, b| {
+        candidates.push((s, b, path));
+    });
+    lower_envelope(candidates)
+}
+
+/// Exact SB (`max(S,B)`) optimum by threshold sweep. Leaves edge liveness
+/// untouched. (No pruning over θ: S(θ) shrinks as θ grows, so every probe
+/// can still improve; |thetas| ≤ |E| anyway.)
+pub fn sb_search_sweep(g: &mut Dwg, source: NodeId, target: NodeId) -> SweepOutcome {
+    let mut ws = SolveScratch::new();
+    let mut best: Option<(Path, Cost, Cost, ScaledSsb)> = None;
+    let probes = sweep_thresholds(g, source, target, &mut ws, |path, s, b| {
+        let obj = s.max(b).ticks() as ScaledSsb;
+        if best.as_ref().map(|(_, _, _, o)| obj < *o).unwrap_or(true) {
+            best = Some((path, s, b, obj));
+        }
+    });
     SweepOutcome { best, probes }
 }
 
@@ -155,5 +184,32 @@ mod tests {
         let out = ssb_search_sweep(&mut g1, s, t, Lambda::HALF);
         // Figure 4 has β values {10,8,9,20,12}: 5 distinct.
         assert_eq!(out.probes, 5);
+    }
+
+    #[test]
+    fn frontier_matches_iterative_search_at_every_lambda() {
+        let (g, s, t) = fig4_graph();
+        let mut g1 = g.clone();
+        let env = ssb_frontier(&mut g1, s, t).unwrap();
+        assert_eq!(g1.num_alive(), g.num_edges(), "liveness untouched");
+        for num in 0..=16u32 {
+            let lambda = Lambda::new(num, 16).unwrap();
+            let mut g2 = g.clone();
+            let cfg = SsbConfig {
+                lambda,
+                ..SsbConfig::default()
+            };
+            let it = ssb_search(&mut g2, s, t, &cfg);
+            assert_eq!(env.objective_at(lambda), it.best.unwrap().ssb, "λ={num}/16");
+        }
+        // λ=1/2 segment carries the Figure 4 optimum ⟨5,10⟩-⟨5,10⟩.
+        let seg = env.segment_at(Lambda::HALF);
+        assert_eq!((seg.s, seg.b), (Cost::new(10), Cost::new(10)));
+    }
+
+    #[test]
+    fn frontier_of_disconnected_graph_is_none() {
+        let mut g = Dwg::with_nodes(2);
+        assert!(ssb_frontier(&mut g, NodeId(0), NodeId(1)).is_none());
     }
 }

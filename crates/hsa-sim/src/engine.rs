@@ -85,9 +85,9 @@ struct WorkItem {
 /// Simulates one frame of the deployed tree. The cut must be valid for the
 /// prepared instance.
 pub fn simulate(prep: &Prepared<'_>, cut: &Cut, cfg: &SimConfig) -> Result<SimResult, AssignError> {
-    cut.validate(prep.tree)?;
-    let tree = prep.tree;
-    let costs = prep.costs;
+    cut.validate(&prep.tree)?;
+    let tree: &hsa_tree::CruTree = &prep.tree;
+    let costs: &hsa_tree::CostModel = &prep.costs;
     let n_sats = prep.n_satellites() as usize;
 
     // ---- Partition work ----------------------------------------------

@@ -25,7 +25,7 @@ use serde::{Deserialize, Serialize};
 ///
 /// Invariants (enforced by [`CostModel::validate`]): one entry per CRU in
 /// each cost table, and a satellite pinning for exactly the leaves.
-#[derive(Clone, Debug, Serialize, Deserialize, PartialEq, Eq)]
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq, Eq, Hash)]
 pub struct CostModel {
     /// `h_i` per CRU: host processing time.
     pub host_time: Vec<Cost>,

@@ -11,7 +11,7 @@ use crate::{CruId, TreeError};
 use serde::{Deserialize, Serialize};
 
 /// One CRU node.
-#[derive(Clone, Debug, Serialize, Deserialize, PartialEq, Eq)]
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq, Eq, Hash)]
 pub struct CruNode {
     /// Parent CRU; `None` for the root.
     pub parent: Option<CruId>,
@@ -25,7 +25,7 @@ pub struct CruNode {
 ///
 /// Construct with [`TreeBuilder`] (which can only build well-formed trees)
 /// or deserialise and [`CruTree::validate`].
-#[derive(Clone, Debug, Serialize, Deserialize, PartialEq, Eq)]
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq, Eq, Hash)]
 pub struct CruTree {
     nodes: Vec<CruNode>,
     root: CruId,

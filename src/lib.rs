@@ -34,6 +34,8 @@
 //! * [`graph`] — doubly weighted graphs, generic SSB/SB path algorithms;
 //! * [`tree`] — the CRU tree model, colouring, σ/β labellings, cuts;
 //! * [`assign`] — assignment graphs and the solvers (the paper's core);
+//! * [`engine`] — the batch service layer: prepared-instance cache,
+//!   threaded `(instance, λ)` query fan-out, and the λ-frontier;
 //! * [`sim`] — the discrete-event host–satellites simulator;
 //! * [`workloads`] — scenarios (epilepsy, SNMP, industrial, random);
 //! * [`heuristics`] — the future-work DAG model with B&B / GA / SA.
@@ -42,6 +44,7 @@
 #![forbid(unsafe_code)]
 
 pub use hsa_assign as assign;
+pub use hsa_engine as engine;
 pub use hsa_graph as graph;
 pub use hsa_heuristics as heuristics;
 pub use hsa_sim as sim;
@@ -51,6 +54,7 @@ pub use hsa_workloads as workloads;
 /// Commonly used items from every layer.
 pub mod prelude {
     pub use hsa_assign::prelude::*;
+    pub use hsa_engine::prelude::*;
     pub use hsa_graph::prelude::*;
     pub use hsa_heuristics::prelude::*;
     pub use hsa_sim::prelude::*;
