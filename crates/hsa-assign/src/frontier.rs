@@ -48,6 +48,11 @@ impl LambdaFrontier {
         self.envelope.breakpoints()
     }
 
+    /// Number of interior breakpoints, without materialising them.
+    pub fn num_breakpoints(&self) -> usize {
+        self.envelope.num_breakpoints()
+    }
+
     /// The exact scaled optimum `λ·S + (1−λ)·B` at `lambda`. Agrees with an
     /// independent [`crate::Solver::solve`] of an exact solver at that λ.
     pub fn objective_at(&self, lambda: Lambda) -> ScaledSsb {

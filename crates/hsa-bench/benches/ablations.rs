@@ -1,89 +1,18 @@
-//! Ablation benches for the design choices DESIGN.md §2 records:
+//! Bench A1: elimination-rule and iterate-vs-sweep ablations (DESIGN.md §2).
 //!
-//! * elimination rule `β ≥ B(P)` (Figure 4 semantics) vs the prose's
-//!   strict `β > B(P)` with stall fallback;
-//! * iterate-and-eliminate (the paper) vs the parametric threshold sweep
-//!   (the §2 follow-up literature's approach) for both objectives.
+//! Thin shim: the measurement body lives in the experiment registry
+//! (`hsa_bench::experiments`, id `a1`) so `cargo bench` and `repro`
+//! share one implementation.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use hsa_graph::generate::{layered_dag, LayeredParams};
-use hsa_graph::{
-    sb_search, sb_search_sweep, ssb_search, ssb_search_sweep, EliminationRule, Lambda, SsbConfig,
-};
-use std::hint::black_box;
+use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablations");
-    for (layers, width) in [(4usize, 4usize), (8, 8)] {
-        let params = LayeredParams {
-            layers,
-            width,
-            extra_edges: 3 * width,
-            max_sigma: 1000,
-            max_beta: 1000,
-        };
-        let gen = layered_dag(&params, 42);
-        let label = format!("v{}_e{}", gen.graph.num_nodes(), gen.graph.num_edges());
-
-        group.bench_with_input(
-            BenchmarkId::new("ssb_rule_greater_equal", &label),
-            &gen,
-            |b, gen| {
-                b.iter(|| {
-                    let mut g = gen.graph.clone();
-                    black_box(
-                        ssb_search(&mut g, gen.source, gen.target, &SsbConfig::default())
-                            .iterations,
-                    )
-                })
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("ssb_rule_strict", &label),
-            &gen,
-            |b, gen| {
-                let cfg = SsbConfig {
-                    rule: EliminationRule::Strict,
-                    ..SsbConfig::default()
-                };
-                b.iter(|| {
-                    let mut g = gen.graph.clone();
-                    black_box(ssb_search(&mut g, gen.source, gen.target, &cfg).iterations)
-                })
-            },
-        );
-        group.bench_with_input(BenchmarkId::new("ssb_sweep", &label), &gen, |b, gen| {
-            b.iter(|| {
-                let mut g = gen.graph.clone();
-                black_box(ssb_search_sweep(&mut g, gen.source, gen.target, Lambda::HALF).probes)
-            })
-        });
-        group.bench_with_input(BenchmarkId::new("sb_iterative", &label), &gen, |b, gen| {
-            b.iter(|| {
-                let mut g = gen.graph.clone();
-                black_box(sb_search(&mut g, gen.source, gen.target).iterations)
-            })
-        });
-        group.bench_with_input(BenchmarkId::new("sb_sweep", &label), &gen, |b, gen| {
-            b.iter(|| {
-                let mut g = gen.graph.clone();
-                black_box(sb_search_sweep(&mut g, gen.source, gen.target).probes)
-            })
-        });
-    }
-    group.finish();
-}
-
-fn fast() -> Criterion {
-    Criterion::default()
-        .sample_size(10)
-        .warm_up_time(std::time::Duration::from_millis(200))
-        .measurement_time(std::time::Duration::from_millis(900))
+    hsa_bench::experiments::criterion_bench("a1", c);
 }
 
 criterion_group! {
     name = benches;
-    config = fast();
+    config = hsa_bench::experiments::criterion_config();
     targets = bench
 }
 criterion_main!(benches);

@@ -1,35 +1,17 @@
 //! Bench: engine batch throughput — solves/sec, batched vs naive.
 //!
-//! Batched = `hsa-engine` (prepared-instance cache + cached frontier sets +
-//! thread fan-out); naive = a fresh `Prepared` and a fresh `Expanded` solve
-//! per query, the pre-engine code path. Writes `results/BENCH_engine.json`.
+//! Thin shim over the experiment registry (id `t9`): runs the full-profile
+//! measurement and writes `results/t9_engine_throughput.csv` plus the
+//! schema-versioned `results/BENCH_engine.json`.
 //!
 //! ```sh
 //! cargo bench -p hsa-bench --bench engine_throughput
 //! ```
 
-use hsa_bench::{engine_throughput, ThroughputConfig};
+use hsa_bench::experiments::{self, ExpCtx, Profile};
 use std::path::Path;
 
 fn main() {
-    let report = engine_throughput(&ThroughputConfig::default());
-    println!(
-        "engine_throughput: {} instances × λ-grid = {} queries on {} thread(s)",
-        report.instances, report.queries, report.threads
-    );
-    println!(
-        "  naive   : {:>12} ns total   {:>10.1} solves/sec",
-        report.naive_ns,
-        report.naive_solves_per_sec()
-    );
-    println!(
-        "  batched : {:>12} ns total   {:>10.1} solves/sec",
-        report.batched_ns,
-        report.batched_solves_per_sec()
-    );
-    println!("  speedup : {:.2}x", report.speedup());
-    let path = report
-        .write_json(Path::new("results"))
-        .expect("write BENCH_engine.json");
-    println!("  written : {}", path.display());
+    let ctx = ExpCtx::new(Path::new("results"), Profile::Full);
+    experiments::run("t9", &ctx).expect("t9 is registered");
 }

@@ -1,53 +1,18 @@
-//! Bench T2: the cost of the expansion machinery as colour interleaving
-//! grows — the |E′| axis of the paper's O(|E′|) claim for the adapted
-//! algorithm (§5.4).
+//! Bench T2: the cost of the expansion machinery as interleaving grows.
+//!
+//! Thin shim: the measurement body lives in the experiment registry
+//! (`hsa_bench::experiments`, id `t2`) so `cargo bench` and `repro`
+//! share one implementation.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use hsa_assign::{Expanded, PaperSsb, Prepared, Solver};
-use hsa_graph::Lambda;
-use hsa_workloads::{random_instance, Placement, RandomTreeParams};
-use std::hint::black_box;
+use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("expansion_cost");
-    for placement in [
-        Placement::Blocked,
-        Placement::Interleaved,
-        Placement::Random,
-    ] {
-        for n in [10usize, 20] {
-            let (tree, costs) = random_instance(
-                &RandomTreeParams {
-                    n_crus: n,
-                    n_satellites: 3,
-                    placement,
-                    ..RandomTreeParams::default()
-                },
-                11,
-            );
-            let prep = Prepared::new(&tree, &costs).unwrap();
-            let label = format!("{placement:?}_{n}");
-            group.bench_with_input(BenchmarkId::new("paper_ssb", &label), &prep, |b, prep| {
-                b.iter(|| black_box(PaperSsb::default().solve(prep, Lambda::HALF).unwrap().stats))
-            });
-            group.bench_with_input(BenchmarkId::new("expanded", &label), &prep, |b, prep| {
-                b.iter(|| black_box(Expanded::default().solve(prep, Lambda::HALF).unwrap().stats))
-            });
-        }
-    }
-    group.finish();
-}
-
-fn fast() -> Criterion {
-    Criterion::default()
-        .sample_size(10)
-        .warm_up_time(std::time::Duration::from_millis(200))
-        .measurement_time(std::time::Duration::from_millis(900))
+    hsa_bench::experiments::criterion_bench("t2", c);
 }
 
 criterion_group! {
     name = benches;
-    config = fast();
+    config = hsa_bench::experiments::criterion_config();
     targets = bench
 }
 criterion_main!(benches);

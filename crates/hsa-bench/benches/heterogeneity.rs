@@ -1,42 +1,18 @@
-//! Bench T6: full solve pipeline across the heterogeneity sweep (prepare +
-//! solve per host-speed point) — the cost of re-planning when the platform
-//! changes.
+//! Bench T6: full re-plan pipeline across the host-speed sweep.
+//!
+//! Thin shim: the measurement body lives in the experiment registry
+//! (`hsa_bench::experiments`, id `t6`) so `cargo bench` and `repro`
+//! share one implementation.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use hsa_assign::{Expanded, Prepared, Solver};
-use hsa_graph::Lambda;
-use hsa_workloads::{epilepsy_scenario, host_speed_sweep, EpilepsyParams};
-use std::hint::black_box;
+use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench(c: &mut Criterion) {
-    let base = epilepsy_scenario(&EpilepsyParams::default());
-    let mut group = c.benchmark_group("heterogeneity");
-    for (label, sc) in host_speed_sweep(&base) {
-        group.bench_with_input(BenchmarkId::new("replan", &label), &sc, |b, sc| {
-            b.iter(|| {
-                let prep = Prepared::new(&sc.tree, &sc.costs).unwrap();
-                black_box(
-                    Expanded::default()
-                        .solve(&prep, Lambda::HALF)
-                        .unwrap()
-                        .objective,
-                )
-            })
-        });
-    }
-    group.finish();
-}
-
-fn fast() -> Criterion {
-    Criterion::default()
-        .sample_size(10)
-        .warm_up_time(std::time::Duration::from_millis(200))
-        .measurement_time(std::time::Duration::from_millis(900))
+    hsa_bench::experiments::criterion_bench("t6", c);
 }
 
 criterion_group! {
     name = benches;
-    config = fast();
+    config = hsa_bench::experiments::criterion_config();
     targets = bench
 }
 criterion_main!(benches);

@@ -1,82 +1,18 @@
-//! Bench T7: the future-work solvers (B&B, GA, SA) on tree-derived DAGs —
-//! runtime versus the polynomial tree-exact solver.
+//! Bench T7: the future-work solvers (B&B, GA, SA) on tree-derived DAGs.
+//!
+//! Thin shim: the measurement body lives in the experiment registry
+//! (`hsa_bench::experiments`, id `t7`) so `cargo bench` and `repro`
+//! share one implementation.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use hsa_assign::{Expanded, Prepared, Solver};
-use hsa_graph::Lambda;
-use hsa_heuristics::{
-    branch_and_bound, genetic, simulated_annealing, BnbConfig, GaConfig, SaConfig, TaskDag,
-};
-use hsa_workloads::{random_instance, Placement, RandomTreeParams};
-use std::hint::black_box;
+use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("heuristics");
-    for n in [6usize, 8, 10] {
-        let (tree, costs) = random_instance(
-            &RandomTreeParams {
-                n_crus: n,
-                n_satellites: 2,
-                placement: Placement::Random,
-                ..RandomTreeParams::default()
-            },
-            3,
-        );
-        let dag = TaskDag::from_tree(&tree, &costs);
-        group.bench_with_input(BenchmarkId::new("bnb", n), &dag, |b, dag| {
-            b.iter(|| {
-                black_box(
-                    branch_and_bound(dag, &BnbConfig::default())
-                        .unwrap()
-                        .makespan,
-                )
-            })
-        });
-        group.bench_with_input(BenchmarkId::new("ga", n), &dag, |b, dag| {
-            let cfg = GaConfig {
-                generations: 40,
-                population: 30,
-                ..GaConfig::default()
-            };
-            b.iter(|| black_box(genetic(dag, &cfg).unwrap().makespan))
-        });
-        group.bench_with_input(BenchmarkId::new("sa", n), &dag, |b, dag| {
-            let cfg = SaConfig {
-                iterations: 1_000,
-                ..SaConfig::default()
-            };
-            b.iter(|| black_box(simulated_annealing(dag, &cfg).unwrap().makespan))
-        });
-        let prep_input = (tree.clone(), costs.clone());
-        group.bench_with_input(
-            BenchmarkId::new("tree_exact", n),
-            &prep_input,
-            |b, (t, m)| {
-                b.iter(|| {
-                    let prep = Prepared::new(t, m).unwrap();
-                    black_box(
-                        Expanded::default()
-                            .solve(&prep, Lambda::HALF)
-                            .unwrap()
-                            .objective,
-                    )
-                })
-            },
-        );
-    }
-    group.finish();
-}
-
-fn fast() -> Criterion {
-    Criterion::default()
-        .sample_size(10)
-        .warm_up_time(std::time::Duration::from_millis(200))
-        .measurement_time(std::time::Duration::from_millis(900))
+    hsa_bench::experiments::criterion_bench("t7", c);
 }
 
 criterion_group! {
     name = benches;
-    config = fast();
+    config = hsa_bench::experiments::criterion_config();
     targets = bench
 }
 criterion_main!(benches);

@@ -1,50 +1,18 @@
-//! Bench T3: solving for the paper's SSB objective vs Bokhari's SB
-//! objective on the same instances (both via the shared colour frontiers).
+//! Bench T3: the paper's SSB objective vs Bokhari's SB objective.
+//!
+//! Thin shim: the measurement body lives in the experiment registry
+//! (`hsa_bench::experiments`, id `t3`) so `cargo bench` and `repro`
+//! share one implementation.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use hsa_assign::{Expanded, Prepared, SbObjective, Solver};
-use hsa_graph::Lambda;
-use hsa_workloads::catalog;
-use std::hint::black_box;
+use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("objective_gap");
-    for sc in catalog() {
-        let prep = Prepared::new(&sc.tree, &sc.costs).unwrap();
-        group.bench_with_input(BenchmarkId::new("ssb", &sc.name), &prep, |b, prep| {
-            b.iter(|| {
-                black_box(
-                    Expanded::default()
-                        .solve(prep, Lambda::HALF)
-                        .unwrap()
-                        .objective,
-                )
-            })
-        });
-        group.bench_with_input(BenchmarkId::new("sb", &sc.name), &prep, |b, prep| {
-            b.iter(|| {
-                black_box(
-                    SbObjective::default()
-                        .solve(prep, Lambda::HALF)
-                        .unwrap()
-                        .objective,
-                )
-            })
-        });
-    }
-    group.finish();
-}
-
-fn fast() -> Criterion {
-    Criterion::default()
-        .sample_size(10)
-        .warm_up_time(std::time::Duration::from_millis(200))
-        .measurement_time(std::time::Duration::from_millis(900))
+    hsa_bench::experiments::criterion_bench("t3", c);
 }
 
 criterion_group! {
     name = benches;
-    config = fast();
+    config = hsa_bench::experiments::criterion_config();
     targets = bench
 }
 criterion_main!(benches);

@@ -1,65 +1,18 @@
-//! Bench T4: simulator throughput — single frames under both timing
-//! models, and the periodic-pipeline engine.
+//! Bench T4: simulator throughput under both timing models.
+//!
+//! Thin shim: the measurement body lives in the experiment registry
+//! (`hsa_bench::experiments`, id `t4`) so `cargo bench` and `repro`
+//! share one implementation.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use hsa_assign::{Expanded, Prepared, Solver};
-use hsa_graph::{Cost, Lambda};
-use hsa_sim::{simulate, simulate_periodic, SimConfig};
-use hsa_workloads::catalog;
-use std::hint::black_box;
+use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sim_validate");
-    for sc in catalog() {
-        let prep = Prepared::new(&sc.tree, &sc.costs).unwrap();
-        let optimal = Expanded::default().solve(&prep, Lambda::HALF).unwrap();
-        group.bench_with_input(
-            BenchmarkId::new("paper_model", &sc.name),
-            &(&prep, &optimal.cut),
-            |b, (prep, cut)| {
-                b.iter(|| {
-                    black_box(
-                        simulate(prep, cut, &SimConfig::paper_model())
-                            .unwrap()
-                            .end_to_end,
-                    )
-                })
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("eager", &sc.name),
-            &(&prep, &optimal.cut),
-            |b, (prep, cut)| {
-                b.iter(|| black_box(simulate(prep, cut, &SimConfig::eager()).unwrap().end_to_end))
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("pipeline_100_frames", &sc.name),
-            &(&prep, &optimal.cut),
-            |b, (prep, cut)| {
-                b.iter(|| {
-                    black_box(
-                        simulate_periodic(prep, cut, Cost::new(1_000_000), 100)
-                            .unwrap()
-                            .makespan,
-                    )
-                })
-            },
-        );
-    }
-    group.finish();
-}
-
-fn fast() -> Criterion {
-    Criterion::default()
-        .sample_size(10)
-        .warm_up_time(std::time::Duration::from_millis(200))
-        .measurement_time(std::time::Duration::from_millis(900))
+    hsa_bench::experiments::criterion_bench("t4", c);
 }
 
 criterion_group! {
     name = benches;
-    config = fast();
+    config = hsa_bench::experiments::criterion_config();
     targets = bench
 }
 criterion_main!(benches);

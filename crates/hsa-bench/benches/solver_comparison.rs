@@ -1,80 +1,18 @@
-//! Bench T5: the three exact solvers (paper-SSB, full expansion, brute
-//! force) against growing instance sizes — who pays what for exactness.
+//! Bench T5: the three exact solvers against growing instance sizes.
+//!
+//! Thin shim: the measurement body lives in the experiment registry
+//! (`hsa_bench::experiments`, id `t5`) so `cargo bench` and `repro`
+//! share one implementation.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use hsa_assign::{BruteForce, Expanded, PaperSsb, Prepared, Solver};
-use hsa_graph::Lambda;
-use hsa_workloads::{random_instance, Placement, RandomTreeParams};
-use std::hint::black_box;
+use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("solver_comparison");
-    for n in [10usize, 20, 40, 80] {
-        let (tree, costs) = random_instance(
-            &RandomTreeParams {
-                n_crus: n,
-                n_satellites: 3,
-                // Blocked placement keeps the faithful algorithm in its
-                // polynomial regime at every size; the interleaved regime
-                // is measured separately in `expansion_cost`.
-                placement: Placement::Blocked,
-                ..RandomTreeParams::default()
-            },
-            7,
-        );
-        let prep = Prepared::new(&tree, &costs).unwrap();
-        group.bench_with_input(BenchmarkId::new("paper_ssb", n), &prep, |b, prep| {
-            b.iter(|| {
-                black_box(
-                    PaperSsb::default()
-                        .solve(prep, Lambda::HALF)
-                        .unwrap()
-                        .objective,
-                )
-            })
-        });
-        group.bench_with_input(BenchmarkId::new("expanded", n), &prep, |b, prep| {
-            b.iter(|| {
-                black_box(
-                    Expanded::default()
-                        .solve(prep, Lambda::HALF)
-                        .unwrap()
-                        .objective,
-                )
-            })
-        });
-        if n <= 20 {
-            group.bench_with_input(BenchmarkId::new("brute_force", n), &prep, |b, prep| {
-                b.iter(|| {
-                    black_box(
-                        BruteForce::default()
-                            .solve(prep, Lambda::HALF)
-                            .unwrap()
-                            .objective,
-                    )
-                })
-            });
-        }
-        // Preparation cost itself (colouring + labelling + dual graph).
-        group.bench_with_input(
-            BenchmarkId::new("prepare", n),
-            &(&tree, &costs),
-            |b, (t, m)| b.iter(|| black_box(Prepared::new(t, m).unwrap().graph.n_edges())),
-        );
-    }
-    group.finish();
-}
-
-fn fast() -> Criterion {
-    Criterion::default()
-        .sample_size(10)
-        .warm_up_time(std::time::Duration::from_millis(200))
-        .measurement_time(std::time::Duration::from_millis(900))
+    hsa_bench::experiments::criterion_bench("t5", c);
 }
 
 criterion_group! {
     name = benches;
-    config = fast();
+    config = hsa_bench::experiments::criterion_config();
     targets = bench
 }
 criterion_main!(benches);

@@ -1,43 +1,18 @@
-//! Bench F4: the SSB algorithm on the paper's Figure 4 graph (the smallest
-//! meaningful workload — measures per-iteration overhead).
+//! Bench F4: the SSB algorithm on the paper's Figure 4 graph.
+//!
+//! Thin shim: the measurement body lives in the experiment registry
+//! (`hsa_bench::experiments`, id `f4`) so `cargo bench` and `repro`
+//! share one implementation.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use hsa_graph::figures::fig4_graph;
-use hsa_graph::{ssb_search, SsbConfig};
-use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
-    let (g, s, t) = fig4_graph();
-    c.bench_function("ssb_fig4/full_search", |b| {
-        b.iter(|| {
-            let mut g2 = g.clone();
-            let out = ssb_search(&mut g2, s, t, &SsbConfig::default());
-            black_box(out.best.map(|x| x.ssb))
-        })
-    });
-    c.bench_function("ssb_fig4/with_trace", |b| {
-        let cfg = SsbConfig {
-            record_trace: true,
-            ..SsbConfig::default()
-        };
-        b.iter(|| {
-            let mut g2 = g.clone();
-            let out = ssb_search(&mut g2, s, t, &cfg);
-            black_box(out.trace.len())
-        })
-    });
-}
-
-fn fast() -> Criterion {
-    Criterion::default()
-        .sample_size(10)
-        .warm_up_time(std::time::Duration::from_millis(200))
-        .measurement_time(std::time::Duration::from_millis(900))
+    hsa_bench::experiments::criterion_bench("f4", c);
 }
 
 criterion_group! {
     name = benches;
-    config = fast();
+    config = hsa_bench::experiments::criterion_config();
     targets = bench
 }
 criterion_main!(benches);

@@ -1,59 +1,18 @@
-//! Bench T1: generic SSB runtime scaling over random layered DWGs — the
-//! empirical counterpart of the paper's O(|V|²·|E|) claim (§4.2). Also
-//! benchmarks the Dijkstra core and Bokhari's SB baseline on the same
-//! graphs, so the per-iteration cost and the objective overhead separate.
+//! Bench T1: generic SSB runtime scaling over random layered DWGs.
+//!
+//! Thin shim: the measurement body lives in the experiment registry
+//! (`hsa_bench::experiments`, id `t1`) so `cargo bench` and `repro`
+//! share one implementation.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use hsa_graph::dijkstra::shortest_path;
-use hsa_graph::generate::{layered_dag, LayeredParams};
-use hsa_graph::{sb_search, ssb_search, SsbConfig};
-use std::hint::black_box;
+use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ssb_scaling");
-    for (layers, width) in [(2usize, 2usize), (4, 4), (8, 4), (8, 8), (16, 8)] {
-        let params = LayeredParams {
-            layers,
-            width,
-            extra_edges: 3 * width,
-            max_sigma: 1000,
-            max_beta: 1000,
-        };
-        let gen = layered_dag(&params, 42);
-        let label = format!("v{}_e{}", gen.graph.num_nodes(), gen.graph.num_edges());
-        group.bench_with_input(BenchmarkId::new("ssb", &label), &gen, |b, gen| {
-            b.iter(|| {
-                let mut g = gen.graph.clone();
-                let out = ssb_search(&mut g, gen.source, gen.target, &SsbConfig::default());
-                black_box(out.iterations)
-            })
-        });
-        group.bench_with_input(BenchmarkId::new("sb", &label), &gen, |b, gen| {
-            b.iter(|| {
-                let mut g = gen.graph.clone();
-                let out = sb_search(&mut g, gen.source, gen.target);
-                black_box(out.iterations)
-            })
-        });
-        group.bench_with_input(BenchmarkId::new("dijkstra", &label), &gen, |b, gen| {
-            b.iter(|| {
-                black_box(shortest_path(&gen.graph, gen.source, gen.target).map(|p| p.s_weight))
-            })
-        });
-    }
-    group.finish();
-}
-
-fn fast() -> Criterion {
-    Criterion::default()
-        .sample_size(10)
-        .warm_up_time(std::time::Duration::from_millis(200))
-        .measurement_time(std::time::Duration::from_millis(900))
+    hsa_bench::experiments::criterion_bench("t1", c);
 }
 
 criterion_group! {
     name = benches;
-    config = fast();
+    config = hsa_bench::experiments::criterion_config();
     targets = bench
 }
 criterion_main!(benches);

@@ -1,48 +1,84 @@
-//! `repro` — regenerates every figure and experiment of the paper.
+//! `repro` — the experiment harness CLI: regenerates every figure and
+//! experiment of the paper from the central registry, and runs the perf
+//! gate against committed baselines.
 //!
 //! ```sh
-//! cargo run -p hsa-bench --bin repro --release              # everything
-//! cargo run -p hsa-bench --bin repro --release -- --exp f4  # one artefact
-//! cargo run -p hsa-bench --bin repro --release -- --out results
+//! cargo run -p hsa-bench --bin repro --release -- --list       # enumerate
+//! cargo run -p hsa-bench --bin repro --release -- --all        # full matrix
+//! cargo run -p hsa-bench --bin repro --release -- --exp f4     # one artefact
+//! cargo run -p hsa-bench --bin repro --release -- --bench-only --quick
+//! cargo run -p hsa-bench --bin repro --release -- --gate baselines --quick
 //! ```
 //!
 //! Experiment ids follow DESIGN.md §4: `f2 f4 f5 f6 f8 f9` reproduce the
-//! paper's figures; `t1 … t8` are the quantitative studies and `t9` is the
-//! engine batch-throughput experiment (DESIGN.md §7). Tables are printed
-//! and also written as CSV under the output directory (`t9` additionally
-//! writes `BENCH_engine.json`).
+//! paper's figures, `t1 … t10` are the quantitative studies and `a1` the
+//! design ablations — `repro --list` is authoritative. Tables are printed
+//! and written as CSV under the output directory; perf-tracked experiments
+//! additionally emit schema-versioned `BENCH_*.json` artefacts.
+//!
+//! Gate modes (exit code 1 on regression, 2 on usage errors):
+//!
+//! * `--gate <baseline-dir>` runs every perf-tracked experiment into
+//!   `--out`, then compares the fresh `BENCH_*.json` artefacts against the
+//!   same-named baselines;
+//! * `--compare <baseline-dir>` skips the run and compares whatever
+//!   already sits in `--out` (useful to re-render a regression table);
+//! * `--tolerance <x>` sets the allowed `current/baseline` ns/op ratio
+//!   (default 4.0 — generous, for shared CI runners).
 
-use hsa_assign::{
-    all_solvers, evaluate_cut, sb_optimum, solve_with_trace, AllOnHost, BruteForce, Expanded,
-    MaxOffload, PaperSsb, PaperSsbConfig, Prepared, SbObjective, Solver, SsbEvent,
-};
-use hsa_bench::{parallel_map, sweep_instances, time_median_ns, CsvTable};
-use hsa_graph::generate::{layered_dag, LayeredParams};
-use hsa_graph::{ssb_search, Cost, Lambda, SsbConfig};
-use hsa_heuristics::{
-    branch_and_bound, genetic, simulated_annealing, BnbConfig, GaConfig, SaConfig, TaskDag,
-};
-use hsa_sim::{render_gantt, simulate, SimConfig};
-use hsa_tree::figures::fig2_tree;
-use hsa_tree::render::render_tree;
-use hsa_tree::{Colour, Cut, TreeEdge};
-use hsa_workloads::{
-    catalog, epilepsy_scenario, paper_scenario, random_instance, scale_host_times, EpilepsyParams,
-    Placement, RandomTreeParams,
-};
-use std::path::{Path, PathBuf};
+use hsa_bench::experiments::{self, ExpCtx, Profile, REGISTRY};
+use hsa_bench::gate::{gate_directories, GateConfig};
+use std::path::PathBuf;
+
+const USAGE: &str = "usage: repro [--list] [--table] [--all] [--exp <id>] [--out <dir>]
+             [--quick] [--bench-only] [--gate <baseline-dir>]
+             [--compare <baseline-dir>] [--tolerance <x>]";
 
 fn main() {
     let mut out_dir = PathBuf::from("results");
     let mut only: Option<String> = None;
+    let mut list = false;
+    let mut table = false;
+    let mut quick = false;
+    let mut bench_only = false;
+    let mut gate_baseline: Option<PathBuf> = None;
+    let mut compare_baseline: Option<PathBuf> = None;
+    let mut tolerance = GateConfig::default().tolerance;
+
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
+        let mut value = |flag: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{flag} needs a value\n{USAGE}");
+                std::process::exit(2);
+            })
+        };
         match a.as_str() {
-            "--out" => out_dir = PathBuf::from(args.next().expect("--out needs a path")),
-            "--exp" => only = Some(args.next().expect("--exp needs an id")),
+            "--out" => out_dir = PathBuf::from(value("--out")),
+            "--exp" => only = Some(value("--exp")),
+            "--gate" => gate_baseline = Some(PathBuf::from(value("--gate"))),
+            "--compare" => compare_baseline = Some(PathBuf::from(value("--compare"))),
+            "--tolerance" => {
+                let raw = value("--tolerance");
+                tolerance = raw.parse().unwrap_or_else(|_| {
+                    eprintln!("--tolerance needs a number, got `{raw}`");
+                    std::process::exit(2);
+                });
+                // NaN would make every `ratio > tolerance` check false and
+                // silently disable the gate.
+                if !tolerance.is_finite() || tolerance <= 0.0 {
+                    eprintln!("--tolerance must be a finite positive number, got `{raw}`");
+                    std::process::exit(2);
+                }
+            }
+            "--list" => list = true,
+            "--table" => table = true,
+            "--quick" => quick = true,
+            "--bench-only" => bench_only = true,
+            "--all" => {} // running everything is the default
             "--help" | "-h" => {
-                println!("usage: repro [--exp <id>] [--out <dir>]");
-                println!("ids: f2 f4 f5 f6 f8 f9 t1 t2 t3 t4 t5 t6 t7 t8 t9");
+                println!("{USAGE}");
+                println!("ids: {}", experiments::ids().join(" "));
                 return;
             }
             other => {
@@ -52,775 +88,85 @@ fn main() {
         }
     }
 
-    type Exp = (&'static str, &'static str, fn(&Path));
-    let experiments: Vec<Exp> = vec![
-        ("f2", "Figure 2 — the CRU tree with pinned sensors", exp_f2),
-        (
-            "f4",
-            "Figure 3/4 — the SSB algorithm's worked trace",
-            exp_f4,
-        ),
-        ("f5", "Figure 5 — colouring and host-forced CRUs", exp_f5),
-        ("f6", "Figure 6 — the coloured assignment graph", exp_f6),
-        ("f8", "Figure 8 — σ (host time) labelling", exp_f8),
-        ("f9", "Figure 9/10 — expansion & branching events", exp_f9),
-        (
-            "t1",
-            "T1 — generic SSB runtime vs |V|,|E| (O(|V|²|E|) claim)",
-            exp_t1,
-        ),
-        (
-            "t2",
-            "T2 — expanded graph size |E′| and adapted-algorithm work",
-            exp_t2,
-        ),
-        ("t3", "T3 — SSB objective vs Bokhari's SB objective", exp_t3),
-        (
-            "t4",
-            "T4 — simulator vs analytic model (and eager ablation)",
-            exp_t4,
-        ),
-        (
-            "t5",
-            "T5 — exact solvers: agreement and runtime vs n",
-            exp_t5,
-        ),
-        (
-            "t6",
-            "T6 — heterogeneity sweep: when does offloading win?",
-            exp_t6,
-        ),
-        ("t7", "T7 — future-work heuristics vs exact optimum", exp_t7),
-        ("t8", "T8 — epilepsy tele-monitoring end-to-end", exp_t8),
-        (
-            "t9",
-            "T9 — engine batch throughput: batched+cached vs naive per-call",
-            exp_t9,
-        ),
-    ];
+    if list {
+        println!("{:<4} {:<10} {:<62} artefacts", "id", "perf-gate", "title");
+        for e in REGISTRY {
+            println!(
+                "{:<4} {:<10} {:<62} {}",
+                e.id,
+                if e.bench_artefact.is_some() {
+                    "gated"
+                } else {
+                    "-"
+                },
+                e.title,
+                if e.artefacts.is_empty() {
+                    "(stdout only)".to_string()
+                } else {
+                    e.artefacts.join(", ")
+                }
+            );
+        }
+        return;
+    }
+    if table {
+        print!("{}", experiments::markdown_table());
+        return;
+    }
+
+    let profile = if quick { Profile::Quick } else { Profile::Full };
+    let cfg = GateConfig { tolerance };
+    let ctx = ExpCtx::new(&out_dir, profile);
+
+    // The gate modes compare the *full* perf-tracked artefact set; running
+    // a single experiment underneath them would fabricate missing-artefact
+    // failures (or gate stale files), so the combination is rejected.
+    if only.is_some() && (gate_baseline.is_some() || compare_baseline.is_some()) {
+        eprintln!("--exp cannot be combined with --gate/--compare (the gate covers every perf-tracked experiment)");
+        std::process::exit(2);
+    }
+
+    if let Some(baseline) = compare_baseline {
+        let outcome = gate_directories(&baseline, &out_dir, &cfg);
+        print!("{}", outcome.render_text(&cfg));
+        std::process::exit(if outcome.passed() { 0 } else { 1 });
+    }
 
     if let Some(o) = only.as_deref() {
-        if !experiments.iter().any(|(id, _, _)| *id == o) {
-            eprintln!(
-                "unknown experiment id `{o}`; known ids: {}",
-                experiments
-                    .iter()
-                    .map(|(id, _, _)| *id)
-                    .collect::<Vec<_>>()
-                    .join(" ")
-            );
-            std::process::exit(2);
+        match experiments::find(o) {
+            None => {
+                eprintln!(
+                    "unknown experiment id `{o}`; known ids: {}",
+                    experiments::ids().join(" ")
+                );
+                std::process::exit(2);
+            }
+            Some(e) if bench_only && e.bench_artefact.is_none() => {
+                eprintln!("experiment `{o}` is not perf-tracked; drop --bench-only to run it");
+                std::process::exit(2);
+            }
+            Some(_) => {}
         }
     }
-    for (id, title, run) in &experiments {
-        if only.as_deref().map(|o| o != *id).unwrap_or(false) {
+
+    let gating = gate_baseline.is_some();
+    for e in REGISTRY {
+        if only.as_deref().map(|o| o != e.id).unwrap_or(false) {
             continue;
         }
-        println!("\n════ {id}: {title} ════\n");
-        run(&out_dir);
-    }
-    println!("\nCSV written under {}/", out_dir.display());
-}
-
-// ───────────────────────────── figures ─────────────────────────────────
-
-fn exp_f2(_out: &Path) {
-    let sc = paper_scenario();
-    let prep = Prepared::new(&sc.tree, &sc.costs).unwrap();
-    println!(
-        "{}",
-        render_tree(&sc.tree, Some(&sc.costs), Some(&prep.colouring))
-    );
-    let leaves: Vec<String> = sc
-        .tree
-        .leaves_in_order()
-        .iter()
-        .map(|&l| {
-            format!(
-                "{}→{}",
-                sc.tree.node_unchecked(l).name,
-                sc.costs.pinned_satellite(l).unwrap()
-            )
-        })
-        .collect();
-    println!("leaf order and pinning: {}", leaves.join(", "));
-    println!("(satellite B = Sat2 serves sensors under both CRU2 and CRU3 —");
-    println!(" the paper's 'some sensors are physically linked to the same satellite')");
-}
-
-fn exp_f4(out: &Path) {
-    let (mut g, s, t) = hsa_graph::figures::fig4_graph();
-    let cfg = SsbConfig {
-        record_trace: true,
-        ..SsbConfig::default()
-    };
-    let run = ssb_search(&mut g, s, t, &cfg);
-    let mut table = CsvTable::new(
-        "f4_ssb_trace",
-        &[
-            "iteration",
-            "S",
-            "B",
-            "SSB",
-            "candidate_updated",
-            "edges_removed",
-        ],
-    );
-    for (i, it) in run.trace.iter().enumerate() {
-        table.row(&[
-            (i + 1).to_string(),
-            it.s.to_string(),
-            it.b.to_string(),
-            it.ssb.to_string(),
-            it.improved.to_string(),
-            it.removed.len().to_string(),
-        ]);
-    }
-    println!("{}", table.render_text());
-    let best = run.best.unwrap();
-    println!(
-        "optimal SSB path: S={} B={} SSB={}   [paper: <5,10>-<5,10>, SSB weight 20]",
-        best.s, best.b, best.ssb
-    );
-    println!(
-        "iterations: {}   [paper: three iterations, terminating at S weight 33]",
-        run.iterations
-    );
-    assert_eq!(best.ssb, 20, "Figure 4 reproduction regressed");
-    table.write_csv(out).unwrap();
-}
-
-fn exp_f5(out: &Path) {
-    let (tree, costs) = fig2_tree();
-    let prep = Prepared::new(&tree, &costs).unwrap();
-    let mut table = CsvTable::new("f5_colouring", &["edge", "colour"]);
-    for c in tree.preorder() {
-        if c == tree.root() {
+        // Gate runs (and --bench-only) cover exactly the perf-tracked set.
+        if (bench_only || gating) && e.bench_artefact.is_none() {
             continue;
         }
-        let col = match prep.colouring.edge_colour(TreeEdge::Parent(c)) {
-            Colour::Conflict => "CONFLICT".to_string(),
-            Colour::Satellite(s) => ["R", "Y", "B", "G"][s.index()].to_string(),
-        };
-        table.row(&[
-            format!(
-                "<{},{}>",
-                tree.node_unchecked(tree.parent(c).unwrap()).name,
-                tree.node_unchecked(c).name
-            ),
-            col,
-        ]);
+        println!("\n════ {}: {} ════\n", e.id, e.title);
+        experiments::run(e.id, &ctx).expect("registered id runs");
     }
-    println!("{}", table.render_text());
-    let forced: Vec<&str> = prep
-        .colouring
-        .host_forced
-        .iter()
-        .map(|&c| tree.node_unchecked(c).name.as_str())
-        .collect();
-    println!(
-        "host-forced CRUs: {:?}   [paper: CRU1, CRU2 and CRU3 have to be deployed on the host]",
-        forced
-    );
-    assert_eq!(forced, ["CRU1", "CRU2", "CRU3"]);
-    table.write_csv(out).unwrap();
-}
+    println!("\nartefacts written under {}/", out_dir.display());
 
-fn exp_f6(out: &Path) {
-    let (tree, costs) = fig2_tree();
-    let prep = Prepared::new(&tree, &costs).unwrap();
-    let g = &prep.graph;
-    println!(
-        "assignment graph: {} nodes (S, {} gaps, T), {} coloured edges",
-        g.dwg.num_nodes(),
-        g.n_leaves - 1,
-        g.n_edges()
-    );
-    let mut table = CsvTable::new(
-        "f6_assignment_graph",
-        &[
-            "dual_edge",
-            "crosses",
-            "colour",
-            "from_gap",
-            "to_gap",
-            "sigma",
-            "beta",
-        ],
-    );
-    for (i, meta) in g.edges.iter().enumerate() {
-        table.row(&[
-            format!("e{i}"),
-            meta.tree_edge.to_string(),
-            ["R", "Y", "B", "G"][meta.colour.index()].to_string(),
-            meta.from_gap.to_string(),
-            meta.to_gap.to_string(),
-            meta.sigma.to_string(),
-            meta.beta.to_string(),
-        ]);
+    if let Some(baseline) = gate_baseline {
+        println!();
+        let outcome = gate_directories(&baseline, &out_dir, &cfg);
+        print!("{}", outcome.render_text(&cfg));
+        std::process::exit(if outcome.passed() { 0 } else { 1 });
     }
-    println!("{}", table.render_text());
-    println!("conflicted tree edges <CRU1,CRU2>, <CRU1,CRU3> are absent — they can never be cut.");
-    table.write_csv(out).unwrap();
-}
-
-fn exp_f8(out: &Path) {
-    let (tree, costs) = fig2_tree();
-    let prep = Prepared::new(&tree, &costs).unwrap();
-    use hsa_tree::figures::cru;
-    let named: Vec<(TreeEdge, &str)> = vec![
-        (TreeEdge::Parent(cru(2)), "h1"),
-        (TreeEdge::Parent(cru(4)), "h1+h2"),
-        (TreeEdge::Sensor(cru(9)), "h1+h2+h4+h9"),
-        (TreeEdge::Sensor(cru(10)), "h10"),
-        (TreeEdge::Parent(cru(3)), "0"),
-        (TreeEdge::Parent(cru(6)), "h3"),
-        (TreeEdge::Sensor(cru(13)), "h3+h6+h13"),
-        (TreeEdge::Sensor(cru(7)), "h7"),
-        (TreeEdge::Sensor(cru(8)), "h8"),
-    ];
-    let mut table = CsvTable::new("f8_sigma_labels", &["edge", "paper_label", "sigma_ticks"]);
-    for (e, label) in named {
-        table.row(&[
-            e.to_string(),
-            label.to_string(),
-            prep.sigma.sigma(e).to_string(),
-        ]);
-    }
-    println!("{}", table.render_text());
-    println!("(h_k = 10+k ticks in the canonical cost model; every label matches symbolically —");
-    println!(" asserted by hsa-tree's figure8_labels test)");
-    table.write_csv(out).unwrap();
-}
-
-fn exp_f9(out: &Path) {
-    // The interleaved instance forces both expansion and joint branching.
-    let (tree, costs) = random_instance(
-        &RandomTreeParams {
-            n_crus: 14,
-            n_satellites: 2,
-            placement: Placement::Interleaved,
-            ..RandomTreeParams::default()
-        },
-        5,
-    );
-    let prep = Prepared::new(&tree, &costs).unwrap();
-    println!(
-        "instance: 14 CRUs, 2 satellites, interleaved placement (colours in {} bands)",
-        prep.colouring.bands.len()
-    );
-    let cfg = PaperSsbConfig {
-        record_trace: true,
-        ..PaperSsbConfig::default()
-    };
-    let (sol, trace) = solve_with_trace(&prep, Lambda::HALF, &cfg).unwrap();
-    let mut table = CsvTable::new("f9_expansion_events", &["event", "detail"]);
-    for ev in &trace {
-        let (kind, detail) = match ev {
-            SsbEvent::Iteration {
-                s,
-                b,
-                ssb,
-                improved,
-                removed,
-            } => (
-                "iteration",
-                format!("S={s} B={b} SSB={ssb} improved={improved} removed={removed}"),
-            ),
-            SsbEvent::Expansion {
-                colour,
-                bands,
-                composites,
-            } => (
-                "expansion",
-                format!("colour={colour} bands={bands} composites={composites}"),
-            ),
-            SsbEvent::Branch { colour, combos } => {
-                ("branch", format!("colour={colour} joint_combos={combos}"))
-            }
-        };
-        table.row(&[kind.to_string(), detail]);
-    }
-    println!("{}", table.render_text());
-    let brute = BruteForce::default().solve(&prep, Lambda::HALF).unwrap();
-    println!(
-        "result: delay {} (brute force agrees: {}); expansions={} composites={} branches={}",
-        sol.delay(),
-        brute.delay(),
-        sol.stats.expansions,
-        sol.stats.composites,
-        sol.stats.branches
-    );
-    assert_eq!(sol.objective, brute.objective);
-    table.write_csv(out).unwrap();
-}
-
-// ──────────────────────────── experiments ──────────────────────────────
-
-fn exp_t1(out: &Path) {
-    // Generic SSB on random layered DWGs: runtime vs |V| and |E|.
-    let mut table = CsvTable::new(
-        "t1_ssb_scaling",
-        &["nodes", "edges", "median_ns", "ns_per_v2e_x1e9"],
-    );
-    let mut configs = Vec::new();
-    for layers in [2usize, 4, 8, 16] {
-        for width in [2usize, 4, 8] {
-            configs.push((layers, width));
-        }
-    }
-    let rows = parallel_map(configs, 4, |(layers, width)| {
-        let params = LayeredParams {
-            layers,
-            width,
-            extra_edges: 3 * width,
-            max_sigma: 1000,
-            max_beta: 1000,
-        };
-        let gen = layered_dag(&params, 42);
-        let v = gen.graph.num_nodes() as u64;
-        let e = gen.graph.num_edges() as u64;
-        let ns = time_median_ns(9, || {
-            let mut g = gen.graph.clone();
-            let out = ssb_search(&mut g, gen.source, gen.target, &SsbConfig::default());
-            std::hint::black_box(out.iterations);
-        });
-        (v, e, ns)
-    });
-    for (v, e, ns) in rows {
-        let normal = ns as f64 * 1e9 / (v as f64 * v as f64 * e as f64);
-        table.row(&[
-            v.to_string(),
-            e.to_string(),
-            ns.to_string(),
-            format!("{normal:.1}"),
-        ]);
-    }
-    println!("{}", table.render_text());
-    println!("shape check: the last column (time / |V|²|E|, scaled) should stay bounded");
-    println!("as the instances grow — the paper's §4.2 O(|V|²|E|) claim.");
-    table.write_csv(out).unwrap();
-}
-
-fn exp_t2(out: &Path) {
-    let mut table = CsvTable::new(
-        "t2_expansion_cost",
-        &[
-            "n_crus",
-            "placement",
-            "composites_Eprime",
-            "paper_iterations",
-            "paper_expansions",
-            "paper_branches",
-            "paper_ns",
-            "expanded_ns",
-        ],
-    );
-    let suite = sweep_instances(
-        &[10, 20, 40, 80],
-        &[
-            Placement::Blocked,
-            Placement::Interleaved,
-            Placement::Random,
-        ],
-        3,
-        3,
-    );
-    let rows = parallel_map(suite, 4, |(n, pl, _seed, tree, costs)| {
-        let prep = Prepared::new(&tree, &costs).unwrap();
-        let fast = Expanded::default().solve(&prep, Lambda::HALF).unwrap();
-        let paper = PaperSsb::default().solve(&prep, Lambda::HALF).unwrap();
-        assert_eq!(fast.objective, paper.objective, "solvers disagree");
-        let paper_ns = time_median_ns(5, || {
-            let s = PaperSsb::default().solve(&prep, Lambda::HALF).unwrap();
-            std::hint::black_box(s.objective);
-        });
-        let exp_ns = time_median_ns(5, || {
-            let s = Expanded::default().solve(&prep, Lambda::HALF).unwrap();
-            std::hint::black_box(s.objective);
-        });
-        (
-            n,
-            format!("{pl:?}"),
-            fast.stats.composites,
-            paper.stats.iterations,
-            paper.stats.expansions,
-            paper.stats.branches,
-            paper_ns,
-            exp_ns,
-        )
-    });
-    // Aggregate per (n, placement): means over seeds.
-    let mut agg: std::collections::BTreeMap<(usize, String), Vec<[u64; 6]>> = Default::default();
-    for (n, pl, comp, iters, exps, brs, pns, ens) in rows {
-        agg.entry((n, pl))
-            .or_default()
-            .push([comp, iters, exps, brs, pns, ens]);
-    }
-    for ((n, pl), cell) in agg {
-        let k = cell.len() as u64;
-        let mean = |i: usize| cell.iter().map(|r| r[i]).sum::<u64>() / k;
-        table.row(&[
-            n.to_string(),
-            pl,
-            mean(0).to_string(),
-            mean(1).to_string(),
-            mean(2).to_string(),
-            mean(3).to_string(),
-            mean(4).to_string(),
-            mean(5).to_string(),
-        ]);
-    }
-    println!("{}", table.render_text());
-    println!("shape check: |E′| (composites) grows with n; interleaved placement forces");
-    println!("branches where blocked needs none — the regime split of DESIGN.md §2.");
-    table.write_csv(out).unwrap();
-}
-
-fn exp_t3(out: &Path) {
-    let mut table = CsvTable::new(
-        "t3_objective_gap",
-        &[
-            "instance",
-            "ssb_opt_delay",
-            "sb_opt_delay",
-            "delay_penalty_pct",
-            "ssb_opt_bottleneck_SB",
-            "sb_opt_bottleneck_SB",
-        ],
-    );
-    {
-        let mut run = |name: &str, tree: &hsa_tree::CruTree, costs: &hsa_tree::CostModel| {
-            let prep = Prepared::new(tree, costs).unwrap();
-            let ssb = Expanded::default().solve(&prep, Lambda::HALF).unwrap();
-            let sb_sol = SbObjective::default().solve(&prep, Lambda::HALF).unwrap();
-            let sb_val = sb_optimum(&prep).unwrap();
-            let penalty =
-                (sb_sol.delay().ticks() as f64 / ssb.delay().ticks().max(1) as f64 - 1.0) * 100.0;
-            table.row(&[
-                name.to_string(),
-                ssb.delay().to_string(),
-                sb_sol.delay().to_string(),
-                format!("{penalty:.1}"),
-                ssb.report.host_time.max(ssb.report.bottleneck).to_string(),
-                sb_val.to_string(),
-            ]);
-        };
-        for sc in catalog() {
-            run(&sc.name, &sc.tree, &sc.costs);
-        }
-        for seed in 0..6u64 {
-            let (tree, costs) = random_instance(
-                &RandomTreeParams {
-                    n_crus: 24,
-                    n_satellites: 3,
-                    placement: Placement::Random,
-                    ..RandomTreeParams::default()
-                },
-                seed,
-            );
-            run(&format!("random-{seed}"), &tree, &costs);
-        }
-    }
-    println!("{}", table.render_text());
-    println!("shape check: minimising Bokhari's bottleneck (SB) costs end-to-end delay —");
-    println!("the penalty column is ≥ 0 and often substantial. This is the paper's §2");
-    println!("case for replacing the SB objective with SSB.");
-    table.write_csv(out).unwrap();
-}
-
-fn exp_t4(out: &Path) {
-    let mut table = CsvTable::new(
-        "t4_sim_validation",
-        &[
-            "scenario",
-            "cut",
-            "analytic_S_plus_B",
-            "sim_paper_model",
-            "match",
-            "sim_eager",
-            "eager_gain_pct",
-        ],
-    );
-    for sc in catalog() {
-        let prep = Prepared::new(&sc.tree, &sc.costs).unwrap();
-        let optimal = Expanded::default().solve(&prep, Lambda::HALF).unwrap();
-        let cuts: Vec<(&str, Cut)> = vec![
-            ("all-on-host", Cut::all_on_host(&sc.tree)),
-            ("max-offload", Cut::max_offload(&sc.tree, &prep.colouring)),
-            ("optimal", optimal.cut.clone()),
-        ];
-        for (name, cut) in cuts {
-            let (_a, rep) = evaluate_cut(&prep, &cut).unwrap();
-            let paper = simulate(&prep, &cut, &SimConfig::paper_model()).unwrap();
-            let eager = simulate(&prep, &cut, &SimConfig::eager()).unwrap();
-            let gain = (1.0
-                - eager.end_to_end.ticks() as f64 / paper.end_to_end.ticks().max(1) as f64)
-                * 100.0;
-            assert_eq!(paper.end_to_end, rep.end_to_end);
-            table.row(&[
-                sc.name.clone(),
-                name.to_string(),
-                rep.end_to_end.to_string(),
-                paper.end_to_end.to_string(),
-                (paper.end_to_end == rep.end_to_end).to_string(),
-                eager.end_to_end.to_string(),
-                format!("{gain:.1}"),
-            ]);
-        }
-    }
-    println!("{}", table.render_text());
-    println!("shape check: the paper-model simulation reproduces S+B exactly on every row;");
-    println!("the eager relaxation quantifies the §3 model's conservatism.");
-    table.write_csv(out).unwrap();
-}
-
-fn exp_t5(out: &Path) {
-    let mut table = CsvTable::new(
-        "t5_solver_comparison",
-        &[
-            "n_crus",
-            "brute_cuts",
-            "brute_ns",
-            "paper_ns",
-            "expanded_ns",
-            "all_agree",
-        ],
-    );
-    for n in [8usize, 12, 16, 20, 24] {
-        let (tree, costs) = random_instance(
-            &RandomTreeParams {
-                n_crus: n,
-                n_satellites: 3,
-                placement: Placement::Random,
-                ..RandomTreeParams::default()
-            },
-            7,
-        );
-        let prep = Prepared::new(&tree, &costs).unwrap();
-        let brute = BruteForce::default().solve(&prep, Lambda::HALF);
-        let paper = PaperSsb::default().solve(&prep, Lambda::HALF).unwrap();
-        let fast = Expanded::default().solve(&prep, Lambda::HALF).unwrap();
-        let (cuts, brute_ns, agree) = match brute {
-            Ok(b) => {
-                let ns = time_median_ns(3, || {
-                    let s = BruteForce::default().solve(&prep, Lambda::HALF).unwrap();
-                    std::hint::black_box(s.objective);
-                });
-                (
-                    b.stats.evaluated.to_string(),
-                    ns.to_string(),
-                    (b.objective == paper.objective && b.objective == fast.objective).to_string(),
-                )
-            }
-            Err(_) => (
-                ">cap".into(),
-                "-".into(),
-                (paper.objective == fast.objective).to_string(),
-            ),
-        };
-        let paper_ns = time_median_ns(5, || {
-            let s = PaperSsb::default().solve(&prep, Lambda::HALF).unwrap();
-            std::hint::black_box(s.objective);
-        });
-        let exp_ns = time_median_ns(5, || {
-            let s = Expanded::default().solve(&prep, Lambda::HALF).unwrap();
-            std::hint::black_box(s.objective);
-        });
-        table.row(&[
-            n.to_string(),
-            cuts,
-            brute_ns,
-            paper_ns.to_string(),
-            exp_ns.to_string(),
-            agree,
-        ]);
-    }
-    println!("{}", table.render_text());
-    println!("shape check: brute-force cut counts explode exponentially while both");
-    println!("polynomial solvers stay in the micro/millisecond range and always agree.");
-    table.write_csv(out).unwrap();
-}
-
-fn exp_t6(out: &Path) {
-    let mut table = CsvTable::new(
-        "t6_heterogeneity",
-        &[
-            "host_speed",
-            "optimal",
-            "all_on_host",
-            "max_offload",
-            "greedy",
-            "random",
-            "advantage_vs_naive",
-            "crus_on_host",
-        ],
-    );
-    let base = epilepsy_scenario(&EpilepsyParams::default());
-    for (num, den, label) in [
-        (8u64, 1u64, "8x-slower"),
-        (4, 1, "4x-slower"),
-        (2, 1, "2x-slower"),
-        (1, 1, "baseline"),
-        (1, 2, "2x-faster"),
-        (1, 4, "4x-faster"),
-        (1, 16, "16x-faster"),
-    ] {
-        let sc = scale_host_times(&base, num, den);
-        let prep = Prepared::new(&sc.tree, &sc.costs).unwrap();
-        let solve = |s: &dyn Solver| s.solve(&prep, Lambda::HALF).unwrap();
-        let optimal = solve(&Expanded::default());
-        let naive = solve(&AllOnHost);
-        let offload = solve(&MaxOffload);
-        let greedy = solve(&hsa_assign::GreedyDescent);
-        let random = solve(&hsa_assign::RandomCut::default());
-        table.row(&[
-            label.to_string(),
-            optimal.delay().to_string(),
-            naive.delay().to_string(),
-            offload.delay().to_string(),
-            greedy.delay().to_string(),
-            random.delay().to_string(),
-            format!(
-                "{:.2}x",
-                naive.delay().ticks() as f64 / optimal.delay().ticks().max(1) as f64
-            ),
-            format!("{}/{}", optimal.assignment.host.len(), sc.tree.len()),
-        ]);
-    }
-    println!("{}", table.render_text());
-    println!("shape check: the optimal column always wins; its advantage over all-on-host");
-    println!("shrinks monotonically as the host speeds up, and CRUs migrate hostward —");
-    println!("the crossover the paper's introduction motivates.");
-    table.write_csv(out).unwrap();
-}
-
-fn exp_t7(out: &Path) {
-    let mut table = CsvTable::new(
-        "t7_heuristics",
-        &[
-            "instance",
-            "tree_opt_delay",
-            "bnb_makespan",
-            "bnb_nodes",
-            "ga_makespan",
-            "ga_vs_bnb_pct",
-            "sa_makespan",
-            "sa_vs_bnb_pct",
-        ],
-    );
-    for seed in 0..5u64 {
-        let (tree, costs) = random_instance(
-            &RandomTreeParams {
-                n_crus: 8,
-                n_satellites: 2,
-                placement: Placement::Random,
-                ..RandomTreeParams::default()
-            },
-            seed,
-        );
-        let prep = Prepared::new(&tree, &costs).unwrap();
-        let tree_opt = Expanded::default().solve(&prep, Lambda::HALF).unwrap();
-        let dag = TaskDag::from_tree(&tree, &costs);
-        let bnb = branch_and_bound(&dag, &BnbConfig::default()).unwrap();
-        let ga = genetic(
-            &dag,
-            &GaConfig {
-                seed,
-                ..GaConfig::default()
-            },
-        )
-        .unwrap();
-        let sa = simulated_annealing(
-            &dag,
-            &SaConfig {
-                seed,
-                ..SaConfig::default()
-            },
-        )
-        .unwrap();
-        let pct = |x: Cost| (x.ticks() as f64 / bnb.makespan.ticks().max(1) as f64 - 1.0) * 100.0;
-        table.row(&[
-            format!("random-{seed}"),
-            tree_opt.delay().to_string(),
-            bnb.makespan.to_string(),
-            bnb.nodes.to_string(),
-            ga.makespan.to_string(),
-            format!("{:.1}", pct(ga.makespan)),
-            sa.makespan.to_string(),
-            format!("{:.1}", pct(sa.makespan)),
-        ]);
-    }
-    println!("{}", table.render_text());
-    println!("shape check: B&B (exact, list-scheduling objective) never exceeds the tree");
-    println!("optimum (assignments ⊇ cuts and list scheduling only overlaps more);");
-    println!("GA/SA sit at or slightly above B&B — the paper's §6 expectation.");
-    table.write_csv(out).unwrap();
-}
-
-fn exp_t9(out: &Path) {
-    let report = hsa_bench::engine_throughput(&hsa_bench::ThroughputConfig::default());
-    let mut table = CsvTable::new(
-        "t9_engine_throughput",
-        &[
-            "arm",
-            "instances",
-            "queries",
-            "threads",
-            "total_ns",
-            "solves_per_sec",
-        ],
-    );
-    table.row(&[
-        "naive-per-call".into(),
-        report.instances.to_string(),
-        report.queries.to_string(),
-        "1".into(),
-        report.naive_ns.to_string(),
-        format!("{:.1}", report.naive_solves_per_sec()),
-    ]);
-    table.row(&[
-        "engine-batched".into(),
-        report.instances.to_string(),
-        report.queries.to_string(),
-        report.threads.to_string(),
-        report.batched_ns.to_string(),
-        format!("{:.1}", report.batched_solves_per_sec()),
-    ]);
-    println!("{}", table.render_text());
-    println!(
-        "speedup: {:.2}x  (batched answers are asserted byte-identical to the naive arm)",
-        report.speedup()
-    );
-    println!("shape check: the engine amortises preparation and the λ-independent frontier");
-    println!("DP across the λ grid — the speedup must stay ≥ 2x even on one core.");
-    table.write_csv(out).unwrap();
-    let json = report.write_json(out).unwrap();
-    println!("bench artefact: {}", json.display());
-}
-
-fn exp_t8(out: &Path) {
-    let sc = epilepsy_scenario(&EpilepsyParams::default());
-    let prep = Prepared::new(&sc.tree, &sc.costs).unwrap();
-    let mut table = CsvTable::new("t8_epilepsy", &["deployment", "delay_us", "S_us", "B_us"]);
-    for solver in all_solvers() {
-        if let Ok(sol) = solver.solve(&prep, Lambda::HALF) {
-            table.row(&[
-                solver.name().to_string(),
-                sol.delay().to_string(),
-                sol.report.host_time.to_string(),
-                sol.report.bottleneck.to_string(),
-            ]);
-        }
-    }
-    println!("{}", table.render_text());
-    let optimal = PaperSsb::default().solve(&prep, Lambda::HALF).unwrap();
-    let cfg = SimConfig {
-        record_trace: true,
-        ..SimConfig::paper_model()
-    };
-    let sim = simulate(&prep, &optimal.cut, &cfg).unwrap();
-    println!("optimal deployment executed in the simulator:");
-    println!("{}", render_gantt(&sim, 64));
-    table.write_csv(out).unwrap();
 }

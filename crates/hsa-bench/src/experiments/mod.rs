@@ -1,0 +1,382 @@
+//! The central experiment registry: every figure reproduction, every
+//! quantitative study and every criterion bench target of this workspace,
+//! as one named, enumerable, reproducible catalog.
+//!
+//! One [`Experiment`] entry carries everything the harness needs:
+//!
+//! * a stable **id** (`f4`, `t5`, …) — what `repro --exp` dispatches on;
+//! * the **artefacts** it emits under the output directory (CSV tables
+//!   and, for perf-tracked experiments, a schema-versioned
+//!   `BENCH_<name>.json` — see [`crate::report`]);
+//! * its **paper reference**, so EXPERIMENTS.md's id ↔ artefact ↔ section
+//!   table is generated from this registry ([`markdown_table`]) instead of
+//!   drifting by hand;
+//! * an optional **criterion body** — the nine `benches/*.rs` targets are
+//!   thin shims over [`criterion_bench`], so `cargo bench` and `repro`
+//!   measure one and the same code.
+//!
+//! Experiments run under a [`Profile`]: `Full` is the paper-faithful
+//! workload, `Quick` a shrunk one for CI and the perf gate (same code
+//! path, smaller instances — the profile is recorded inside every emitted
+//! report so the gate never compares across workload shapes).
+
+use crate::report::BenchReport;
+use criterion::Criterion;
+use std::path::Path;
+
+mod crit;
+mod figures;
+mod studies;
+
+/// Workload size: the paper-faithful matrix or the shrunk CI variant.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Profile {
+    /// The full experiment matrix (default for `repro`).
+    Full,
+    /// Shrunk instances and fewer repetitions — same code path, suitable
+    /// for CI runners and the perf gate.
+    Quick,
+}
+
+impl Profile {
+    /// The name recorded in emitted reports (`"full"` / `"quick"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Profile::Full => "full",
+            Profile::Quick => "quick",
+        }
+    }
+
+    /// Selects the profile-appropriate value.
+    pub fn pick<T>(self, full: T, quick: T) -> T {
+        match self {
+            Profile::Full => full,
+            Profile::Quick => quick,
+        }
+    }
+}
+
+/// Everything an experiment's run function needs.
+#[derive(Clone, Copy, Debug)]
+pub struct ExpCtx<'a> {
+    /// Directory artefacts are written under (created if missing).
+    pub out_dir: &'a Path,
+    /// Active workload profile.
+    pub profile: Profile,
+}
+
+impl<'a> ExpCtx<'a> {
+    /// Builds a context.
+    pub fn new(out_dir: &'a Path, profile: Profile) -> ExpCtx<'a> {
+        ExpCtx { out_dir, profile }
+    }
+
+    /// Writes a finished report under the output directory and prints the
+    /// artefact path — the one funnel every BENCH artefact goes through.
+    pub fn emit(&self, report: &BenchReport) {
+        let path = report.write_json(self.out_dir).expect("write BENCH json");
+        println!("bench artefact: {}", path.display());
+    }
+}
+
+/// One registered experiment.
+pub struct Experiment {
+    /// Stable id (`f2`…`f9`, `t1`…`t10`, `a1`).
+    pub id: &'static str,
+    /// Human-readable one-line title.
+    pub title: &'static str,
+    /// Paper section (or DESIGN.md section) the experiment reproduces.
+    pub paper_ref: &'static str,
+    /// Files emitted under the output directory.
+    pub artefacts: &'static [&'static str],
+    /// The `BENCH_*.json` artefact, when this experiment is perf-tracked.
+    pub bench_artefact: Option<&'static str>,
+    /// Runs the experiment, writing its artefacts.
+    pub run: fn(&ExpCtx),
+    /// The criterion measurement body, when a `benches/*.rs` target wraps
+    /// this experiment.
+    pub criterion: Option<fn(&mut Criterion)>,
+}
+
+/// The registry. Order is presentation order (`repro --list`, `--all`).
+pub static REGISTRY: &[Experiment] = &[
+    Experiment {
+        id: "f2",
+        title: "Figure 2 — the CRU tree with pinned sensors",
+        paper_ref: "§1, Fig. 2",
+        artefacts: &[],
+        bench_artefact: None,
+        run: figures::f2,
+        criterion: None,
+    },
+    Experiment {
+        id: "f4",
+        title: "Figure 3/4 — the SSB algorithm's worked trace",
+        paper_ref: "§4, Fig. 3–4",
+        artefacts: &["f4_ssb_trace.csv"],
+        bench_artefact: None,
+        run: figures::f4,
+        criterion: Some(crit::ssb_fig4),
+    },
+    Experiment {
+        id: "f5",
+        title: "Figure 5 — colouring and host-forced CRUs",
+        paper_ref: "§5.1, Fig. 5",
+        artefacts: &["f5_colouring.csv"],
+        bench_artefact: None,
+        run: figures::f5,
+        criterion: None,
+    },
+    Experiment {
+        id: "f6",
+        title: "Figure 6 — the coloured assignment graph",
+        paper_ref: "§5.2, Fig. 6",
+        artefacts: &["f6_assignment_graph.csv"],
+        bench_artefact: None,
+        run: figures::f6,
+        criterion: None,
+    },
+    Experiment {
+        id: "f8",
+        title: "Figure 8 — σ (host time) labelling",
+        paper_ref: "§5.3, Fig. 8",
+        artefacts: &["f8_sigma_labels.csv"],
+        bench_artefact: None,
+        run: figures::f8,
+        criterion: None,
+    },
+    Experiment {
+        id: "f9",
+        title: "Figure 9/10 — expansion & branching events",
+        paper_ref: "§5.4, Fig. 9–10",
+        artefacts: &["f9_expansion_events.csv"],
+        bench_artefact: None,
+        run: figures::f9,
+        criterion: None,
+    },
+    Experiment {
+        id: "t1",
+        title: "T1 — generic SSB runtime vs |V|,|E| (O(|V|²|E|) claim)",
+        paper_ref: "§4.2",
+        artefacts: &["t1_ssb_scaling.csv", "BENCH_ssb_scaling.json"],
+        bench_artefact: Some("BENCH_ssb_scaling.json"),
+        run: studies::t1,
+        criterion: Some(crit::ssb_scaling),
+    },
+    Experiment {
+        id: "t2",
+        title: "T2 — expanded graph size |E′| and adapted-algorithm work",
+        paper_ref: "§5.4",
+        artefacts: &["t2_expansion_cost.csv", "BENCH_expansion.json"],
+        bench_artefact: Some("BENCH_expansion.json"),
+        run: studies::t2,
+        criterion: Some(crit::expansion_cost),
+    },
+    Experiment {
+        id: "t3",
+        title: "T3 — SSB objective vs Bokhari's SB objective",
+        paper_ref: "§2",
+        artefacts: &["t3_objective_gap.csv"],
+        bench_artefact: None,
+        run: studies::t3,
+        criterion: Some(crit::objective_gap),
+    },
+    Experiment {
+        id: "t4",
+        title: "T4 — simulator vs analytic model (and eager ablation)",
+        paper_ref: "§3",
+        artefacts: &["t4_sim_validation.csv"],
+        bench_artefact: None,
+        run: studies::t4,
+        criterion: Some(crit::sim_validate),
+    },
+    Experiment {
+        id: "t5",
+        title: "T5 — exact solvers: agreement and runtime vs n",
+        paper_ref: "§5.5",
+        artefacts: &["t5_solver_comparison.csv", "BENCH_solver_comparison.json"],
+        bench_artefact: Some("BENCH_solver_comparison.json"),
+        run: studies::t5,
+        criterion: Some(crit::solver_comparison),
+    },
+    Experiment {
+        id: "t6",
+        title: "T6 — heterogeneity sweep: when does offloading win?",
+        paper_ref: "§1",
+        artefacts: &["t6_heterogeneity.csv"],
+        bench_artefact: None,
+        run: studies::t6,
+        criterion: Some(crit::heterogeneity),
+    },
+    Experiment {
+        id: "t7",
+        title: "T7 — future-work heuristics vs exact optimum",
+        paper_ref: "§6",
+        artefacts: &["t7_heuristics.csv"],
+        bench_artefact: None,
+        run: studies::t7,
+        criterion: Some(crit::heuristics),
+    },
+    Experiment {
+        id: "t8",
+        title: "T8 — epilepsy tele-monitoring end-to-end",
+        paper_ref: "§1 (motivating scenario)",
+        artefacts: &["t8_epilepsy.csv"],
+        bench_artefact: None,
+        run: studies::t8,
+        criterion: None,
+    },
+    Experiment {
+        id: "t9",
+        title: "T9 — engine batch throughput: batched+cached vs naive per-call",
+        paper_ref: "DESIGN.md §7",
+        artefacts: &["t9_engine_throughput.csv", "BENCH_engine.json"],
+        bench_artefact: Some("BENCH_engine.json"),
+        run: studies::t9,
+        criterion: None,
+    },
+    Experiment {
+        id: "t10",
+        title: "T10 — λ-frontier envelope: one-pass frontier vs per-λ solve grid",
+        paper_ref: "DESIGN.md §7",
+        artefacts: &["t10_lambda_frontier.csv", "BENCH_frontier.json"],
+        bench_artefact: Some("BENCH_frontier.json"),
+        run: studies::t10,
+        criterion: None,
+    },
+    Experiment {
+        id: "a1",
+        title: "A1 — ablations: elimination rule and iterate-vs-sweep",
+        paper_ref: "DESIGN.md §2",
+        artefacts: &["a1_ablations.csv"],
+        bench_artefact: None,
+        run: studies::a1,
+        criterion: Some(crit::ablations),
+    },
+];
+
+/// Looks an experiment up by id.
+pub fn find(id: &str) -> Option<&'static Experiment> {
+    REGISTRY.iter().find(|e| e.id == id)
+}
+
+/// All registered ids, in presentation order.
+pub fn ids() -> Vec<&'static str> {
+    REGISTRY.iter().map(|e| e.id).collect()
+}
+
+/// Runs one experiment by id.
+pub fn run(id: &str, ctx: &ExpCtx) -> Result<(), String> {
+    let exp = find(id).ok_or_else(|| format!("unknown experiment id `{id}`"))?;
+    std::fs::create_dir_all(ctx.out_dir).map_err(|e| e.to_string())?;
+    (exp.run)(ctx);
+    Ok(())
+}
+
+/// Dispatches a `benches/*.rs` target onto its registry entry's criterion
+/// body.
+///
+/// # Panics
+/// Panics when `id` is unknown or carries no criterion body — a bench
+/// target pointing at nothing is a wiring bug, not a runtime condition.
+pub fn criterion_bench(id: &str, c: &mut Criterion) {
+    let exp = find(id).unwrap_or_else(|| panic!("unknown experiment id `{id}`"));
+    let body = exp
+        .criterion
+        .unwrap_or_else(|| panic!("experiment `{id}` has no criterion body"));
+    body(c);
+}
+
+/// The default criterion configuration every bench target runs under.
+pub fn criterion_config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(900))
+}
+
+/// Generates EXPERIMENTS.md's experiment-id ↔ artefact ↔ paper-section
+/// table from the registry (also printed by `repro --table`).
+pub fn markdown_table() -> String {
+    let mut out = String::new();
+    out.push_str("| Id | Experiment | Paper ref | Artefacts | Perf-gated |\n");
+    out.push_str("|---|---|---|---|---|\n");
+    for e in REGISTRY {
+        let artefacts = if e.artefacts.is_empty() {
+            "*(stdout only)*".to_string()
+        } else {
+            e.artefacts
+                .iter()
+                .map(|a| format!("`{a}`"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        out.push_str(&format!(
+            "| {} | {} | {} | {} | {} |\n",
+            e.id,
+            e.title.replace('|', "\\|"),
+            e.paper_ref,
+            artefacts,
+            if e.bench_artefact.is_some() {
+                "✅"
+            } else {
+                ""
+            }
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_ids_are_unique_and_findable() {
+        let mut seen = std::collections::BTreeSet::new();
+        for e in REGISTRY {
+            assert!(seen.insert(e.id), "duplicate id {}", e.id);
+            assert_eq!(find(e.id).unwrap().id, e.id);
+        }
+        assert!(find("zz").is_none());
+    }
+
+    #[test]
+    fn bench_artefacts_are_listed_among_artefacts() {
+        for e in REGISTRY {
+            if let Some(bench) = e.bench_artefact {
+                assert!(
+                    e.artefacts.contains(&bench),
+                    "{}: bench artefact {bench} missing from artefact list",
+                    e.id
+                );
+                assert!(bench.starts_with("BENCH_") && bench.ends_with(".json"));
+            }
+        }
+    }
+
+    #[test]
+    fn at_least_five_experiments_are_perf_tracked() {
+        let tracked = REGISTRY
+            .iter()
+            .filter(|e| e.bench_artefact.is_some())
+            .count();
+        assert!(tracked >= 5, "only {tracked} perf-tracked experiments");
+    }
+
+    #[test]
+    fn markdown_table_names_every_experiment() {
+        let table = markdown_table();
+        for e in REGISTRY {
+            assert!(table.contains(e.id), "table misses {}", e.id);
+        }
+        assert!(table.contains("BENCH_engine.json"));
+    }
+
+    #[test]
+    fn unknown_id_is_an_error() {
+        let dir = std::env::temp_dir().join("hsa-bench-registry-test");
+        let ctx = ExpCtx::new(&dir, Profile::Quick);
+        assert!(run("zz", &ctx).is_err());
+    }
+}

@@ -1,0 +1,363 @@
+//! The perf-regression gate: committed baseline `BENCH_*.json` artefacts
+//! versus a fresh run, with a configurable relative tolerance.
+//!
+//! The gate answers one question per metric: *did this hot path get more
+//! than `tolerance`× slower than the committed baseline?* Tolerances are
+//! deliberately generous — shared CI runners are noisy and the point is to
+//! catch accidental algorithmic regressions (a 2× slowdown from a lost
+//! cache or an O(n²) slip), not 5 % jitter. Speed-ups never fail the gate;
+//! they are reported so a better baseline can be committed.
+//!
+//! Comparisons are guarded structurally first: schema versions must match
+//! (enforced by [`BenchReport::load`]) and the workload `profile` must be
+//! identical — a `"quick"` run gated against `"full"` baselines would
+//! compare different workloads and is rejected outright.
+
+use crate::report::BenchReport;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Gate configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct GateConfig {
+    /// Maximum allowed `current / baseline` ratio per metric. Values
+    /// above this fail the gate.
+    pub tolerance: f64,
+}
+
+impl Default for GateConfig {
+    fn default() -> Self {
+        GateConfig { tolerance: 4.0 }
+    }
+}
+
+/// Verdict for one compared metric.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GateStatus {
+    /// Within tolerance.
+    Ok,
+    /// Slower than `baseline × tolerance`.
+    Regressed,
+    /// Present in the baseline, absent from the current run.
+    Missing,
+}
+
+/// One row of the regression table.
+#[derive(Clone, Debug)]
+pub struct GateFinding {
+    /// Report name (artefact stem).
+    pub report: String,
+    /// Metric name within the report.
+    pub metric: String,
+    /// Baseline ns/op.
+    pub baseline_ns_per_op: f64,
+    /// Current ns/op (0 when [`GateStatus::Missing`]).
+    pub current_ns_per_op: f64,
+    /// `current / baseline` (0 when missing).
+    pub ratio: f64,
+    /// The verdict.
+    pub status: GateStatus,
+}
+
+/// Everything one gate run found: per-metric findings plus structural
+/// errors (unreadable files, profile mismatches, missing artefacts).
+#[derive(Clone, Debug, Default)]
+pub struct GateOutcome {
+    /// Per-metric comparison rows.
+    pub findings: Vec<GateFinding>,
+    /// Structural failures — any entry fails the gate.
+    pub errors: Vec<String>,
+}
+
+impl GateOutcome {
+    /// True when no metric regressed and no structural error occurred.
+    pub fn passed(&self) -> bool {
+        self.errors.is_empty() && self.findings.iter().all(|f| f.status == GateStatus::Ok)
+    }
+
+    /// Number of regressed or missing metrics.
+    pub fn num_failures(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.status != GateStatus::Ok)
+            .count()
+    }
+
+    /// Renders the human-readable regression table (one line per metric,
+    /// worst ratios first, errors appended).
+    pub fn render_text(&self, cfg: &GateConfig) -> String {
+        let mut rows = self.findings.clone();
+        rows.sort_by(|a, b| b.ratio.total_cmp(&a.ratio));
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<20} {:<28} {:>14} {:>14} {:>8}  verdict",
+            "report", "metric", "baseline ns/op", "current ns/op", "ratio"
+        );
+        out.push_str(&"-".repeat(100));
+        out.push('\n');
+        for f in &rows {
+            let verdict = match f.status {
+                GateStatus::Ok => "ok",
+                GateStatus::Regressed => "REGRESSED",
+                GateStatus::Missing => "MISSING",
+            };
+            let _ = writeln!(
+                out,
+                "{:<20} {:<28} {:>14.1} {:>14.1} {:>7.2}x  {verdict}",
+                f.report, f.metric, f.baseline_ns_per_op, f.current_ns_per_op, f.ratio
+            );
+        }
+        for e in &self.errors {
+            let _ = writeln!(out, "error: {e}");
+        }
+        let _ = writeln!(
+            out,
+            "{} metric(s) compared, {} failure(s), tolerance {:.2}x — {}",
+            self.findings.len(),
+            self.num_failures() + self.errors.len(),
+            cfg.tolerance,
+            if self.passed() { "PASS" } else { "FAIL" }
+        );
+        out
+    }
+}
+
+/// Compares one current report against its baseline. Every baseline
+/// metric must exist in the current report and stay within tolerance;
+/// metrics newly added to the current report are ignored (they have no
+/// baseline yet).
+pub fn compare_reports(
+    baseline: &BenchReport,
+    current: &BenchReport,
+    cfg: &GateConfig,
+) -> GateOutcome {
+    let mut out = GateOutcome::default();
+    if baseline.profile != current.profile {
+        out.errors.push(format!(
+            "{}: profile mismatch — baseline `{}` vs current `{}` (workloads differ, refusing to compare)",
+            baseline.name, baseline.profile, current.profile
+        ));
+        return out;
+    }
+    if baseline.env.debug_assertions != current.env.debug_assertions {
+        out.errors.push(format!(
+            "{}: build mismatch — baseline debug_assertions={} vs current {} (a debug run gated against release numbers reports fake regressions, refusing to compare)",
+            baseline.name, baseline.env.debug_assertions, current.env.debug_assertions
+        ));
+        return out;
+    }
+    for base in &baseline.metrics {
+        match current.find_metric(&base.name) {
+            None => out.findings.push(GateFinding {
+                report: baseline.name.clone(),
+                metric: base.name.clone(),
+                baseline_ns_per_op: base.ns_per_op,
+                current_ns_per_op: 0.0,
+                ratio: 0.0,
+                status: GateStatus::Missing,
+            }),
+            Some(cur) => {
+                let ratio = cur.ns_per_op / base.ns_per_op;
+                out.findings.push(GateFinding {
+                    report: baseline.name.clone(),
+                    metric: base.name.clone(),
+                    baseline_ns_per_op: base.ns_per_op,
+                    current_ns_per_op: cur.ns_per_op,
+                    ratio,
+                    status: if ratio > cfg.tolerance {
+                        GateStatus::Regressed
+                    } else {
+                        GateStatus::Ok
+                    },
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Lists the `BENCH_*.json` files in `dir`, sorted by name.
+pub fn bench_artefacts(dir: &Path) -> std::io::Result<Vec<std::path::PathBuf>> {
+    let mut out = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if name.starts_with("BENCH_") && name.ends_with(".json") {
+            out.push(path);
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Gates every baseline artefact in `baseline_dir` against its same-named
+/// counterpart in `current_dir`. A baseline without a counterpart is a
+/// structural error (an experiment silently stopped emitting); extra
+/// current artefacts are fine (new experiments without a baseline yet).
+pub fn gate_directories(baseline_dir: &Path, current_dir: &Path, cfg: &GateConfig) -> GateOutcome {
+    let mut out = GateOutcome::default();
+    let baselines = match bench_artefacts(baseline_dir) {
+        Ok(b) => b,
+        Err(e) => {
+            out.errors
+                .push(format!("cannot read {}: {e}", baseline_dir.display()));
+            return out;
+        }
+    };
+    if baselines.is_empty() {
+        out.errors.push(format!(
+            "no BENCH_*.json baselines under {}",
+            baseline_dir.display()
+        ));
+        return out;
+    }
+    for base_path in baselines {
+        let baseline = match BenchReport::load(&base_path) {
+            Ok(r) => r,
+            Err(e) => {
+                out.errors.push(e);
+                continue;
+            }
+        };
+        let cur_path = current_dir.join(base_path.file_name().expect("artefact file name"));
+        if !cur_path.exists() {
+            out.errors.push(format!(
+                "baseline {} has no counterpart in {}",
+                baseline.file_name(),
+                current_dir.display()
+            ));
+            continue;
+        }
+        match BenchReport::load(&cur_path) {
+            Ok(current) => {
+                let one = compare_reports(&baseline, &current, cfg);
+                out.findings.extend(one.findings);
+                out.errors.extend(one.errors);
+            }
+            Err(e) => out.errors.push(e),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(profile: &str, metrics: &[(&str, u64)]) -> BenchReport {
+        let mut r = BenchReport::new("demo", "t0", "demo", profile, 1);
+        for (name, ns) in metrics {
+            r.metric(*name, 1, *ns);
+        }
+        r
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let base = report("quick", &[("a", 1_000), ("b", 2_000)]);
+        let out = compare_reports(&base, &base, &GateConfig::default());
+        assert!(out.passed());
+        assert_eq!(out.findings.len(), 2);
+    }
+
+    #[test]
+    fn injected_2x_slowdown_fails_the_gate() {
+        // The acceptance-criteria scenario: a hot path gets 2× slower
+        // while the gate runs at a 1.5× tolerance — it must fail, and the
+        // regression table must name the culprit.
+        let base = report("quick", &[("hot_path", 1_000_000), ("cold_path", 500_000)]);
+        let current = report("quick", &[("hot_path", 2_000_000), ("cold_path", 500_000)]);
+        let cfg = GateConfig { tolerance: 1.5 };
+        let out = compare_reports(&base, &current, &cfg);
+        assert!(!out.passed());
+        assert_eq!(out.num_failures(), 1);
+        let bad = out
+            .findings
+            .iter()
+            .find(|f| f.status == GateStatus::Regressed)
+            .unwrap();
+        assert_eq!(bad.metric, "hot_path");
+        assert!((bad.ratio - 2.0).abs() < 1e-9);
+        let table = out.render_text(&cfg);
+        assert!(table.contains("hot_path") && table.contains("REGRESSED"));
+        assert!(table.contains("FAIL"));
+    }
+
+    #[test]
+    fn slowdown_within_tolerance_passes() {
+        let base = report("quick", &[("a", 1_000_000)]);
+        let current = report("quick", &[("a", 1_900_000)]);
+        let out = compare_reports(&base, &current, &GateConfig { tolerance: 2.0 });
+        assert!(out.passed());
+    }
+
+    #[test]
+    fn speedup_never_fails() {
+        let base = report("quick", &[("a", 1_000_000)]);
+        let current = report("quick", &[("a", 1_000)]);
+        let out = compare_reports(&base, &current, &GateConfig { tolerance: 1.1 });
+        assert!(out.passed());
+    }
+
+    #[test]
+    fn missing_metric_fails() {
+        let base = report("quick", &[("a", 1_000), ("gone", 1_000)]);
+        let current = report("quick", &[("a", 1_000)]);
+        let out = compare_reports(&base, &current, &GateConfig::default());
+        assert!(!out.passed());
+        assert!(out
+            .findings
+            .iter()
+            .any(|f| f.metric == "gone" && f.status == GateStatus::Missing));
+    }
+
+    #[test]
+    fn profile_mismatch_is_a_structural_error() {
+        let base = report("full", &[("a", 1_000)]);
+        let current = report("quick", &[("a", 1_000)]);
+        let out = compare_reports(&base, &current, &GateConfig::default());
+        assert!(!out.passed());
+        assert!(out.errors[0].contains("profile mismatch"));
+    }
+
+    #[test]
+    fn debug_vs_release_build_is_a_structural_error() {
+        let base = report("quick", &[("a", 1_000)]);
+        let mut current = report("quick", &[("a", 1_000)]);
+        current.env.debug_assertions = !base.env.debug_assertions;
+        let out = compare_reports(&base, &current, &GateConfig::default());
+        assert!(!out.passed());
+        assert!(out.errors[0].contains("build mismatch"));
+    }
+
+    #[test]
+    fn gate_directories_round_trip() {
+        let root = std::env::temp_dir().join("hsa-bench-gate-test");
+        let _ = std::fs::remove_dir_all(&root);
+        let (base_dir, cur_dir) = (root.join("base"), root.join("cur"));
+        let base = report("quick", &[("a", 1_000_000)]);
+        base.write_json(&base_dir).unwrap();
+        // Self-comparison passes…
+        base.write_json(&cur_dir).unwrap();
+        assert!(gate_directories(&base_dir, &cur_dir, &GateConfig::default()).passed());
+        // …a 2× slowdown at tolerance 1.5 fails…
+        let slow = report("quick", &[("a", 2_000_000)]);
+        slow.write_json(&cur_dir).unwrap();
+        let out = gate_directories(&base_dir, &cur_dir, &GateConfig { tolerance: 1.5 });
+        assert!(!out.passed());
+        // …and a missing counterpart is a structural error.
+        std::fs::remove_file(cur_dir.join("BENCH_demo.json")).unwrap();
+        let out = gate_directories(&base_dir, &cur_dir, &GateConfig::default());
+        assert!(!out.passed() && !out.errors.is_empty());
+    }
+
+    #[test]
+    fn empty_baseline_dir_is_an_error() {
+        let dir = std::env::temp_dir().join("hsa-bench-gate-empty");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = gate_directories(&dir, &dir, &GateConfig::default());
+        assert!(!out.passed());
+    }
+}

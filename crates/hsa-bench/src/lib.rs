@@ -1,19 +1,28 @@
-//! # hsa-bench — benchmark harness and figure/table reproduction
+//! # hsa-bench — the experiment subsystem
 //!
-//! Two entry points:
+//! Everything empirical lives behind one registry
+//! ([`experiments::REGISTRY`]): figure reproductions, quantitative
+//! studies and criterion bench targets are all named [`experiments::Experiment`]s
+//! with declared artefacts and paper references. Entry points:
 //!
 //! * the **`repro` binary** (`cargo run -p hsa-bench --bin repro --release`)
-//!   regenerates every figure of the paper and every quantitative
-//!   experiment in DESIGN.md §4 (F2–F9, T1–T8), printing human-readable
-//!   tables and writing machine-readable CSV under `results/`;
-//! * the **criterion benches** (`cargo bench -p hsa-bench`) measure the
-//!   runtime side of the same experiments.
+//!   — `--list` enumerates the registry, `--all` runs the full matrix,
+//!   `--exp <id>` one experiment, `--gate <dir>` the CI perf gate;
+//! * the **criterion benches** (`cargo bench -p hsa-bench`) — thin shims
+//!   over [`experiments::criterion_bench`], so `cargo bench` measures the
+//!   registry's own bodies.
 //!
-//! This library hosts the shared pieces: deterministic instance suites,
-//! wall-clock measurement helpers, a tiny CSV writer, the engine-throughput
-//! measurement ([`engine_throughput`], behind the `BENCH_engine.json`
-//! artefact), and a re-export of the parallel sweep runner that now lives
-//! in `hsa-engine` (sweeps are embarrassingly parallel).
+//! Perf-tracked experiments emit schema-versioned `BENCH_<name>.json`
+//! artefacts ([`report::BenchReport`]: seed, instance sizes, threads,
+//! ns/op, solves/sec, environment fingerprint); [`gate`] compares a fresh
+//! run against committed baselines with a configurable relative tolerance
+//! and renders a human-readable regression table.
+//!
+//! This library also hosts the shared pieces: deterministic instance
+//! suites, wall-clock measurement helpers, a tiny CSV writer, the
+//! engine-throughput measurement ([`engine_throughput`], behind the
+//! `BENCH_engine.json` artefact), and a re-export of the parallel sweep
+//! runner that lives in `hsa-engine` (sweeps are embarrassingly parallel).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -25,9 +34,13 @@ use std::time::Instant;
 
 pub use hsa_engine::parallel_map;
 
+pub mod experiments;
+pub mod gate;
+pub mod report;
 mod throughput;
 
-pub use throughput::{engine_throughput, EngineThroughput, ThroughputConfig};
+pub use report::{BenchReport, EnvFingerprint, Metric, BENCH_SCHEMA_VERSION};
+pub use throughput::{engine_throughput, EngineThroughput, ThroughputConfig, WORKLOAD_SEED};
 
 /// A measured duration in nanoseconds (median of `reps` runs).
 pub fn time_median_ns<F: FnMut()>(reps: usize, mut f: F) -> u64 {

@@ -4,17 +4,25 @@
 //! single query) on one and the same workload.
 //!
 //! This is the quantitative case for the `hsa-engine` service layer; the
-//! result is written as `BENCH_engine.json` to seed the bench trajectory
-//! and is asserted to stay exact (both arms must produce identical
-//! objectives before any timing is believed).
+//! result is written as the schema-versioned `BENCH_engine.json` (via
+//! [`crate::report`]) to seed the bench trajectory, and is asserted to
+//! stay exact (both arms must produce identical objectives before any
+//! timing is believed). The emitted report is self-describing: it records
+//! the RNG seed the workload generation actually used, the worker-thread
+//! count the engine actually ran with, the instance sizes, and the
+//! engine's cache counters.
 
+use crate::report::BenchReport;
 use crate::time_median_ns;
 use hsa_assign::{Expanded, Prepared, Solver};
-use hsa_engine::{Engine, EngineConfig, InstanceId};
+use hsa_engine::{Engine, EngineConfig, EngineStats, InstanceId};
 use hsa_graph::Lambda;
 use hsa_tree::{CostModel, CruTree};
 use hsa_workloads::{catalog, random_instance, Placement, RandomTreeParams};
-use std::path::Path;
+
+/// Base RNG seed for the random instances of the throughput workload
+/// (instance `i` uses `WORKLOAD_SEED + i`). Recorded in the report.
+pub const WORKLOAD_SEED: u64 = 100;
 
 /// Workload shape for [`engine_throughput`].
 #[derive(Clone, Copy, Debug)]
@@ -42,10 +50,12 @@ impl Default for ThroughputConfig {
 
 /// Measured throughput of batched-vs-naive solving. Times are medians in
 /// nanoseconds for the *whole* query set.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct EngineThroughput {
     /// Distinct instances in the workload.
     pub instances: usize,
+    /// CRU count of every workload instance, in workload order.
+    pub instance_sizes: Vec<u64>,
     /// Total `(instance, λ)` queries.
     pub queries: usize,
     /// Worker threads the engine used.
@@ -54,6 +64,9 @@ pub struct EngineThroughput {
     pub naive_ns: u64,
     /// Batched arm: `Engine::solve_batch` over the cached instances.
     pub batched_ns: u64,
+    /// Engine counters from the verification batch (cache fills, query
+    /// counts, merged solver work).
+    pub engine_stats: EngineStats,
 }
 
 impl EngineThroughput {
@@ -72,27 +85,26 @@ impl EngineThroughput {
         self.naive_ns as f64 / self.batched_ns.max(1) as f64
     }
 
-    /// The `BENCH_engine.json` payload.
-    pub fn to_json(&self) -> String {
-        format!(
-            "{{\n  \"bench\": \"engine_throughput\",\n  \"instances\": {},\n  \"queries\": {},\n  \"threads\": {},\n  \"naive_ns\": {},\n  \"batched_ns\": {},\n  \"naive_solves_per_sec\": {:.1},\n  \"batched_solves_per_sec\": {:.1},\n  \"speedup\": {:.2}\n}}\n",
-            self.instances,
-            self.queries,
-            self.threads,
-            self.naive_ns,
-            self.batched_ns,
-            self.naive_solves_per_sec(),
-            self.batched_solves_per_sec(),
-            self.speedup(),
-        )
-    }
-
-    /// Writes `BENCH_engine.json` under `dir`.
-    pub fn write_json(&self, dir: &Path) -> std::io::Result<std::path::PathBuf> {
-        std::fs::create_dir_all(dir)?;
-        let path = dir.join("BENCH_engine.json");
-        std::fs::write(&path, self.to_json())?;
-        Ok(path)
+    /// The schema-versioned `BENCH_engine.json` payload (see
+    /// [`crate::report`]).
+    pub fn to_report(&self, profile: &str) -> BenchReport {
+        let mut report = BenchReport::new(
+            "engine",
+            "t9",
+            "engine batch throughput: batched+cached vs naive per-call",
+            profile,
+            WORKLOAD_SEED,
+        );
+        report.threads = self.threads;
+        report.instance_sizes = self.instance_sizes.clone();
+        report.metric("naive", self.queries as u64, self.naive_ns);
+        report.metric("batched", self.queries as u64, self.batched_ns);
+        report.param("speedup", self.speedup());
+        report.param("instances", self.instances as f64);
+        report.param("cache_misses", self.engine_stats.cache_misses as f64);
+        report.param("cache_hits", self.engine_stats.cache_hits as f64);
+        report.param("cache_hit_rate", self.engine_stats.hit_rate());
+        report
     }
 }
 
@@ -114,7 +126,7 @@ fn throughput_workload(cfg: &ThroughputConfig) -> Vec<(CruTree, CostModel)> {
                 placement: placements[i % placements.len()],
                 ..RandomTreeParams::default()
             },
-            100 + i as u64,
+            WORKLOAD_SEED + i as u64,
         ));
     }
     instances
@@ -183,10 +195,12 @@ pub fn engine_throughput(cfg: &ThroughputConfig) -> EngineThroughput {
 
     EngineThroughput {
         instances: instances.len(),
+        instance_sizes: instances.iter().map(|(t, _)| t.len() as u64).collect(),
         queries: queries.len(),
         threads: engine.threads(),
         naive_ns,
         batched_ns,
+        engine_stats: engine.stats(),
     }
 }
 
@@ -205,11 +219,36 @@ mod tests {
         let t = engine_throughput(&cfg);
         assert!(t.queries >= 4 * t.instances.min(t.queries));
         assert!(t.naive_ns > 0 && t.batched_ns > 0);
-        let json = t.to_json();
-        assert!(json.contains("\"bench\": \"engine_throughput\""));
+        assert_eq!(t.instance_sizes.len(), t.instances);
+        let report = t.to_report("quick");
+        report.validate().unwrap();
+        assert_eq!(report.name, "engine");
+        assert_eq!(report.experiment, "t9");
+        assert_eq!(report.seed, WORKLOAD_SEED);
+        assert_eq!(report.threads, t.threads);
+        let json = report.to_json();
+        assert!(json.contains("\"experiment\": \"t9\""));
         assert!(json.contains("speedup"));
+        assert!(json.contains("\"seed\": 100"));
         let dir = std::env::temp_dir().join("hsa-bench-engine-test");
-        let p = t.write_json(&dir).unwrap();
-        assert!(std::fs::read_to_string(p).unwrap().contains("queries"));
+        let p = report.write_json(&dir).unwrap();
+        assert!(p.ends_with("BENCH_engine.json"));
+        let back = BenchReport::load(&p).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn verification_batch_counters_are_surfaced() {
+        let cfg = ThroughputConfig {
+            random_instances: 1,
+            n_crus: 8,
+            lambda_steps: 2,
+            reps: 1,
+        };
+        let t = engine_throughput(&cfg);
+        // One prepare per instance (all misses), one verified query per
+        // (instance, λ) pair.
+        assert_eq!(t.engine_stats.cache_misses, t.instances as u64);
+        assert_eq!(t.engine_stats.queries, t.queries as u64);
     }
 }

@@ -17,7 +17,7 @@
 //!   [`Expanded`](hsa_assign::Expanded)`::solve` — same cut, same
 //!   objective, same stats semantics;
 //! * [`Engine::solve_batch_with`] runs any [`Solver`] instead, drawing
-//!   reusable [`SolveScratch`] workspaces from a pool so steady-state
+//!   reusable [`hsa_graph::SolveScratch`] workspaces from a pool so steady-state
 //!   solving stays allocation-free;
 //! * [`Engine::frontier`] exposes the full **λ-frontier** — the
 //!   piecewise-linear lower envelope of optimal cuts over λ ∈ [0, 1] with
@@ -155,6 +155,24 @@ pub struct EngineStats {
     pub solve: SolveStats,
 }
 
+impl EngineStats {
+    /// Fraction of `prepare` calls answered from the cache (0.0 when no
+    /// call was made yet).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Total `prepare` calls observed.
+    pub fn prepares(&self) -> u64 {
+        self.cache_hits + self.cache_misses
+    }
+}
+
 /// One cached instance: the owned prepared form plus the λ-independent
 /// frontier preparation of the full-expansion solver.
 struct CachedInstance {
@@ -269,7 +287,7 @@ impl Engine {
     }
 
     /// Answers a batch of queries with an arbitrary [`Solver`], drawing
-    /// reusable [`SolveScratch`] workspaces from the engine's pool (one per
+    /// reusable [`hsa_graph::SolveScratch`] workspaces from the engine's pool (one per
     /// in-flight query, recycled across the batch).
     pub fn solve_batch_with(
         &self,
@@ -307,6 +325,17 @@ impl Engine {
     /// A snapshot of the aggregated service counters.
     pub fn stats(&self) -> EngineStats {
         *self.stats.lock().expect("stats lock")
+    }
+
+    /// Resets the aggregated counters (e.g. between measured phases of a
+    /// benchmark), leaving the instance cache intact.
+    pub fn reset_stats(&self) {
+        *self.stats.lock().expect("stats lock") = EngineStats::default();
+    }
+
+    /// The configuration this engine was built with.
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
     }
 
     fn record(&self, results: &[Result<Solution, EngineError>]) {
@@ -388,6 +417,24 @@ mod tests {
             Err(EngineError::UnknownInstance { .. })
         ));
         assert_eq!(engine.stats().failed, 1);
+    }
+
+    #[test]
+    fn stats_expose_hit_rate_and_reset() {
+        let sc = paper_scenario();
+        let mut engine = Engine::new(EngineConfig::default());
+        engine.prepare(&sc.tree, &sc.costs).unwrap();
+        engine.prepare(&sc.tree, &sc.costs).unwrap();
+        engine.prepare(&sc.tree, &sc.costs).unwrap();
+        let stats = engine.stats();
+        assert_eq!(stats.prepares(), 3);
+        assert!((stats.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+        engine.reset_stats();
+        let stats = engine.stats();
+        assert_eq!(stats.prepares(), 0);
+        assert_eq!(stats.hit_rate(), 0.0);
+        // The cache itself survives a stats reset.
+        assert_eq!(engine.len(), 1);
     }
 
     #[test]

@@ -203,6 +203,12 @@ impl<T> LambdaEnvelope<T> {
             .collect()
     }
 
+    /// Number of interior breakpoints (= [`Self::len`] − 1) without
+    /// materialising them — what trend reports record.
+    pub fn num_breakpoints(&self) -> usize {
+        self.segments.len() - 1
+    }
+
     /// The segment owning `lambda` (at a breakpoint: the left segment, whose
     /// value ties with the right one anyway).
     pub fn segment_at(&self, lambda: Lambda) -> &EnvelopeSegment<T> {

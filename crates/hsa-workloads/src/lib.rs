@@ -12,7 +12,8 @@
 //! * [`random_scenario`] — seeded random families with independently
 //!   controlled shape and sensor placement ([`Placement`]), the axes the
 //!   benchmark sweeps (T1/T2/T5/T6) walk;
-//! * [`cost_gen`] helpers — heterogeneity/link sweeps over any scenario.
+//! * cost-generation helpers ([`host_speed_sweep`], [`scale_host_times`]
+//!   and friends) — heterogeneity/link sweeps over any scenario.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]

@@ -1,4 +1,4 @@
-//! Offline vendored stand-in for [`serde_json`], printing and parsing the
+//! Offline vendored stand-in for `serde_json`, printing and parsing the
 //! vendored serde [`Value`] tree as JSON.
 //!
 //! Supports everything the workspace round-trips: objects, arrays, strings
