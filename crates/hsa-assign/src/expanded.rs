@@ -142,11 +142,7 @@ fn cover_below(
             edges: vec![e],
         }]);
     }
-    let mut acc: Frontier = vec![FrontierPoint {
-        sigma: Cost::ZERO,
-        beta: Cost::ZERO,
-        edges: Vec::new(),
-    }];
+    let mut acc: Frontier = seed_frontier();
     for &ch in prep.tree.children(c) {
         let child_frontier = cover_at_or_below(prep, ch, cfg)?;
         acc = minkowski(&acc, &child_frontier, cfg.frontier_cap)?;
@@ -154,23 +150,13 @@ fn cover_below(
     Ok(acc)
 }
 
-/// Per-colour Pareto frontiers for an instance. Unused satellites get an
-/// empty-edge zero point.
-pub fn colour_frontiers(
-    prep: &Prepared<'_>,
-    cfg: &ExpandedConfig,
-) -> Result<Vec<Frontier>, AssignError> {
-    let n = prep.n_satellites() as usize;
-    let mut frontiers: Vec<Frontier> = vec![
-        vec![FrontierPoint {
-            sigma: Cost::ZERO,
-            beta: Cost::ZERO,
-            edges: Vec::new(),
-        }];
-        n
-    ];
-    // Top nodes: uniformly coloured nodes whose parent is conflicted (or
-    // absent). Their subtrees partition all satellite-bound work.
+/// The **top nodes** of every colour, in pre-order: uniformly coloured
+/// nodes whose parent is conflicted (or absent). Their subtrees partition
+/// all satellite-bound work — per-colour frontiers are Minkowski sums over
+/// exactly these regions, and the incremental re-solver's invalidation
+/// unit ([`crate::dirty_colours`]) is defined over the same regions.
+pub(crate) fn top_nodes_per_colour(prep: &Prepared<'_>) -> Vec<Vec<CruId>> {
+    let mut tops: Vec<Vec<CruId>> = vec![Vec::new(); prep.n_satellites() as usize];
     for c in prep.tree.preorder() {
         let Colour::Satellite(s) = prep.colouring.node_colour[c.index()] else {
             continue;
@@ -183,14 +169,58 @@ pub fn colour_frontiers(
         if parent_uniform {
             continue; // interior of a colour region; handled by its top node
         }
-        let f = if c == prep.tree.root() {
-            // Root cannot be cut above; cover strictly below.
-            cover_below(prep, c, cfg)?
-        } else {
-            cover_at_or_below(prep, c, cfg)?
-        };
-        frontiers[s.index()] = minkowski(&frontiers[s.index()], &f, cfg.frontier_cap)?;
+        tops[s.index()].push(c);
     }
+    tops
+}
+
+/// The zero-point frontier every colour accumulation starts from.
+fn seed_frontier() -> Frontier {
+    vec![FrontierPoint {
+        sigma: Cost::ZERO,
+        beta: Cost::ZERO,
+        edges: Vec::new(),
+    }]
+}
+
+/// Runs the per-region cover DP for every colour whose `rebuild` flag is
+/// set, folding into the matching `frontiers` slot (which must hold the
+/// seed frontier); unflagged slots are left untouched. Shared by the
+/// from-scratch preparation (all flags set) and the incremental refresh
+/// (only dirty flags set), so both produce identical frontiers per colour
+/// by construction.
+fn build_frontiers_into(
+    prep: &Prepared<'_>,
+    cfg: &ExpandedConfig,
+    frontiers: &mut [Frontier],
+    rebuild: &[bool],
+) -> Result<(), AssignError> {
+    for (tops, s) in top_nodes_per_colour(prep).iter().zip(0usize..) {
+        if !rebuild[s] {
+            continue;
+        }
+        for &c in tops {
+            let f = if c == prep.tree.root() {
+                // Root cannot be cut above; cover strictly below.
+                cover_below(prep, c, cfg)?
+            } else {
+                cover_at_or_below(prep, c, cfg)?
+            };
+            frontiers[s] = minkowski(&frontiers[s], &f, cfg.frontier_cap)?;
+        }
+    }
+    Ok(())
+}
+
+/// Per-colour Pareto frontiers for an instance. Unused satellites get an
+/// empty-edge zero point.
+pub fn colour_frontiers(
+    prep: &Prepared<'_>,
+    cfg: &ExpandedConfig,
+) -> Result<Vec<Frontier>, AssignError> {
+    let n = prep.n_satellites() as usize;
+    let mut frontiers: Vec<Frontier> = vec![seed_frontier(); n];
+    build_frontiers_into(prep, cfg, &mut frontiers, &vec![true; n])?;
     Ok(frontiers)
 }
 
@@ -248,18 +278,91 @@ impl FrontierSet {
     /// Computes the frontiers and thresholds for an instance.
     pub fn prepare(prep: &Prepared<'_>, cfg: &ExpandedConfig) -> Result<FrontierSet, AssignError> {
         let frontiers = colour_frontiers(prep, cfg)?;
-        let composites: u64 = frontiers.iter().map(|f| f.len() as u64).sum();
-        let mut thetas: Vec<Cost> = frontiers
+        Ok(FrontierSet::from_frontiers(frontiers))
+    }
+
+    /// Recomputes only the colours flagged `dirty`, reusing every clean
+    /// colour's frontier from `old` verbatim; thresholds and the composite
+    /// count are re-derived from the merged set.
+    ///
+    /// Correctness contract (established by [`crate::dirty_colours`], and
+    /// property-tested end to end in the `hsa-engine` crate): a colour's
+    /// frontier depends only on its own top-node regions and the σ/β labels
+    /// of the edges inside them, so a colour whose regions and labels are
+    /// unchanged has, by construction, an unchanged frontier. `prep` must
+    /// be the *updated* instance and `dirty.len()` its satellite count;
+    /// `old` must come from the same tree with the same satellite count.
+    pub fn refresh(
+        prep: &Prepared<'_>,
+        cfg: &ExpandedConfig,
+        old: &FrontierSet,
+        dirty: &[bool],
+    ) -> Result<FrontierSet, AssignError> {
+        let mut fs = old.clone();
+        fs.refresh_in_place(prep, cfg, dirty)?;
+        Ok(fs)
+    }
+
+    /// The allocation-lean form of [`FrontierSet::refresh`]: patches this
+    /// set in place, touching **only** the dirty colours' frontiers (clean
+    /// frontiers are neither cloned nor moved — this is the `Session`
+    /// apply hot path). On error, `self` is unchanged: all dirty frontiers
+    /// are rebuilt fallibly off to the side before anything is swapped in.
+    pub fn refresh_in_place(
+        &mut self,
+        prep: &Prepared<'_>,
+        cfg: &ExpandedConfig,
+        dirty: &[bool],
+    ) -> Result<(), AssignError> {
+        let n = prep.n_satellites() as usize;
+        assert_eq!(dirty.len(), n, "dirty flags must cover every satellite");
+        assert_eq!(
+            self.frontiers.len(),
+            n,
+            "frontier set is for a different platform"
+        );
+        if !dirty.contains(&true) {
+            return Ok(()); // observed-clean apply: nothing to rebuild
+        }
+        let mut rebuilt: Vec<Frontier> = dirty
             .iter()
-            .flat_map(|f| f.iter().map(|p| p.beta))
+            .map(|&d| if d { seed_frontier() } else { Frontier::new() })
             .collect();
-        thetas.sort();
-        thetas.dedup();
-        Ok(FrontierSet {
+        build_frontiers_into(prep, cfg, &mut rebuilt, dirty)?;
+        for (slot, (new_f, &d)) in self
+            .frontiers
+            .iter_mut()
+            .zip(rebuilt.into_iter().zip(dirty))
+        {
+            if d {
+                *slot = new_f;
+            }
+        }
+        self.rederive();
+        Ok(())
+    }
+
+    /// Re-derives the threshold set and composite count from the current
+    /// frontiers — the one place that logic lives, shared by the
+    /// from-scratch and incremental paths.
+    fn rederive(&mut self) {
+        self.composites = self.frontiers.iter().map(|f| f.len() as u64).sum();
+        self.thetas.clear();
+        self.thetas
+            .extend(self.frontiers.iter().flat_map(|f| f.iter().map(|p| p.beta)));
+        self.thetas.sort();
+        self.thetas.dedup();
+    }
+
+    /// Assembles the λ-independent preparation from per-colour frontiers.
+    fn from_frontiers(frontiers: Vec<Frontier>) -> FrontierSet {
+        let mut fs = FrontierSet {
             frontiers,
-            thetas,
-            composites,
-        })
+            thetas: Vec::new(),
+            composites: 0,
+        };
+        fs.rederive();
+        fs
     }
 }
 
@@ -271,30 +374,34 @@ pub fn solve_with_frontiers(
     fs: &FrontierSet,
     lambda: Lambda,
 ) -> Result<Solution, AssignError> {
-    let mut best: Option<(u128, Vec<usize>)> = None;
+    // Allocation-free scan for the winning threshold; the per-colour picks
+    // are only materialised once, for the winner. Candidate order, the
+    // strict `<` and the per-θ pick rule match the one-pass formulation
+    // exactly, so the chosen cut is byte-identical.
+    let mut best: Option<(u128, Cost)> = None;
     let mut evaluated = 0u64;
-    for &theta in &fs.thetas {
-        let Some(picks) = pick_for_threshold(&fs.frontiers, theta) else {
-            continue;
-        };
+    'theta: for &theta in &fs.thetas {
+        let mut s = Cost::ZERO;
+        let mut b = Cost::ZERO;
+        for f in &fs.frontiers {
+            let idx = f.partition_point(|p| p.beta <= theta);
+            if idx == 0 {
+                continue 'theta; // infeasible θ for this colour
+            }
+            let p = &f[idx - 1];
+            s += p.sigma;
+            // The *actual* B may be below θ; use it.
+            b = b.max(p.beta);
+        }
         evaluated += 1;
-        let s: Cost = picks
-            .iter()
-            .zip(&fs.frontiers)
-            .map(|(&i, f)| f[i].sigma)
-            .sum();
-        // The *actual* B may be below θ; use it.
-        let b: Cost = picks
-            .iter()
-            .zip(&fs.frontiers)
-            .map(|(&i, f)| f[i].beta)
-            .fold(Cost::ZERO, Cost::max);
         let obj = lambda.ssb_scaled(s, b);
-        if best.as_ref().map(|(o, _)| obj < *o).unwrap_or(true) {
-            best = Some((obj, picks));
+        if best.map(|(o, _)| obj < o).unwrap_or(true) {
+            best = Some((obj, theta));
         }
     }
-    let (_, picks) = best.ok_or(AssignError::NoFeasibleAssignment)?;
+    let (_, theta) = best.ok_or(AssignError::NoFeasibleAssignment)?;
+    let picks = pick_for_threshold(&fs.frontiers, theta)
+        .expect("the winning threshold was feasible during the scan");
     assemble(
         prep,
         &fs.frontiers,

@@ -26,6 +26,7 @@ mod assignment;
 mod baselines;
 mod brute;
 mod coloured;
+mod delta;
 mod dual;
 mod error;
 mod expanded;
@@ -40,6 +41,7 @@ pub use baselines::{
 };
 pub use brute::BruteForce;
 pub use coloured::ColouredMeasure;
+pub use delta::{dirty_colours, dirty_colours_of_labels, DirtyColours};
 pub use dual::{AssignmentGraph, DualEdge};
 pub use error::AssignError;
 pub use expanded::{
@@ -48,7 +50,7 @@ pub use expanded::{
 };
 pub use frontier::{lambda_frontier, lambda_frontier_with, LambdaFrontier};
 pub use paper_ssb::{solve_with_trace, solve_with_trace_in, PaperSsb, PaperSsbConfig, SsbEvent};
-pub use prepared::Prepared;
+pub use prepared::{Prepared, ReplacedParts};
 pub use solver::{Solution, SolveStats, Solver};
 
 // Re-exported so downstream crates name the workspace type without a direct

@@ -90,6 +90,66 @@ impl<'a> Prepared<'a> {
     pub fn n_satellites(&self) -> u32 {
         self.costs.n_satellites
     }
+
+    /// Re-costs this prepared instance **in place**: re-derives colouring,
+    /// σ/β labels and the dual graph for `costs` (the tree is reused, not
+    /// cloned — this is the incremental re-solve hot path) and reports
+    /// which colours' frontier regions the change dirtied
+    /// ([`crate::dirty_colours_of_labels`]).
+    ///
+    /// On error nothing is mutated. On success the displaced cost model
+    /// and labels are returned as a [`ReplacedParts`] so a caller keeping
+    /// derived caches (e.g. the engine's `Session` with its frontier set)
+    /// can roll back via [`Prepared::restore`] when *its* dependent
+    /// rebuild fails mid-way.
+    pub fn update_costs(
+        &mut self,
+        costs: CostModel,
+    ) -> Result<(ReplacedParts<'a>, crate::DirtyColours), AssignError> {
+        let (colouring, sigma, beta, graph) = derive(&self.tree, &costs)?;
+        // A platform-size change invalidates every colour of the new
+        // platform; otherwise the single-pass label diff decides.
+        let dirty = if costs.n_satellites != self.costs.n_satellites {
+            crate::DirtyColours {
+                dirty: vec![true; costs.n_satellites as usize],
+            }
+        } else {
+            crate::dirty_colours_of_labels(
+                &self.tree,
+                costs.n_satellites,
+                (&self.colouring, &self.sigma, &self.beta),
+                (&colouring, &sigma, &beta),
+            )
+        };
+        let replaced = ReplacedParts {
+            costs: std::mem::replace(&mut self.costs, Cow::Owned(costs)),
+            colouring: std::mem::replace(&mut self.colouring, colouring),
+            sigma: std::mem::replace(&mut self.sigma, sigma),
+            beta: std::mem::replace(&mut self.beta, beta),
+            graph: std::mem::replace(&mut self.graph, graph),
+        };
+        Ok((replaced, dirty))
+    }
+
+    /// Undoes an [`Prepared::update_costs`], restoring the displaced cost
+    /// model and derived labels.
+    pub fn restore(&mut self, parts: ReplacedParts<'a>) {
+        self.costs = parts.costs;
+        self.colouring = parts.colouring;
+        self.sigma = parts.sigma;
+        self.beta = parts.beta;
+        self.graph = parts.graph;
+    }
+}
+
+/// The state an [`Prepared::update_costs`] displaced — an opaque rollback
+/// token for [`Prepared::restore`].
+pub struct ReplacedParts<'a> {
+    costs: Cow<'a, CostModel>,
+    colouring: Colouring,
+    sigma: SigmaLabels,
+    beta: BetaLabels,
+    graph: AssignmentGraph,
 }
 
 #[cfg(test)]

@@ -81,7 +81,7 @@ impl<'a> ExpCtx<'a> {
 
 /// One registered experiment.
 pub struct Experiment {
-    /// Stable id (`f2`…`f9`, `t1`…`t10`, `a1`).
+    /// Stable id (`f2`…`f9`, `t1`…`t11`, `a1`).
     pub id: &'static str,
     /// Human-readable one-line title.
     pub title: &'static str,
@@ -242,6 +242,15 @@ pub static REGISTRY: &[Experiment] = &[
         artefacts: &["t10_lambda_frontier.csv", "BENCH_frontier.json"],
         bench_artefact: Some("BENCH_frontier.json"),
         run: studies::t10,
+        criterion: None,
+    },
+    Experiment {
+        id: "t11",
+        title: "T11 — incremental re-solve (Session) vs from-scratch on drifting instances",
+        paper_ref: "DESIGN.md §9",
+        artefacts: &["t11_incremental.csv", "BENCH_incremental.json"],
+        bench_artefact: Some("BENCH_incremental.json"),
+        run: studies::t11,
         criterion: None,
     },
     Experiment {

@@ -22,7 +22,12 @@
 //! * [`Engine::frontier`] exposes the full **λ-frontier** — the
 //!   piecewise-linear lower envelope of optimal cuts over λ ∈ [0, 1] with
 //!   exact rational breakpoints — so a λ-sweep costs one envelope pass
-//!   instead of N independent solves.
+//!   instead of N independent solves;
+//! * [`Session`] holds one **drifting** instance open and re-solves it
+//!   incrementally: [`Session::apply`] absorbs a [`hsa_tree::Delta`]
+//!   (cost drift, capacity changes, sensor churn) and rebuilds only the
+//!   per-colour frontiers the perturbation actually dirtied, falling back
+//!   to a full rebuild past a configurable threshold (DESIGN.md §9).
 //!
 //! Per-query [`SolveStats`] aggregate into [`EngineStats`] via
 //! [`SolveStats::merge`].
@@ -63,8 +68,10 @@ use std::fmt;
 use std::sync::Mutex;
 
 mod pool;
+mod session;
 
 pub use pool::parallel_map;
+pub use session::{ApplyOutcome, Session, SessionConfig, SessionStats};
 
 /// Identifier of a cached instance: the 64-bit structural content hash of
 /// its tree and cost model. Stable across engines and runs of the same
@@ -382,7 +389,10 @@ fn instance_hash(tree: &CruTree, costs: &CostModel) -> u64 {
 
 /// Commonly used items, for glob import in examples and tests.
 pub mod prelude {
-    pub use crate::{parallel_map, Engine, EngineConfig, EngineError, EngineStats, InstanceId};
+    pub use crate::{
+        parallel_map, ApplyOutcome, Engine, EngineConfig, EngineError, EngineStats, InstanceId,
+        Session, SessionConfig, SessionStats,
+    };
 }
 
 #[cfg(test)]

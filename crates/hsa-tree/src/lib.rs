@@ -20,6 +20,9 @@
 //! * [`Cut`] and exhaustive cut enumeration ([`for_each_cut`]) — the
 //!   tree-side image of assignment-graph paths and the brute-force ground
 //!   truth;
+//! * [`Delta`] / [`DeltaOp`] — structured cost-model perturbations (drift,
+//!   satellite capacity changes, sensor churn) for the incremental
+//!   re-solver (`hsa-engine::Session`, DESIGN.md §9);
 //! * [`figures::fig2_tree`] — a canonical reconstruction of the paper's
 //!   worked example, satisfying every constraint in the surviving text.
 
@@ -30,6 +33,7 @@ mod beta;
 mod colouring;
 mod costs;
 mod cuts;
+mod delta;
 mod error;
 mod ids;
 mod sigma;
@@ -42,6 +46,7 @@ pub use beta::{bottleneck_of_cut, satellite_loads_of_cut, BetaLabels};
 pub use colouring::{Band, Colour, Colouring};
 pub use costs::CostModel;
 pub use cuts::{count_cuts, for_each_cut, Cut};
+pub use delta::{Delta, DeltaOp};
 pub use error::TreeError;
 pub use ids::{CruId, SatelliteId, TreeEdge};
 pub use sigma::{host_time_of_cut, SigmaLabels};
@@ -50,7 +55,7 @@ pub use tree::{CruNode, CruTree, TreeBuilder};
 /// Commonly used items, for glob import in examples and tests.
 pub mod prelude {
     pub use crate::{
-        Colour, Colouring, CostModel, CruId, CruTree, Cut, SatelliteId, TreeBuilder, TreeEdge,
-        TreeError,
+        Colour, Colouring, CostModel, CruId, CruTree, Cut, Delta, DeltaOp, SatelliteId,
+        TreeBuilder, TreeEdge, TreeError,
     };
 }

@@ -1,0 +1,203 @@
+//! **Drift workloads**: deterministic random-walk perturbation traces for
+//! a fixed reasoning tree — the workload behind the incremental re-solve
+//! experiment (T11) and the `hsa-engine::Session` property suite.
+//!
+//! A real deployment's instance drifts between solves: per-CRU costs
+//! follow the sensor rates up and down, whole branches get busier,
+//! satellites slow down, and sensors churn between boxes. [`drift_trace`]
+//! turns that into data: `steps` consecutive [`Delta`]s over a base
+//! [`Scenario`], each step scaling a few randomly chosen cost entries by a
+//! factor drawn from `[1 − m, 1 + m]` (a multiplicative random walk with
+//! magnitude `m`), occasionally scaling a whole subtree, and occasionally
+//! re-pinning a leaf to a different satellite. Identical
+//! `(scenario, config)` pairs produce identical traces.
+
+use crate::Scenario;
+use hsa_graph::Cost;
+use hsa_tree::{CostModel, CruId, Delta, SatelliteId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Shape of a drift trace.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct DriftConfig {
+    /// Number of perturbation steps.
+    pub steps: usize,
+    /// Drift magnitude, permille: each touched entry scales by a factor
+    /// drawn uniformly from `[1000 − m, 1000 + m] / 1000`. 100 ≈ ±10%.
+    /// Capped at 999 (a multiplicative walk's factor cannot go negative).
+    pub magnitude_permille: u32,
+    /// Cost entries perturbed per step (locality axis: 1 is a gentle
+    /// sensor-rate wobble, larger values approach global re-costing).
+    pub touched_per_step: usize,
+    /// Probability (permille) that a touch scales a whole random subtree
+    /// instead of one node's entries.
+    pub subtree_permille: u32,
+    /// Probability (permille) that a step additionally re-pins a random
+    /// leaf to a random satellite (**churn**).
+    pub churn_permille: u32,
+    /// RNG seed; identical seeds reproduce the trace exactly.
+    pub seed: u64,
+}
+
+impl Default for DriftConfig {
+    fn default() -> Self {
+        DriftConfig {
+            steps: 32,
+            magnitude_permille: 100,
+            touched_per_step: 1,
+            subtree_permille: 100,
+            churn_permille: 50,
+            seed: 0xD81F,
+        }
+    }
+}
+
+/// A generated drift trajectory: the per-step deltas plus the cost model
+/// the base drifts into after all of them (for cross-checking replays).
+#[derive(Clone, Debug)]
+pub struct DriftTrace {
+    /// One delta per step, in order.
+    pub deltas: Vec<Delta>,
+    /// The cost model after applying every delta to the base scenario.
+    pub final_costs: CostModel,
+}
+
+fn scaled(v: Cost, permille: u64) -> Cost {
+    Cost::new(((v.ticks() as u128 * permille as u128) / 1000).min(u64::MAX as u128) as u64)
+}
+
+/// Generates a deterministic drift trace over `base` (whose tree topology
+/// is never changed — only costs and pinnings drift).
+///
+/// Deltas use *absolute* `Set…` ops for single-entry touches (so a trace
+/// replays identically from the base no matter who applies it) and
+/// `ScaleSubtree` / `Repin` ops for the branch-level and churn events.
+/// Every intermediate cost model validates against the tree.
+pub fn drift_trace(base: &Scenario, cfg: &DriftConfig) -> DriftTrace {
+    let tree = &base.tree;
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut costs = base.costs.clone();
+    let leaves = tree.leaves_in_order();
+    let n = tree.len();
+    let m = cfg.magnitude_permille.min(999) as u64;
+    let mut deltas = Vec::with_capacity(cfg.steps);
+    for _ in 0..cfg.steps {
+        let mut delta = Delta::new();
+        for _ in 0..cfg.touched_per_step.max(1) {
+            let permille = rng.random_range((1000 - m)..=(1000 + m));
+            if rng.random_range(0..1000u32) < cfg.subtree_permille && n > 1 {
+                // Branch-level drift: scale a random non-root subtree.
+                let root = CruId(rng.random_range(1..n as u32));
+                delta = delta.scale_subtree(root, permille as u32, 1000);
+            } else {
+                // Node-level drift: walk one node's entries multiplicatively,
+                // recorded as absolute sets.
+                let node = CruId(rng.random_range(0..n as u32));
+                delta = delta
+                    .set_host_time(node, scaled(costs.h(node), permille))
+                    .set_satellite_time(node, scaled(costs.s(node), permille));
+                if node != tree.root() {
+                    delta = delta.set_comm_up(node, scaled(costs.c_up(node), permille));
+                }
+                if tree.is_leaf(node) {
+                    delta = delta.set_comm_raw(node, scaled(costs.c_raw(node), permille));
+                }
+            }
+        }
+        if costs.n_satellites > 1 && rng.random_range(0..1000u32) < cfg.churn_permille {
+            let leaf = leaves[rng.random_range(0..leaves.len())];
+            let sat = SatelliteId(rng.random_range(0..costs.n_satellites));
+            delta = delta.repin(leaf, sat);
+        }
+        delta
+            .apply(tree, &mut costs)
+            .expect("generated drift deltas are valid by construction");
+        debug_assert!(costs.validate(tree).is_ok());
+        deltas.push(delta);
+    }
+    DriftTrace {
+        deltas,
+        final_costs: costs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper_scenario;
+
+    #[test]
+    fn traces_are_deterministic_per_seed() {
+        let sc = paper_scenario();
+        let cfg = DriftConfig::default();
+        let a = drift_trace(&sc, &cfg);
+        let b = drift_trace(&sc, &cfg);
+        assert_eq!(a.deltas, b.deltas);
+        assert_eq!(a.final_costs, b.final_costs);
+        let other = drift_trace(&sc, &DriftConfig { seed: 1, ..cfg });
+        assert_ne!(a.deltas, other.deltas);
+    }
+
+    #[test]
+    fn replaying_the_trace_reaches_final_costs() {
+        let sc = paper_scenario();
+        let trace = drift_trace(
+            &sc,
+            &DriftConfig {
+                steps: 20,
+                churn_permille: 300,
+                ..DriftConfig::default()
+            },
+        );
+        assert_eq!(trace.deltas.len(), 20);
+        let mut costs = sc.costs.clone();
+        for d in &trace.deltas {
+            assert!(!d.is_empty());
+            d.apply(&sc.tree, &mut costs).unwrap();
+            costs.validate(&sc.tree).unwrap();
+        }
+        assert_eq!(costs, trace.final_costs);
+    }
+
+    #[test]
+    fn zero_magnitude_traces_only_churn_or_noop() {
+        let sc = paper_scenario();
+        let trace = drift_trace(
+            &sc,
+            &DriftConfig {
+                steps: 10,
+                magnitude_permille: 0,
+                subtree_permille: 0,
+                churn_permille: 0,
+                ..DriftConfig::default()
+            },
+        );
+        // Scale factor is pinned to 1000/1000: the walk never moves.
+        assert_eq!(trace.final_costs, sc.costs);
+    }
+
+    #[test]
+    fn churn_actually_repins_over_a_long_trace() {
+        let sc = paper_scenario();
+        let trace = drift_trace(
+            &sc,
+            &DriftConfig {
+                steps: 64,
+                churn_permille: 500,
+                ..DriftConfig::default()
+            },
+        );
+        let repins = trace
+            .deltas
+            .iter()
+            .flat_map(|d| d.ops())
+            .filter(|op| matches!(op, hsa_tree::DeltaOp::Repin { .. }))
+            .count();
+        assert!(
+            repins > 0,
+            "500‰ churn over 64 steps must repin at least once"
+        );
+    }
+}

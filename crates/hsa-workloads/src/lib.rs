@@ -13,12 +13,16 @@
 //!   controlled shape and sensor placement ([`Placement`]), the axes the
 //!   benchmark sweeps (T1/T2/T5/T6) walk;
 //! * cost-generation helpers ([`host_speed_sweep`], [`scale_host_times`]
-//!   and friends) — heterogeneity/link sweeps over any scenario.
+//!   and friends) — heterogeneity/link sweeps over any scenario;
+//! * [`drift_trace`] — deterministic random-walk drift + satellite churn
+//!   over any scenario, as replayable [`hsa_tree::Delta`] traces (the T11
+//!   incremental re-solve workload).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 mod cost_gen;
+mod drift;
 mod epilepsy;
 mod industrial;
 mod random_tree;
@@ -26,6 +30,7 @@ mod scenario;
 mod snmp;
 
 pub use cost_gen::{host_speed_sweep, scale_comm_times, scale_host_times, scale_satellite_times};
+pub use drift::{drift_trace, DriftConfig, DriftTrace};
 pub use epilepsy::{epilepsy_scenario, EpilepsyParams};
 pub use industrial::{industrial_scenario, IndustrialParams};
 pub use random_tree::{random_instance, random_scenario, Placement, RandomTreeParams};
@@ -35,8 +40,8 @@ pub use snmp::{snmp_scenario, SnmpParams};
 /// Commonly used items, for glob import in examples and tests.
 pub mod prelude {
     pub use crate::{
-        catalog, epilepsy_scenario, industrial_scenario, paper_scenario, random_scenario,
-        snmp_scenario, EpilepsyParams, IndustrialParams, Placement, RandomTreeParams, Scenario,
-        SnmpParams,
+        catalog, drift_trace, epilepsy_scenario, industrial_scenario, paper_scenario,
+        random_scenario, snmp_scenario, DriftConfig, DriftTrace, EpilepsyParams, IndustrialParams,
+        Placement, RandomTreeParams, Scenario, SnmpParams,
     };
 }

@@ -51,6 +51,13 @@ pub use hsa_sim as sim;
 pub use hsa_tree as tree;
 pub use hsa_workloads as workloads;
 
+/// The guided API tour (the contents of `docs/API.md`): one runnable,
+/// asserted example per layer, tree → DWG → solver → engine →
+/// experiments. Every code block below is a doctest, so the tour cannot
+/// rot.
+#[doc = include_str!("../docs/API.md")]
+pub mod api {}
+
 /// Commonly used items from every layer.
 pub mod prelude {
     pub use hsa_assign::prelude::*;
