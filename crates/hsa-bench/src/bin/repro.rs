@@ -11,7 +11,7 @@
 //! ```
 //!
 //! Experiment ids follow DESIGN.md §4: `f2 f4 f5 f6 f8 f9` reproduce the
-//! paper's figures, `t1 … t11` are the quantitative studies and `a1` the
+//! paper's figures, `t1 … t12` are the quantitative studies and `a1` the
 //! design ablations — `repro --list` is authoritative. Tables are printed
 //! and written as CSV under the output directory; perf-tracked experiments
 //! additionally emit schema-versioned `BENCH_*.json` artefacts.

@@ -81,7 +81,7 @@ impl<'a> ExpCtx<'a> {
 
 /// One registered experiment.
 pub struct Experiment {
-    /// Stable id (`f2`…`f9`, `t1`…`t11`, `a1`).
+    /// Stable id (`f2`…`f9`, `t1`…`t12`, `a1`).
     pub id: &'static str,
     /// Human-readable one-line title.
     pub title: &'static str,
@@ -251,6 +251,15 @@ pub static REGISTRY: &[Experiment] = &[
         artefacts: &["t11_incremental.csv", "BENCH_incremental.json"],
         bench_artefact: Some("BENCH_incremental.json"),
         run: studies::t11,
+        criterion: None,
+    },
+    Experiment {
+        id: "t12",
+        title: "T12 — service throughput & hit-rate vs workers under a Zipf request stream",
+        paper_ref: "DESIGN.md §10",
+        artefacts: &["t12_service_stream.csv", "BENCH_service.json"],
+        bench_artefact: Some("BENCH_service.json"),
+        run: studies::t12,
         criterion: None,
     },
     Experiment {

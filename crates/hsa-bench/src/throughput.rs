@@ -146,7 +146,7 @@ pub fn engine_throughput(cfg: &ThroughputConfig) -> EngineThroughput {
     // Batched arm setup outside the timed region mirrors a warm service;
     // prepare() itself is *inside* the timed region so the comparison
     // charges the engine for its cache fills too.
-    let mut engine = Engine::new(EngineConfig::default());
+    let engine = Engine::new(EngineConfig::default());
     let ids: Vec<InstanceId> = instances
         .iter()
         .map(|(t, c)| engine.prepare(t, c).expect("workload prepares"))
@@ -185,7 +185,7 @@ pub fn engine_throughput(cfg: &ThroughputConfig) -> EngineThroughput {
     });
 
     let batched_ns = time_median_ns(cfg.reps, || {
-        let mut engine = Engine::new(EngineConfig::default());
+        let engine = Engine::new(EngineConfig::default());
         for (t, c) in &instances {
             engine.prepare(t, c).expect("workload prepares");
         }

@@ -1,28 +1,39 @@
-//! # hsa-engine — the batch solving service layer
+//! # hsa-engine — the concurrent solving service layer
 //!
 //! The paper presents a one-shot solve: build the coloured assignment
 //! graph, run the adapted SSB search, read off the cut. A production
 //! deployment re-solves the *same* prepared instance under many λ
-//! weightings and many instances per second. This crate turns the solver
-//! stack into a service shaped for that traffic:
+//! weightings, many instances per second, from many tenants at once. This
+//! crate turns the solver stack into a service shaped for that traffic:
 //!
+//! * [`Engine`] is **shared-ownership**: every entry point works through
+//!   `&self`, so one engine behind an [`Arc`] serves any
+//!   number of threads. The instance cache is split across
+//!   `RwLock`-sharded maps holding `Arc`'d entries (see [`CachedInstance`]),
+//!   and the service counters are atomics — no global lock anywhere on
+//!   the query path.
 //! * [`Engine::prepare`] caches fully prepared instances
 //!   ([`Prepared`]`<'static>` + the λ-independent [`FrontierSet`]) keyed by
 //!   a content hash of the tree and cost model — preparing twice is a
 //!   cache hit, and every later query reuses the colouring, σ/β labels,
-//!   dual graph and Pareto frontiers without rebuilding anything;
+//!   dual graph and Pareto frontiers without rebuilding anything.
 //! * [`Engine::solve_batch`] fans a slice of `(instance, λ)` queries across
-//!   worker threads via [`parallel_map`], answering each from the cached
-//!   frontiers **byte-identically** to a fresh
+//!   a **persistent** [`WorkerPool`] (spawned once with the engine, fed
+//!   through a channel, drained gracefully on drop), answering each from
+//!   the cached frontiers **byte-identically** to a fresh
 //!   [`Expanded`](hsa_assign::Expanded)`::solve` — same cut, same
-//!   objective, same stats semantics;
+//!   objective, same stats semantics.
 //! * [`Engine::solve_batch_with`] runs any [`Solver`] instead, drawing
 //!   reusable [`hsa_graph::SolveScratch`] workspaces from a pool so steady-state
-//!   solving stays allocation-free;
+//!   solving stays allocation-free.
 //! * [`Engine::frontier`] exposes the full **λ-frontier** — the
 //!   piecewise-linear lower envelope of optimal cuts over λ ∈ [0, 1] with
 //!   exact rational breakpoints — so a λ-sweep costs one envelope pass
-//!   instead of N independent solves;
+//!   instead of N independent solves.
+//! * [`Service`] is the request-stream front-end: a bounded submission
+//!   queue with backpressure, per-request λ, and a multi-tenant
+//!   [`Session`] registry so delta streams apply concurrently across
+//!   tenants while staying FIFO within each (DESIGN.md §10).
 //! * [`Session`] holds one **drifting** instance open and re-solves it
 //!   incrementally: [`Session::apply`] absorbs a [`hsa_tree::Delta`]
 //!   (cost drift, capacity changes, sensor churn) and rebuilds only the
@@ -35,9 +46,11 @@
 //! ```
 //! use hsa_engine::{Engine, EngineConfig};
 //! use hsa_graph::Lambda;
+//! use std::sync::Arc;
 //!
 //! let scenario = hsa_workloads::paper_scenario();
-//! let mut engine = Engine::new(EngineConfig::default());
+//! // `&self` everywhere: no `mut`, and the engine is Arc-shareable.
+//! let engine = Arc::new(Engine::new(EngineConfig::default()));
 //! let id = engine.prepare(&scenario.tree, &scenario.costs).unwrap();
 //!
 //! // A λ-sweep as one batch…
@@ -63,14 +76,20 @@ use hsa_assign::{
 };
 use hsa_graph::Lambda;
 use hsa_tree::{CostModel, CruTree};
-use std::collections::BTreeMap;
 use std::fmt;
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
+mod cache;
 mod pool;
+mod service;
 mod session;
 
-pub use pool::parallel_map;
+pub use cache::CachedInstance;
+pub use pool::{parallel_map, WorkerPool};
+pub use service::{
+    Reply, Request, Service, ServiceConfig, ServiceError, ServiceStats, TenantId, Ticket,
+};
 pub use session::{ApplyOutcome, Session, SessionConfig, SessionStats};
 
 /// Identifier of a cached instance: the 64-bit structural content hash of
@@ -140,14 +159,16 @@ impl From<AssignError> for EngineError {
 /// Engine configuration.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct EngineConfig {
-    /// Worker threads for batch fan-out (0, the default, means one per
-    /// available core).
+    /// Worker threads of the engine's persistent pool (0, the default,
+    /// means one per available core).
     pub threads: usize,
     /// Frontier caps for the cached full-expansion preparation.
     pub expanded: ExpandedConfig,
 }
 
-/// Aggregated service counters (see [`Engine::stats`]).
+/// Aggregated service counters (see [`Engine::stats`]). This is a plain
+/// snapshot struct; the live counters inside the engine are atomics, so
+/// any thread may record or read without a lock.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct EngineStats {
     /// Queries answered successfully by the batch entry points.
@@ -156,7 +177,8 @@ pub struct EngineStats {
     pub failed: u64,
     /// `prepare` calls that found the instance already cached.
     pub cache_hits: u64,
-    /// `prepare` calls that built a new cached instance.
+    /// `prepare` calls that built a new cached instance (including the
+    /// losers of a concurrent build race — they paid the preparation).
     pub cache_misses: u64,
     /// Per-query solver counters, merged via [`SolveStats::merge`].
     pub solve: SolveStats,
@@ -180,139 +202,235 @@ impl EngineStats {
     }
 }
 
-/// One cached instance: the owned prepared form plus the λ-independent
-/// frontier preparation of the full-expansion solver.
-struct CachedInstance {
-    prepared: Prepared<'static>,
-    frontiers: FrontierSet,
+/// The live, lock-free counter bank behind [`EngineStats`].
+#[derive(Default)]
+struct EngineCounters {
+    queries: AtomicU64,
+    failed: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    // SolveStats, field by field.
+    iterations: AtomicU64,
+    edges_removed: AtomicU64,
+    expansions: AtomicU64,
+    composites: AtomicU64,
+    branches: AtomicU64,
+    evaluated: AtomicU64,
 }
 
-/// The batch solving engine. See the crate docs for the full tour.
-pub struct Engine {
-    cfg: EngineConfig,
-    /// Cache keyed by content hash; BTreeMap for deterministic iteration.
-    instances: BTreeMap<u64, CachedInstance>,
-    /// Reusable per-worker solver workspaces.
-    scratch: pool::ScratchPool,
-    stats: Mutex<EngineStats>,
-}
-
-impl Engine {
-    /// Creates an engine with the given configuration.
-    pub fn new(cfg: EngineConfig) -> Engine {
-        Engine {
-            cfg,
-            instances: BTreeMap::new(),
-            scratch: pool::ScratchPool::new(),
-            stats: Mutex::new(EngineStats::default()),
+impl EngineCounters {
+    fn snapshot(&self) -> EngineStats {
+        let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        EngineStats {
+            queries: load(&self.queries),
+            failed: load(&self.failed),
+            cache_hits: load(&self.cache_hits),
+            cache_misses: load(&self.cache_misses),
+            solve: SolveStats {
+                iterations: load(&self.iterations),
+                edges_removed: load(&self.edges_removed),
+                expansions: load(&self.expansions),
+                composites: load(&self.composites),
+                branches: load(&self.branches),
+                evaluated: load(&self.evaluated),
+            },
         }
     }
 
-    /// The effective worker-thread count.
-    pub fn threads(&self) -> usize {
-        if self.cfg.threads > 0 {
-            self.cfg.threads
-        } else {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
+    fn reset(&self) {
+        for c in [
+            &self.queries,
+            &self.failed,
+            &self.cache_hits,
+            &self.cache_misses,
+            &self.iterations,
+            &self.edges_removed,
+            &self.expansions,
+            &self.composites,
+            &self.branches,
+            &self.evaluated,
+        ] {
+            c.store(0, Ordering::Relaxed);
         }
+    }
+
+    fn record_solve(&self, s: &SolveStats) {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        self.iterations.fetch_add(s.iterations, Ordering::Relaxed);
+        self.edges_removed
+            .fetch_add(s.edges_removed, Ordering::Relaxed);
+        self.expansions.fetch_add(s.expansions, Ordering::Relaxed);
+        self.composites.fetch_add(s.composites, Ordering::Relaxed);
+        self.branches.fetch_add(s.branches, Ordering::Relaxed);
+        self.evaluated.fetch_add(s.evaluated, Ordering::Relaxed);
+    }
+}
+
+/// The concurrent batch-solving engine. All entry points take `&self`;
+/// share one engine across threads behind an [`Arc`]. See the crate docs
+/// for the full tour.
+pub struct Engine {
+    cfg: EngineConfig,
+    /// RwLock-sharded content-hash → `Arc<CachedInstance>` maps.
+    cache: cache::ShardedCache,
+    /// Persistent channel-fed workers for batch fan-out.
+    pool: WorkerPool,
+    /// Reusable per-worker solver workspaces.
+    scratch: Arc<pool::ScratchPool>,
+    stats: EngineCounters,
+}
+
+impl Engine {
+    /// Creates an engine with the given configuration, spawning its
+    /// persistent worker pool.
+    pub fn new(cfg: EngineConfig) -> Engine {
+        Engine {
+            cfg,
+            cache: cache::ShardedCache::new(),
+            pool: WorkerPool::new(cfg.threads),
+            scratch: Arc::new(pool::ScratchPool::new()),
+            stats: EngineCounters::default(),
+        }
+    }
+
+    /// The effective worker-thread count of the persistent pool.
+    pub fn threads(&self) -> usize {
+        self.pool.size()
     }
 
     /// Prepares (or re-finds) an instance and returns its id.
     ///
     /// First preparation pays the full pipeline — validation, colouring,
     /// σ/β labelling, dual-graph construction and the per-colour Pareto
-    /// frontier DP. Subsequent calls with an equal instance are cache hits
-    /// costing one allocation-free structural hash plus an equality check
-    /// of the instance (so distinct instances can never alias —
-    /// [`EngineError::HashCollision`]); hot paths should hold on to the
-    /// returned [`InstanceId`] rather than re-present the instance.
-    pub fn prepare(
-        &mut self,
-        tree: &CruTree,
-        costs: &CostModel,
-    ) -> Result<InstanceId, EngineError> {
+    /// frontier DP — all of it **outside any lock**, so concurrent
+    /// prepares never serialise on each other's DP. Subsequent calls with
+    /// an equal instance are cache hits costing one allocation-free
+    /// structural hash plus an equality check of the instance (so distinct
+    /// instances can never alias — [`EngineError::HashCollision`]); hot
+    /// paths should hold on to the returned [`InstanceId`] rather than
+    /// re-present the instance. Two threads racing to prepare the same
+    /// *new* instance both build; one inserts and the other adopts the
+    /// incumbent (both count as misses — both paid the work).
+    pub fn prepare(&self, tree: &CruTree, costs: &CostModel) -> Result<InstanceId, EngineError> {
         let id = InstanceId(instance_hash(tree, costs));
-        if let Some(cached) = self.instances.get(&id.0) {
+        if let Some(cached) = self.cache.get(id.0) {
             if &*cached.prepared.tree != tree || &*cached.prepared.costs != costs {
                 return Err(EngineError::HashCollision { id });
             }
-            self.stats.lock().expect("stats lock").cache_hits += 1;
+            self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
             return Ok(id);
         }
+        // Build with no lock held; insert (or adopt the race winner) after.
         let prepared = Prepared::new_owned(tree.clone(), costs.clone())?;
         let frontiers = FrontierSet::prepare(&prepared, &self.cfg.expanded)?;
-        self.instances.insert(
-            id.0,
-            CachedInstance {
-                prepared,
-                frontiers,
-            },
-        );
-        self.stats.lock().expect("stats lock").cache_misses += 1;
+        let entry = CachedInstance {
+            prepared,
+            frontiers,
+        };
+        let inserted = self.cache.insert_or_adopt(id.0, entry);
+        if inserted.adopted {
+            // Same hash does not prove same instance, even on a race.
+            let incumbent = &inserted.entry;
+            if &*incumbent.prepared.tree != tree || &*incumbent.prepared.costs != costs {
+                return Err(EngineError::HashCollision { id });
+            }
+        }
+        self.stats.cache_misses.fetch_add(1, Ordering::Relaxed);
         Ok(id)
     }
 
-    /// The cached prepared instance, if `id` is known.
-    pub fn prepared(&self, id: InstanceId) -> Option<&Prepared<'static>> {
-        self.instances.get(&id.0).map(|c| &c.prepared)
+    /// The cached instance, if `id` is known: a shared handle to the
+    /// prepared form and its frontiers (no lock held once returned).
+    pub fn instance(&self, id: InstanceId) -> Option<Arc<CachedInstance>> {
+        self.cache.get(id.0)
+    }
+
+    /// Compat wrapper over [`Engine::instance`] for the pre-sharding API,
+    /// which exposed the cached [`Prepared`] directly. The entry is now
+    /// shared, so the handle owns it instead of borrowing it.
+    pub fn prepared(&self, id: InstanceId) -> Option<Arc<CachedInstance>> {
+        self.instance(id)
     }
 
     /// Number of cached instances.
     pub fn len(&self) -> usize {
-        self.instances.len()
+        self.cache.len()
     }
 
     /// Whether the cache is empty.
     pub fn is_empty(&self) -> bool {
-        self.instances.is_empty()
+        self.len() == 0
     }
 
-    /// Answers a batch of `(instance, λ)` queries, fanned across worker
-    /// threads, each from the instance's cached [`FrontierSet`].
+    fn lookup(&self, id: InstanceId) -> Result<Arc<CachedInstance>, EngineError> {
+        self.cache
+            .get(id.0)
+            .ok_or(EngineError::UnknownInstance { id })
+    }
+
+    /// Answers a batch of `(instance, λ)` queries, fanned across the
+    /// persistent worker pool, each from the instance's cached
+    /// [`FrontierSet`].
     ///
     /// Results are in query order and **byte-identical** — same
     /// `Solution::objective`, same `Solution::cut` — to calling
     /// [`hsa_assign::Expanded`]`::solve` per query on a freshly prepared
     /// instance: the cached-frontier path runs the very same threshold
     /// sweep, it just skips re-deriving what cannot change.
+    ///
+    /// The query slice is only read (each query resolves to one `Arc`
+    /// clone of its cache entry); it is never cloned wholesale.
     pub fn solve_batch(
         &self,
         queries: &[(InstanceId, Lambda)],
     ) -> Vec<Result<Solution, EngineError>> {
-        let results = parallel_map(queries.to_vec(), self.threads(), |(id, lambda)| {
-            let cached = self
-                .instances
-                .get(&id.0)
-                .ok_or(EngineError::UnknownInstance { id })?;
-            solve_with_frontiers(&cached.prepared, &cached.frontiers, lambda)
+        let items: Vec<(Result<Arc<CachedInstance>, EngineError>, Lambda)> = queries
+            .iter()
+            .map(|&(id, lambda)| (self.lookup(id), lambda))
+            .collect();
+        let job = |(entry, lambda): (Result<Arc<CachedInstance>, EngineError>, Lambda)| {
+            let entry = entry?;
+            solve_with_frontiers(&entry.prepared, &entry.frontiers, lambda)
                 .map_err(EngineError::from)
-        });
+        };
+        let results = if self.pool.size() <= 1 || items.len() <= 1 {
+            // Nothing to fan out: answer in-line, skipping the channel trip.
+            items.into_iter().map(job).collect()
+        } else {
+            self.pool.run_batch(items, job)
+        };
         self.record(&results);
         results
     }
 
     /// Answers a batch of queries with an arbitrary [`Solver`], drawing
     /// reusable [`hsa_graph::SolveScratch`] workspaces from the engine's pool (one per
-    /// in-flight query, recycled across the batch).
+    /// in-flight query, recycled across the batch). The solver is shared
+    /// across workers, so it arrives as an `Arc`.
     pub fn solve_batch_with(
         &self,
         queries: &[(InstanceId, Lambda)],
-        solver: &(dyn Solver + Sync),
+        solver: Arc<dyn Solver + Send + Sync>,
     ) -> Vec<Result<Solution, EngineError>> {
-        let results = parallel_map(queries.to_vec(), self.threads(), |(id, lambda)| {
-            let cached = self
-                .instances
-                .get(&id.0)
-                .ok_or(EngineError::UnknownInstance { id })?;
-            let mut ws = self.scratch.acquire();
+        let items: Vec<(Result<Arc<CachedInstance>, EngineError>, Lambda)> = queries
+            .iter()
+            .map(|&(id, lambda)| (self.lookup(id), lambda))
+            .collect();
+        let scratch = Arc::clone(&self.scratch);
+        let job = move |(entry, lambda): (Result<Arc<CachedInstance>, EngineError>, Lambda)| {
+            let entry = entry?;
+            let mut ws = scratch.acquire();
             let out = solver
-                .solve_in(&cached.prepared, lambda, &mut ws)
+                .solve_in(&entry.prepared, lambda, &mut ws)
                 .map_err(EngineError::from);
-            self.scratch.release(ws);
+            scratch.release(ws);
             out
-        });
+        };
+        let results = if self.pool.size() <= 1 || items.len() <= 1 {
+            items.into_iter().map(job).collect()
+        } else {
+            self.pool.run_batch(items, job)
+        };
         self.record(&results);
         results
     }
@@ -322,22 +440,19 @@ impl Engine {
     /// breakpoints. One pass over the cached frontiers answers any number
     /// of λ queries.
     pub fn frontier(&self, id: InstanceId) -> Result<LambdaFrontier, EngineError> {
-        let cached = self
-            .instances
-            .get(&id.0)
-            .ok_or(EngineError::UnknownInstance { id })?;
+        let cached = self.lookup(id)?;
         lambda_frontier_with(&cached.prepared, &cached.frontiers).map_err(EngineError::from)
     }
 
     /// A snapshot of the aggregated service counters.
     pub fn stats(&self) -> EngineStats {
-        *self.stats.lock().expect("stats lock")
+        self.stats.snapshot()
     }
 
     /// Resets the aggregated counters (e.g. between measured phases of a
     /// benchmark), leaving the instance cache intact.
     pub fn reset_stats(&self) {
-        *self.stats.lock().expect("stats lock") = EngineStats::default();
+        self.stats.reset();
     }
 
     /// The configuration this engine was built with.
@@ -346,14 +461,12 @@ impl Engine {
     }
 
     fn record(&self, results: &[Result<Solution, EngineError>]) {
-        let mut stats = self.stats.lock().expect("stats lock");
         for r in results {
             match r {
-                Ok(sol) => {
-                    stats.queries += 1;
-                    stats.solve.merge(&sol.stats);
+                Ok(sol) => self.stats.record_solve(&sol.stats),
+                Err(_) => {
+                    self.stats.failed.fetch_add(1, Ordering::Relaxed);
                 }
-                Err(_) => stats.failed += 1,
             }
         }
     }
@@ -391,7 +504,8 @@ fn instance_hash(tree: &CruTree, costs: &CostModel) -> u64 {
 pub mod prelude {
     pub use crate::{
         parallel_map, ApplyOutcome, Engine, EngineConfig, EngineError, EngineStats, InstanceId,
-        Session, SessionConfig, SessionStats,
+        Reply, Request, Service, ServiceConfig, ServiceError, ServiceStats, Session, SessionConfig,
+        SessionStats, TenantId, Ticket, WorkerPool,
     };
 }
 
@@ -402,9 +516,16 @@ mod tests {
     use hsa_workloads::paper_scenario;
 
     #[test]
+    fn engine_is_send_and_sync() {
+        fn assert_shareable<T: Send + Sync>() {}
+        assert_shareable::<Engine>();
+        assert_shareable::<Service>();
+    }
+
+    #[test]
     fn prepare_twice_hits_the_cache() {
         let sc = paper_scenario();
-        let mut engine = Engine::new(EngineConfig::default());
+        let engine = Engine::new(EngineConfig::default());
         let a = engine.prepare(&sc.tree, &sc.costs).unwrap();
         let b = engine.prepare(&sc.tree, &sc.costs).unwrap();
         assert_eq!(a, b);
@@ -432,7 +553,7 @@ mod tests {
     #[test]
     fn stats_expose_hit_rate_and_reset() {
         let sc = paper_scenario();
-        let mut engine = Engine::new(EngineConfig::default());
+        let engine = Engine::new(EngineConfig::default());
         engine.prepare(&sc.tree, &sc.costs).unwrap();
         engine.prepare(&sc.tree, &sc.costs).unwrap();
         engine.prepare(&sc.tree, &sc.costs).unwrap();
@@ -450,7 +571,7 @@ mod tests {
     #[test]
     fn batch_answers_match_fresh_solves() {
         let sc = paper_scenario();
-        let mut engine = Engine::new(EngineConfig::default());
+        let engine = Engine::new(EngineConfig::default());
         let id = engine.prepare(&sc.tree, &sc.costs).unwrap();
         let queries: Vec<_> = (0..=8).map(|n| (id, Lambda::new(n, 8).unwrap())).collect();
         let batch = engine.solve_batch(&queries);
@@ -467,10 +588,10 @@ mod tests {
     #[test]
     fn custom_solver_batch_uses_the_scratch_pool() {
         let sc = paper_scenario();
-        let mut engine = Engine::new(EngineConfig::default());
+        let engine = Engine::new(EngineConfig::default());
         let id = engine.prepare(&sc.tree, &sc.costs).unwrap();
         let queries = vec![(id, Lambda::HALF); 4];
-        let batch = engine.solve_batch_with(&queries, &PaperSsb::default());
+        let batch = engine.solve_batch_with(&queries, Arc::new(PaperSsb::default()));
         let prep = Prepared::new(&sc.tree, &sc.costs).unwrap();
         let want = PaperSsb::default().solve(&prep, Lambda::HALF).unwrap();
         for got in &batch {
@@ -493,7 +614,7 @@ mod tests {
             instance_hash(&sc.tree, &sc.costs),
             instance_hash(&sc.tree, &other)
         );
-        let mut engine = Engine::new(EngineConfig::default());
+        let engine = Engine::new(EngineConfig::default());
         let a = engine.prepare(&sc.tree, &sc.costs).unwrap();
         let b = engine.prepare(&sc.tree, &other).unwrap();
         assert_ne!(a, b);
@@ -503,7 +624,7 @@ mod tests {
     #[test]
     fn frontier_matches_batch_objectives() {
         let sc = paper_scenario();
-        let mut engine = Engine::new(EngineConfig::default());
+        let engine = Engine::new(EngineConfig::default());
         let id = engine.prepare(&sc.tree, &sc.costs).unwrap();
         let fr = engine.frontier(id).unwrap();
         for n in 0..=10u32 {
@@ -511,5 +632,51 @@ mod tests {
             let sol = &engine.solve_batch(&[(id, lambda)])[0];
             assert_eq!(fr.objective_at(lambda), sol.as_ref().unwrap().objective);
         }
+    }
+
+    #[test]
+    fn arc_shared_engine_serves_many_threads() {
+        let sc = paper_scenario();
+        let engine = Arc::new(Engine::new(EngineConfig {
+            threads: 2,
+            ..EngineConfig::default()
+        }));
+        let id = engine.prepare(&sc.tree, &sc.costs).unwrap();
+        let prep = Prepared::new(&sc.tree, &sc.costs).unwrap();
+        let handles: Vec<_> = (0..4u32)
+            .map(|t| {
+                let engine = Arc::clone(&engine);
+                std::thread::spawn(move || {
+                    let lambda = Lambda::new(t, 4).unwrap();
+                    let out = engine.solve_batch(&[(id, lambda)]);
+                    (lambda, out.into_iter().next().unwrap().unwrap())
+                })
+            })
+            .collect();
+        for h in handles {
+            let (lambda, got) = h.join().unwrap();
+            let want = Expanded::default().solve(&prep, lambda).unwrap();
+            assert_eq!(got.objective, want.objective);
+            assert_eq!(got.cut, want.cut);
+        }
+        assert_eq!(engine.stats().queries, 4);
+    }
+
+    #[test]
+    fn concurrent_prepares_of_one_instance_share_an_entry() {
+        let sc = paper_scenario();
+        let engine = Arc::new(Engine::new(EngineConfig::default()));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let engine = Arc::clone(&engine);
+                let tree = sc.tree.clone();
+                let costs = sc.costs.clone();
+                std::thread::spawn(move || engine.prepare(&tree, &costs).unwrap())
+            })
+            .collect();
+        let ids: Vec<InstanceId> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert!(ids.windows(2).all(|w| w[0] == w[1]));
+        assert_eq!(engine.len(), 1, "racing prepares must share one entry");
+        assert_eq!(engine.stats().prepares(), 4);
     }
 }

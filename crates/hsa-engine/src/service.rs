@@ -1,0 +1,927 @@
+//! The multi-tenant request-stream front-end (DESIGN.md §10).
+//!
+//! [`Engine`] answers *batches*; a deployment receives a *stream*:
+//! interleaved solve, frontier and delta requests from many tenants, each
+//! with its own λ, arriving faster than any single caller could batch
+//! them. [`Service`] is that front door:
+//!
+//! * **Bounded submission with backpressure** — at most
+//!   [`ServiceConfig::queue_capacity`] requests are in flight;
+//!   [`Service::submit`] blocks (and counts the stall) until a slot
+//!   frees, so a burst degrades into waiting producers instead of
+//!   unbounded memory. `try_submit` refuses instead of blocking.
+//! * **Per-request λ** — every solve and delta request carries its own
+//!   weighting; nothing is globally configured per stream.
+//! * **Stateless queries hit the shared engine** — solve/frontier
+//!   requests present their instance, `prepare` answers from the sharded
+//!   cache (a hot key is one hash + one `Arc` clone), and the solve runs
+//!   on whichever service worker picked the request up.
+//! * **Stateful delta streams stay FIFO per tenant, parallel across
+//!   tenants** — each tenant owns a [`Session`]; deltas enqueue onto the
+//!   tenant's pending list *at submission time* (so per-tenant order is
+//!   submission order, by construction) and a single drainer per tenant
+//!   applies them in that order while other tenants drain on other
+//!   workers.
+//! * **Exactness is never relaxed** — with [`ServiceConfig::verify`] on,
+//!   every answer is cross-checked byte-for-byte against a from-scratch
+//!   [`Expanded`]`::solve` (or frontier) of the same instance state and a
+//!   mismatch is surfaced as [`ServiceError::VerifyFailed`]. The t12
+//!   experiment and the service property suite run with it on before any
+//!   timing is believed.
+//!
+//! ```
+//! use hsa_engine::{Engine, EngineConfig, Reply, Request, Service, ServiceConfig, TenantId};
+//! use hsa_graph::Lambda;
+//! use std::sync::Arc;
+//!
+//! let sc = hsa_workloads::paper_scenario();
+//! let engine = Arc::new(Engine::new(EngineConfig::default()));
+//! let service = Service::new(Arc::clone(&engine), ServiceConfig::default());
+//!
+//! // A stateless solve against the shared cache…
+//! let ticket = service.submit(Request::solve(&sc.tree, &sc.costs, Lambda::HALF));
+//! let Reply::Solution(sol) = ticket.wait().unwrap() else { panic!() };
+//!
+//! // …and a tenant applying a delta stream to its own session.
+//! let tenant = TenantId(7);
+//! service.open_tenant(tenant, &sc.tree, &sc.costs).unwrap();
+//! let busier = hsa_tree::Delta::new().scale_subtree(sc.tree.root(), 11, 10);
+//! let ticket = service.submit(Request::delta(tenant, busier, Lambda::HALF));
+//! let Reply::Applied { solution, .. } = ticket.wait().unwrap() else { panic!() };
+//! assert!(solution.objective >= sol.objective);
+//! ```
+
+use crate::pool::WorkerPool;
+use crate::session::{ApplyOutcome, Session, SessionConfig, SessionStats};
+use crate::{Engine, EngineError};
+use hsa_assign::{
+    lambda_frontier_with, AssignError, Expanded, FrontierSet, LambdaFrontier, Prepared, Solution,
+    Solver,
+};
+use hsa_graph::Lambda;
+use hsa_tree::{CostModel, CruTree, Delta};
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+
+/// A tenant's identity in the service's session registry.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct TenantId(pub u64);
+
+impl fmt::Display for TenantId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tenant-{}", self.0)
+    }
+}
+
+/// Service configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceConfig {
+    /// Worker threads of the service's own pool (0, the default, means
+    /// one per available core).
+    pub workers: usize,
+    /// Maximum in-flight requests before [`Service::submit`] blocks.
+    /// Clamped to ≥ 1.
+    pub queue_capacity: usize,
+    /// Cross-check every answer against a from-scratch solve of the same
+    /// instance state (paranoia mode for tests and the t12 verification
+    /// phase — it re-prepares per request, so keep it off timed paths).
+    pub verify: bool,
+    /// Configuration for tenant [`Session`]s opened through this service.
+    pub session: SessionConfig,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 0,
+            // Deep enough to keep workers fed through bursts, shallow
+            // enough that a stalled consumer surfaces as backpressure
+            // rather than as memory growth.
+            queue_capacity: 64,
+            verify: false,
+            session: SessionConfig::default(),
+        }
+    }
+}
+
+/// Errors a request can come back with.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServiceError {
+    /// The shared engine rejected the query.
+    Engine(EngineError),
+    /// A tenant's delta failed to apply (the session is unchanged).
+    Apply(AssignError),
+    /// A delta request named a tenant that was never opened.
+    UnknownTenant(TenantId),
+    /// [`Service::open_tenant`] on an already-open tenant.
+    TenantExists(TenantId),
+    /// Verification mode caught an answer differing from a from-scratch
+    /// solve. This is a bug in the service stack, never a user error.
+    VerifyFailed {
+        /// Which request kind diverged.
+        what: &'static str,
+    },
+    /// [`Service::try_submit`] found the submission queue full.
+    Saturated,
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Engine(e) => write!(f, "engine: {e}"),
+            ServiceError::Apply(e) => write!(f, "delta apply failed: {e}"),
+            ServiceError::UnknownTenant(t) => write!(f, "unknown {t}"),
+            ServiceError::TenantExists(t) => write!(f, "{t} already open"),
+            ServiceError::VerifyFailed { what } => {
+                write!(f, "{what} answer diverged from a from-scratch solve")
+            }
+            ServiceError::Saturated => write!(f, "submission queue full"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServiceError::Engine(e) => Some(e),
+            ServiceError::Apply(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<EngineError> for ServiceError {
+    fn from(e: EngineError) -> Self {
+        ServiceError::Engine(e)
+    }
+}
+
+/// One request of the stream. Instances travel as `Arc`s so a hot key in
+/// a Zipf-skewed stream costs reference bumps, not tree clones.
+#[derive(Clone, Debug)]
+pub enum Request {
+    /// Solve one instance at one λ through the shared engine cache.
+    Solve {
+        /// The instance's tree.
+        tree: Arc<CruTree>,
+        /// Its cost model.
+        costs: Arc<CostModel>,
+        /// The per-request objective weighting.
+        lambda: Lambda,
+    },
+    /// The full λ-frontier of one instance.
+    Frontier {
+        /// The instance's tree.
+        tree: Arc<CruTree>,
+        /// Its cost model.
+        costs: Arc<CostModel>,
+    },
+    /// Apply a delta to a tenant's session, then solve at λ.
+    Delta {
+        /// Whose session.
+        tenant: TenantId,
+        /// The perturbation.
+        delta: Arc<Delta>,
+        /// λ for the post-apply solve.
+        lambda: Lambda,
+    },
+}
+
+impl Request {
+    /// A solve request (clones the instance into `Arc`s once; prefer
+    /// building the `Arc`s yourself when re-presenting a hot instance).
+    pub fn solve(tree: &CruTree, costs: &CostModel, lambda: Lambda) -> Request {
+        Request::Solve {
+            tree: Arc::new(tree.clone()),
+            costs: Arc::new(costs.clone()),
+            lambda,
+        }
+    }
+
+    /// A frontier request.
+    pub fn frontier(tree: &CruTree, costs: &CostModel) -> Request {
+        Request::Frontier {
+            tree: Arc::new(tree.clone()),
+            costs: Arc::new(costs.clone()),
+        }
+    }
+
+    /// A delta request against an open tenant.
+    pub fn delta(tenant: TenantId, delta: Delta, lambda: Lambda) -> Request {
+        Request::Delta {
+            tenant,
+            delta: Arc::new(delta),
+            lambda,
+        }
+    }
+}
+
+/// A fulfilled request.
+#[derive(Clone, Debug)]
+pub enum Reply {
+    /// The solve answer (byte-identical to a fresh `Expanded::solve`).
+    Solution(Solution),
+    /// The λ-frontier.
+    Frontier(LambdaFrontier),
+    /// A delta landed on its tenant; the post-apply solve rides along.
+    Applied {
+        /// What the apply did (dirty colours, fallback or not).
+        outcome: ApplyOutcome,
+        /// The post-apply solution at the request's λ.
+        solution: Solution,
+    },
+}
+
+impl Reply {
+    /// The solution carried by this reply, if it is one.
+    pub fn solution(&self) -> Option<&Solution> {
+        match self {
+            Reply::Solution(s) => Some(s),
+            Reply::Applied { solution, .. } => Some(solution),
+            Reply::Frontier(_) => None,
+        }
+    }
+}
+
+/// The slot a worker fulfils and a [`Ticket`] waits on.
+struct ReplySlot {
+    done: Mutex<Option<Result<Reply, ServiceError>>>,
+    cv: Condvar,
+}
+
+impl ReplySlot {
+    fn new() -> Arc<ReplySlot> {
+        Arc::new(ReplySlot {
+            done: Mutex::new(None),
+            cv: Condvar::new(),
+        })
+    }
+
+    fn fulfill(&self, result: Result<Reply, ServiceError>) {
+        let mut done = self.done.lock().expect("reply slot poisoned");
+        debug_assert!(done.is_none(), "a reply slot is fulfilled exactly once");
+        *done = Some(result);
+        drop(done);
+        self.cv.notify_all();
+    }
+}
+
+/// A claim on one submitted request's answer.
+#[must_use = "a ticket does nothing until waited on"]
+pub struct Ticket {
+    slot: Arc<ReplySlot>,
+}
+
+impl Ticket {
+    /// Blocks until the request is answered.
+    pub fn wait(self) -> Result<Reply, ServiceError> {
+        let mut done = self.slot.done.lock().expect("reply slot poisoned");
+        loop {
+            if let Some(result) = done.take() {
+                return result;
+            }
+            done = self.slot.cv.wait(done).expect("reply slot poisoned");
+        }
+    }
+}
+
+/// The in-flight gate: a counting semaphore bounding accepted-but-
+/// unanswered requests.
+struct Gate {
+    capacity: usize,
+    inflight: Mutex<usize>,
+    freed: Condvar,
+    waits: AtomicU64,
+}
+
+impl Gate {
+    fn new(capacity: usize) -> Gate {
+        Gate {
+            capacity: capacity.max(1),
+            inflight: Mutex::new(0),
+            freed: Condvar::new(),
+            waits: AtomicU64::new(0),
+        }
+    }
+
+    /// Blocks until a slot frees, then takes it.
+    fn acquire(&self) {
+        let mut n = self.inflight.lock().expect("gate poisoned");
+        if *n >= self.capacity {
+            self.waits.fetch_add(1, Ordering::Relaxed);
+            while *n >= self.capacity {
+                n = self.freed.wait(n).expect("gate poisoned");
+            }
+        }
+        *n += 1;
+    }
+
+    /// Takes a slot only if one is free right now.
+    fn try_acquire(&self) -> bool {
+        let mut n = self.inflight.lock().expect("gate poisoned");
+        if *n >= self.capacity {
+            return false;
+        }
+        *n += 1;
+        true
+    }
+
+    fn release(&self) {
+        let mut n = self.inflight.lock().expect("gate poisoned");
+        debug_assert!(*n > 0, "release without acquire");
+        *n = n.saturating_sub(1);
+        drop(n);
+        self.freed.notify_one();
+    }
+}
+
+/// Live request counters; snapshot via [`Service::stats`].
+#[derive(Default)]
+struct ServiceCounters {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    solves: AtomicU64,
+    frontiers: AtomicU64,
+    deltas: AtomicU64,
+}
+
+/// A snapshot of the service's counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Requests accepted by `submit`/`try_submit`.
+    pub submitted: u64,
+    /// Requests answered successfully.
+    pub completed: u64,
+    /// Requests answered with an error.
+    pub failed: u64,
+    /// Solve requests answered (success or failure).
+    pub solves: u64,
+    /// Frontier requests answered.
+    pub frontiers: u64,
+    /// Delta requests answered.
+    pub deltas: u64,
+    /// `submit` calls that had to block on a full queue (backpressure).
+    pub backpressure_waits: u64,
+}
+
+/// One tenant. The submission side (`queue`) and the solving side
+/// (`session`) are separate locks on purpose: pushing a delta onto the
+/// pending list must never wait behind an in-flight apply+solve, or
+/// "submission order" would degrade into "solve-completion order" and
+/// open-loop submitters would stall on busy tenants.
+struct Tenant {
+    /// Pending deltas + the single-drainer flag. Held only for queue
+    /// pushes/pops — never across a solve.
+    queue: Mutex<TenantQueue>,
+    /// The session. During a drain only the (single) drainer locks it
+    /// per item; stats/costs snapshots wait at most one apply.
+    session: Mutex<Session>,
+}
+
+struct TenantQueue {
+    pending: VecDeque<(Arc<Delta>, Lambda, Arc<ReplySlot>)>,
+    /// True while some worker owns the drain loop for this tenant; at
+    /// most one drainer exists at a time, which is what serialises a
+    /// tenant's deltas without serialising tenants against each other.
+    draining: bool,
+}
+
+/// Everything a request job needs, bundled once per service.
+struct Shared {
+    engine: Arc<Engine>,
+    gate: Gate,
+    counters: ServiceCounters,
+    verify: bool,
+}
+
+/// The request-stream front-end. See the module docs.
+pub struct Service {
+    /// Declared first so it drops first: dropping the pool closes the
+    /// injector, drains every accepted request and joins the workers, so
+    /// no ticket is ever left unanswered. (Jobs own `Arc` clones of
+    /// everything below, so the order is belt-and-braces, not
+    /// load-bearing — keep it anyway.)
+    pool: WorkerPool,
+    shared: Arc<Shared>,
+    tenants: RwLock<BTreeMap<TenantId, Arc<Tenant>>>,
+    cfg: ServiceConfig,
+}
+
+impl Service {
+    /// Builds a service over a shared engine, spawning its worker pool.
+    pub fn new(engine: Arc<Engine>, cfg: ServiceConfig) -> Service {
+        Service {
+            pool: WorkerPool::new(cfg.workers),
+            shared: Arc::new(Shared {
+                engine,
+                gate: Gate::new(cfg.queue_capacity),
+                counters: ServiceCounters::default(),
+                verify: cfg.verify,
+            }),
+            tenants: RwLock::new(BTreeMap::new()),
+            cfg,
+        }
+    }
+
+    /// The engine this service answers from.
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.shared.engine
+    }
+
+    /// The effective worker count.
+    pub fn workers(&self) -> usize {
+        self.pool.size()
+    }
+
+    /// The configuration this service was built with.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.cfg
+    }
+
+    /// Opens a tenant session on the given instance (full preparation +
+    /// frontier DP, paid once).
+    pub fn open_tenant(
+        &self,
+        tenant: TenantId,
+        tree: &CruTree,
+        costs: &CostModel,
+    ) -> Result<(), ServiceError> {
+        // Probe before building: a duplicate open is a plain user error
+        // and must not pay (and then discard) the whole preparation.
+        if self
+            .tenants
+            .read()
+            .expect("tenant registry poisoned")
+            .contains_key(&tenant)
+        {
+            return Err(ServiceError::TenantExists(tenant));
+        }
+        let session = Session::new(tree, costs, self.cfg.session).map_err(ServiceError::Apply)?;
+        let mut tenants = self.tenants.write().expect("tenant registry poisoned");
+        // Re-check under the write lock: a racing open may have won.
+        if tenants.contains_key(&tenant) {
+            return Err(ServiceError::TenantExists(tenant));
+        }
+        tenants.insert(
+            tenant,
+            Arc::new(Tenant {
+                queue: Mutex::new(TenantQueue {
+                    pending: VecDeque::new(),
+                    draining: false,
+                }),
+                session: Mutex::new(session),
+            }),
+        );
+        Ok(())
+    }
+
+    /// Closes a tenant, returning its session counters **as of this
+    /// moment**. Deltas already queued still complete and resolve their
+    /// tickets (the drainer holds its own handle) but are not reflected
+    /// in the returned snapshot — wait on their tickets first if the
+    /// counters must include them. Later submissions answer
+    /// [`ServiceError::UnknownTenant`].
+    pub fn close_tenant(&self, tenant: TenantId) -> Result<SessionStats, ServiceError> {
+        let removed = self
+            .tenants
+            .write()
+            .expect("tenant registry poisoned")
+            .remove(&tenant)
+            .ok_or(ServiceError::UnknownTenant(tenant))?;
+        let stats = removed
+            .session
+            .lock()
+            .expect("tenant session poisoned")
+            .stats();
+        Ok(stats)
+    }
+
+    /// A tenant's session counters, if it is open.
+    pub fn tenant_stats(&self, tenant: TenantId) -> Option<SessionStats> {
+        let t = self
+            .tenants
+            .read()
+            .expect("tenant registry poisoned")
+            .get(&tenant)
+            .cloned()?;
+        let stats = t.session.lock().expect("tenant session poisoned").stats();
+        Some(stats)
+    }
+
+    /// A snapshot of a tenant's current (drifted) cost model, if it is
+    /// open — what a replay asserts its delta stream drifted into.
+    pub fn tenant_costs(&self, tenant: TenantId) -> Option<CostModel> {
+        let t = self
+            .tenants
+            .read()
+            .expect("tenant registry poisoned")
+            .get(&tenant)
+            .cloned()?;
+        let costs = t
+            .session
+            .lock()
+            .expect("tenant session poisoned")
+            .costs()
+            .clone();
+        Some(costs)
+    }
+
+    /// Open tenants.
+    pub fn tenant_count(&self) -> usize {
+        self.tenants.read().expect("tenant registry poisoned").len()
+    }
+
+    /// A snapshot of the request counters.
+    pub fn stats(&self) -> ServiceStats {
+        let c = &self.shared.counters;
+        let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        ServiceStats {
+            submitted: load(&c.submitted),
+            completed: load(&c.completed),
+            failed: load(&c.failed),
+            solves: load(&c.solves),
+            frontiers: load(&c.frontiers),
+            deltas: load(&c.deltas),
+            backpressure_waits: self.shared.gate.waits.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Submits a request, blocking while the in-flight queue is at
+    /// capacity (backpressure). The returned [`Ticket`] resolves once a
+    /// worker answered.
+    pub fn submit(&self, request: Request) -> Ticket {
+        self.shared.gate.acquire();
+        self.dispatch(request)
+    }
+
+    /// Like [`Service::submit`], but refuses with
+    /// [`ServiceError::Saturated`] instead of blocking when the queue is
+    /// full.
+    pub fn try_submit(&self, request: Request) -> Result<Ticket, ServiceError> {
+        if !self.shared.gate.try_acquire() {
+            return Err(ServiceError::Saturated);
+        }
+        Ok(self.dispatch(request))
+    }
+
+    /// Routes one accepted request (the gate slot is already held and is
+    /// released by whoever fulfils the reply).
+    fn dispatch(&self, request: Request) -> Ticket {
+        let shared = &self.shared;
+        shared.counters.submitted.fetch_add(1, Ordering::Relaxed);
+        let slot = ReplySlot::new();
+        let ticket = Ticket {
+            slot: Arc::clone(&slot),
+        };
+        match request {
+            Request::Solve {
+                tree,
+                costs,
+                lambda,
+            } => {
+                let shared = Arc::clone(shared);
+                self.pool.submit(move || {
+                    let result = handle_solve(&shared, &tree, &costs, lambda);
+                    finish(&shared, &shared.counters.solves, &slot, result);
+                });
+            }
+            Request::Frontier { tree, costs } => {
+                let shared = Arc::clone(shared);
+                self.pool.submit(move || {
+                    let result = handle_frontier(&shared, &tree, &costs);
+                    finish(&shared, &shared.counters.frontiers, &slot, result);
+                });
+            }
+            Request::Delta {
+                tenant,
+                delta,
+                lambda,
+            } => {
+                let Some(slot_tenant) = self
+                    .tenants
+                    .read()
+                    .expect("tenant registry poisoned")
+                    .get(&tenant)
+                    .cloned()
+                else {
+                    finish(
+                        shared,
+                        &shared.counters.deltas,
+                        &slot,
+                        Err(ServiceError::UnknownTenant(tenant)),
+                    );
+                    return ticket;
+                };
+                // Enqueue *here*, on the submitting thread: per-tenant
+                // order is submission order by construction, regardless of
+                // which workers later run the drain. The queue lock is
+                // never held across a solve, so this push cannot stall
+                // behind a busy tenant's in-flight apply.
+                let start_drain = {
+                    let mut q = slot_tenant.queue.lock().expect("tenant queue poisoned");
+                    q.pending.push_back((delta, lambda, slot));
+                    if q.draining {
+                        false
+                    } else {
+                        q.draining = true;
+                        true
+                    }
+                };
+                if start_drain {
+                    let shared = Arc::clone(shared);
+                    self.pool
+                        .submit(move || drain_tenant(&shared, &slot_tenant));
+                }
+            }
+        }
+        ticket
+    }
+}
+
+/// Fulfils a reply, releases the gate slot and counts the outcome — the
+/// one funnel every answered request goes through.
+fn finish(
+    shared: &Shared,
+    kind: &AtomicU64,
+    slot: &ReplySlot,
+    result: Result<Reply, ServiceError>,
+) {
+    kind.fetch_add(1, Ordering::Relaxed);
+    let bucket = if result.is_ok() {
+        &shared.counters.completed
+    } else {
+        &shared.counters.failed
+    };
+    bucket.fetch_add(1, Ordering::Relaxed);
+    slot.fulfill(result);
+    shared.gate.release();
+}
+
+fn handle_solve(
+    shared: &Shared,
+    tree: &CruTree,
+    costs: &CostModel,
+    lambda: Lambda,
+) -> Result<Reply, ServiceError> {
+    let id = shared.engine.prepare(tree, costs)?;
+    let solution = shared
+        .engine
+        .solve_batch(&[(id, lambda)])
+        .pop()
+        .expect("one query, one answer")?;
+    if shared.verify {
+        let prep = Prepared::new(tree, costs).map_err(EngineError::from)?;
+        let want = Expanded::default()
+            .solve(&prep, lambda)
+            .map_err(EngineError::from)?;
+        if want.objective != solution.objective || want.cut != solution.cut {
+            return Err(ServiceError::VerifyFailed { what: "solve" });
+        }
+    }
+    Ok(Reply::Solution(solution))
+}
+
+fn handle_frontier(
+    shared: &Shared,
+    tree: &CruTree,
+    costs: &CostModel,
+) -> Result<Reply, ServiceError> {
+    let id = shared.engine.prepare(tree, costs)?;
+    let frontier = shared.engine.frontier(id)?;
+    if shared.verify {
+        let prep = Prepared::new(tree, costs).map_err(EngineError::from)?;
+        let frontiers = FrontierSet::prepare(&prep, &shared.engine.config().expanded)
+            .map_err(EngineError::from)?;
+        let want = lambda_frontier_with(&prep, &frontiers).map_err(EngineError::from)?;
+        let agrees = want.breakpoints() == frontier.breakpoints()
+            && [Lambda::ZERO, Lambda::HALF, Lambda::ONE]
+                .iter()
+                .all(|&l| want.objective_at(l) == frontier.objective_at(l));
+        if !agrees {
+            return Err(ServiceError::VerifyFailed { what: "frontier" });
+        }
+    }
+    Ok(Reply::Frontier(frontier))
+}
+
+/// The single-drainer loop: pops this tenant's pending deltas in
+/// submission order until the queue is empty, then yields the drainer
+/// role. Runs on whatever worker picked the job up; other tenants drain
+/// concurrently on other workers. The queue lock is released before each
+/// apply+solve (the `draining` flag already guarantees a single drainer),
+/// so submitters keep enqueueing at full speed while this tenant solves.
+fn drain_tenant(shared: &Shared, tenant: &Tenant) {
+    loop {
+        let next = {
+            let mut q = tenant.queue.lock().expect("tenant queue poisoned");
+            match q.pending.pop_front() {
+                Some(item) => item,
+                None => {
+                    // Yield the drainer role *under the queue lock*: a
+                    // submitter either sees `draining` still true (its
+                    // item was popped above, or will be by the next
+                    // iteration) or false (it schedules a fresh drain) —
+                    // no item can be stranded in between.
+                    q.draining = false;
+                    return;
+                }
+            }
+        };
+        let (delta, lambda, slot) = next;
+        let result = {
+            let mut session = tenant.session.lock().expect("tenant session poisoned");
+            apply_and_solve(shared, &mut session, &delta, lambda)
+        };
+        finish(shared, &shared.counters.deltas, &slot, result);
+    }
+}
+
+fn apply_and_solve(
+    shared: &Shared,
+    session: &mut Session,
+    delta: &Delta,
+    lambda: Lambda,
+) -> Result<Reply, ServiceError> {
+    let outcome = session.apply(delta).map_err(ServiceError::Apply)?;
+    let solution = session.solve(lambda).map_err(ServiceError::Apply)?;
+    if shared.verify {
+        let prep = Prepared::new(&session.prepared().tree, session.costs())
+            .map_err(ServiceError::Apply)?;
+        let want = Expanded::default()
+            .solve(&prep, lambda)
+            .map_err(ServiceError::Apply)?;
+        if want.objective != solution.objective || want.cut != solution.cut {
+            return Err(ServiceError::VerifyFailed { what: "delta" });
+        }
+    }
+    Ok(Reply::Applied { outcome, solution })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EngineConfig;
+    use hsa_workloads::paper_scenario;
+
+    fn service(cfg: ServiceConfig) -> Service {
+        Service::new(Arc::new(Engine::new(EngineConfig::default())), cfg)
+    }
+
+    #[test]
+    fn solve_and_frontier_round_trip() {
+        let sc = paper_scenario();
+        let svc = service(ServiceConfig {
+            verify: true,
+            workers: 2,
+            ..ServiceConfig::default()
+        });
+        let solve = svc.submit(Request::solve(&sc.tree, &sc.costs, Lambda::HALF));
+        let frontier = svc.submit(Request::frontier(&sc.tree, &sc.costs));
+        let Reply::Solution(sol) = solve.wait().unwrap() else {
+            panic!("expected a solution");
+        };
+        let Reply::Frontier(fr) = frontier.wait().unwrap() else {
+            panic!("expected a frontier");
+        };
+        assert_eq!(fr.objective_at(Lambda::HALF), sol.objective);
+        let stats = svc.stats();
+        assert_eq!(stats.submitted, 2);
+        assert_eq!(stats.completed, 2);
+        assert_eq!((stats.solves, stats.frontiers, stats.failed), (1, 1, 0));
+    }
+
+    #[test]
+    fn tenant_deltas_apply_in_submission_order() {
+        let sc = paper_scenario();
+        let svc = service(ServiceConfig {
+            verify: true,
+            workers: 2,
+            ..ServiceConfig::default()
+        });
+        let tenant = TenantId(1);
+        svc.open_tenant(tenant, &sc.tree, &sc.costs).unwrap();
+        let leaf = *sc.tree.leaves_in_order().first().unwrap();
+        let tickets: Vec<Ticket> = (1..=6u64)
+            .map(|step| {
+                let delta =
+                    Delta::new().set_satellite_time(leaf, hsa_graph::Cost::new(100 + 37 * step));
+                svc.submit(Request::delta(tenant, delta, Lambda::HALF))
+            })
+            .collect();
+        for t in tickets {
+            let Reply::Applied { .. } = t.wait().unwrap() else {
+                panic!("expected an apply outcome");
+            };
+        }
+        let stats = svc.tenant_stats(tenant).unwrap();
+        assert_eq!(stats.applies, 6);
+        assert_eq!(svc.stats().deltas, 6);
+        let closed = svc.close_tenant(tenant).unwrap();
+        assert_eq!(closed.applies, 6);
+        assert_eq!(svc.tenant_count(), 0);
+    }
+
+    #[test]
+    fn unknown_and_duplicate_tenants_are_errors() {
+        let sc = paper_scenario();
+        let svc = service(ServiceConfig::default());
+        let t = svc.submit(Request::delta(TenantId(9), Delta::new(), Lambda::HALF));
+        assert!(matches!(
+            t.wait(),
+            Err(ServiceError::UnknownTenant(TenantId(9)))
+        ));
+        svc.open_tenant(TenantId(3), &sc.tree, &sc.costs).unwrap();
+        assert_eq!(
+            svc.open_tenant(TenantId(3), &sc.tree, &sc.costs),
+            Err(ServiceError::TenantExists(TenantId(3)))
+        );
+        assert_eq!(
+            svc.close_tenant(TenantId(9)),
+            Err(ServiceError::UnknownTenant(TenantId(9)))
+        );
+    }
+
+    #[test]
+    fn try_submit_refuses_when_saturated() {
+        let sc = paper_scenario();
+        // One worker, one slot: occupy the slot with a held ticket, then
+        // try_submit must refuse rather than block.
+        let svc = service(ServiceConfig {
+            workers: 1,
+            queue_capacity: 1,
+            ..ServiceConfig::default()
+        });
+        // Saturate: the gate admits one request; whether it is mid-solve
+        // or queued does not matter, the slot is taken until answered.
+        let first = svc.submit(Request::solve(&sc.tree, &sc.costs, Lambda::HALF));
+        let mut refused = 0;
+        let second = loop {
+            match svc.try_submit(Request::solve(&sc.tree, &sc.costs, Lambda::ZERO)) {
+                Ok(t) => break t,
+                Err(ServiceError::Saturated) => refused += 1,
+                Err(other) => panic!("unexpected refusal: {other}"),
+            }
+            std::thread::yield_now();
+        };
+        assert!(first.wait().is_ok());
+        assert!(second.wait().is_ok());
+        // The refusal count is timing-dependent but the *accounting* is
+        // exact: exactly two requests were ever accepted.
+        assert_eq!(svc.stats().submitted, 2);
+        let _ = refused;
+    }
+
+    #[test]
+    fn backpressure_blocks_and_is_counted() {
+        let sc = paper_scenario();
+        let svc = Arc::new(service(ServiceConfig {
+            workers: 1,
+            queue_capacity: 2,
+            ..ServiceConfig::default()
+        }));
+        let tickets: Vec<Ticket> = (0..8u32)
+            .map(|n| {
+                svc.submit(Request::solve(
+                    &sc.tree,
+                    &sc.costs,
+                    Lambda::new(n, 8).unwrap(),
+                ))
+            })
+            .collect();
+        for t in tickets {
+            assert!(t.wait().is_ok());
+        }
+        let stats = svc.stats();
+        assert_eq!(stats.submitted, 8);
+        assert_eq!(stats.completed, 8);
+        assert!(
+            stats.backpressure_waits > 0,
+            "8 submissions through a 2-deep queue must stall at least once"
+        );
+    }
+
+    #[test]
+    fn dropping_the_service_answers_every_accepted_ticket() {
+        let sc = paper_scenario();
+        let svc = service(ServiceConfig {
+            workers: 2,
+            ..ServiceConfig::default()
+        });
+        let tickets: Vec<Ticket> = (0..16u32)
+            .map(|n| {
+                svc.submit(Request::solve(
+                    &sc.tree,
+                    &sc.costs,
+                    Lambda::new(n, 16).unwrap(),
+                ))
+            })
+            .collect();
+        drop(svc); // graceful shutdown: drain, then join
+        for t in tickets {
+            assert!(t.wait().is_ok(), "accepted requests outlive the service");
+        }
+    }
+}

@@ -41,7 +41,7 @@ fn workload() -> (Vec<Scenario>, Vec<Lambda>) {
 #[test]
 fn solve_batch_is_byte_identical_to_sequential_solves() {
     let (scenarios, lambdas) = workload();
-    let mut engine = Engine::new(EngineConfig::default());
+    let engine = Engine::new(EngineConfig::default());
     let ids: Vec<InstanceId> = scenarios
         .iter()
         .map(|sc| engine.prepare(&sc.tree, &sc.costs).unwrap())
@@ -93,7 +93,7 @@ fn generic_solver_batch_is_byte_identical_too() {
     // paper's own algorithm is the interesting one to pin.
     let (scenarios, _) = workload();
     let lambdas = [Lambda::ZERO, Lambda::HALF, Lambda::ONE];
-    let mut engine = Engine::new(EngineConfig::default());
+    let engine = Engine::new(EngineConfig::default());
     let mut queries = Vec::new();
     for sc in &scenarios {
         let id = engine.prepare(&sc.tree, &sc.costs).unwrap();
@@ -101,7 +101,7 @@ fn generic_solver_batch_is_byte_identical_too() {
             queries.push((id, lambda));
         }
     }
-    let batch = engine.solve_batch_with(&queries, &PaperSsb::default());
+    let batch = engine.solve_batch_with(&queries, std::sync::Arc::new(PaperSsb::default()));
     let mut q = 0;
     for sc in &scenarios {
         let prep = Prepared::new(&sc.tree, &sc.costs).unwrap();
@@ -119,7 +119,7 @@ fn generic_solver_batch_is_byte_identical_too() {
 fn repeated_batches_reuse_the_cache_and_stay_stable() {
     let (scenarios, _) = workload();
     let sc = &scenarios[0];
-    let mut engine = Engine::new(EngineConfig::default());
+    let engine = Engine::new(EngineConfig::default());
     let id = engine.prepare(&sc.tree, &sc.costs).unwrap();
     let queries = vec![(id, Lambda::HALF); 8];
     let first = engine.solve_batch(&queries);

@@ -28,7 +28,7 @@ fn check_instance(
     tree: &hsa_tree::CruTree,
     costs: &hsa_tree::CostModel,
 ) -> Result<(), TestCaseError> {
-    let mut engine = Engine::new(EngineConfig::default());
+    let engine = Engine::new(EngineConfig::default());
     let id = engine.prepare(tree, costs).unwrap();
     let frontier = engine.frontier(id).unwrap();
     let prep = Prepared::new(tree, costs).unwrap();

@@ -16,7 +16,10 @@
 //!   and friends) — heterogeneity/link sweeps over any scenario;
 //! * [`drift_trace`] — deterministic random-walk drift + satellite churn
 //!   over any scenario, as replayable [`hsa_tree::Delta`] traces (the T11
-//!   incremental re-solve workload).
+//!   incremental re-solve workload);
+//! * [`request_stream`] — deterministic open-loop multi-tenant request
+//!   streams (Zipf-skewed hot instances, configurable
+//!   solve/frontier/delta mix) for the service layer (the T12 workload).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -26,6 +29,7 @@ mod drift;
 mod epilepsy;
 mod industrial;
 mod random_tree;
+mod request_stream;
 mod scenario;
 mod snmp;
 
@@ -34,6 +38,7 @@ pub use drift::{drift_trace, DriftConfig, DriftTrace};
 pub use epilepsy::{epilepsy_scenario, EpilepsyParams};
 pub use industrial::{industrial_scenario, IndustrialParams};
 pub use random_tree::{random_instance, random_scenario, Placement, RandomTreeParams};
+pub use request_stream::{request_stream, RequestStream, StreamConfig, StreamOp, StreamRequest};
 pub use scenario::{catalog, paper_scenario, Scenario};
 pub use snmp::{snmp_scenario, SnmpParams};
 
@@ -41,7 +46,8 @@ pub use snmp::{snmp_scenario, SnmpParams};
 pub mod prelude {
     pub use crate::{
         catalog, drift_trace, epilepsy_scenario, industrial_scenario, paper_scenario,
-        random_scenario, snmp_scenario, DriftConfig, DriftTrace, EpilepsyParams, IndustrialParams,
-        Placement, RandomTreeParams, Scenario, SnmpParams,
+        random_scenario, request_stream, snmp_scenario, DriftConfig, DriftTrace, EpilepsyParams,
+        IndustrialParams, Placement, RandomTreeParams, RequestStream, Scenario, SnmpParams,
+        StreamConfig, StreamOp, StreamRequest,
     };
 }

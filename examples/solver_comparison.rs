@@ -29,7 +29,7 @@ fn main() {
     }
 
     // Prepare everything once; the engine caches by content hash.
-    let mut engine = Engine::new(EngineConfig::default());
+    let engine = Engine::new(EngineConfig::default());
     let ids: Vec<InstanceId> = scenarios
         .iter()
         .map(|sc| engine.prepare(&sc.tree, &sc.costs).expect("valid scenario"))
