@@ -33,7 +33,7 @@ use crate::{AssignError, Prepared, Solution, SolveStats, Solver};
 use hsa_graph::{Cost, Lambda, SolveScratch};
 #[cfg(test)]
 use hsa_tree::SatelliteId;
-use hsa_tree::{Colour, CruId, Cut, TreeEdge};
+use hsa_tree::{CruId, Cut, TreeEdge};
 
 /// One Pareto-optimal way to cover a colour's leaves.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -150,30 +150,6 @@ fn cover_below(
     Ok(acc)
 }
 
-/// The **top nodes** of every colour, in pre-order: uniformly coloured
-/// nodes whose parent is conflicted (or absent). Their subtrees partition
-/// all satellite-bound work — per-colour frontiers are Minkowski sums over
-/// exactly these regions, and the incremental re-solver's invalidation
-/// unit ([`crate::dirty_colours`]) is defined over the same regions.
-pub(crate) fn top_nodes_per_colour(prep: &Prepared<'_>) -> Vec<Vec<CruId>> {
-    let mut tops: Vec<Vec<CruId>> = vec![Vec::new(); prep.n_satellites() as usize];
-    for c in prep.tree.preorder() {
-        let Colour::Satellite(s) = prep.colouring.node_colour[c.index()] else {
-            continue;
-        };
-        let parent_uniform = prep
-            .tree
-            .parent(c)
-            .map(|p| prep.colouring.node_colour[p.index()] != Colour::Conflict)
-            .unwrap_or(false);
-        if parent_uniform {
-            continue; // interior of a colour region; handled by its top node
-        }
-        tops[s.index()].push(c);
-    }
-    tops
-}
-
 /// The zero-point frontier every colour accumulation starts from.
 fn seed_frontier() -> Frontier {
     vec![FrontierPoint {
@@ -195,11 +171,11 @@ fn build_frontiers_into(
     frontiers: &mut [Frontier],
     rebuild: &[bool],
 ) -> Result<(), AssignError> {
-    for (tops, s) in top_nodes_per_colour(prep).iter().zip(0usize..) {
+    for s in 0..prep.n_satellites() as usize {
         if !rebuild[s] {
             continue;
         }
-        for &c in tops {
+        for &c in prep.tops.of(s) {
             let f = if c == prep.tree.root() {
                 // Root cannot be cut above; cover strictly below.
                 cover_below(prep, c, cfg)?
@@ -228,10 +204,15 @@ pub fn colour_frontiers(
 /// last frontier point with β ≤ θ, frontiers being β-sorted/σ-descending).
 /// Shared with the λ-frontier so both sweeps pick identically by
 /// construction.
-pub(crate) fn pick_for_threshold(frontiers: &[Frontier], theta: Cost) -> Option<Vec<usize>> {
-    let mut picks = Vec::with_capacity(frontiers.len());
-    for f in frontiers {
-        let idx = f.partition_point(|p| p.beta <= theta);
+///
+/// Equivalence with the nested formulation: `pareto_prune` emits strictly
+/// increasing β (an equal-β later point has σ ≥ its predecessor's and is
+/// dropped as dominated), so a binary search over the `beta` arena alone
+/// finds the same index a search over full points would.
+pub(crate) fn pick_for_threshold(fs: &FrontierSet, theta: Cost) -> Option<Vec<usize>> {
+    let mut picks = Vec::with_capacity(fs.n_colours());
+    for f in fs.colours() {
+        let idx = f.beta.partition_point(|&b| b <= theta);
         if idx == 0 {
             return None; // infeasible θ for this colour
         }
@@ -242,18 +223,74 @@ pub(crate) fn pick_for_threshold(frontiers: &[Frontier], theta: Cost) -> Option<
 
 fn assemble(
     prep: &Prepared<'_>,
-    frontiers: &[Frontier],
+    fs: &FrontierSet,
     picks: &[usize],
     lambda: Lambda,
     stats: SolveStats,
 ) -> Result<Solution, AssignError> {
     let mut edges: Vec<TreeEdge> = Vec::new();
-    for (f, &i) in frontiers.iter().zip(picks) {
-        edges.extend_from_slice(&f[i].edges);
+    for (f, &i) in fs.colours().zip(picks) {
+        edges.extend_from_slice(f.point_edges(i));
     }
     let cut = Cut::new(&prep.tree, edges)?;
     Solution::from_cut(prep, cut, lambda, stats)
 }
+
+/// A borrowed view of one colour's Pareto frontier inside a
+/// [`FrontierSet`]'s flat arenas.
+///
+/// The per-point fields live in parallel arrays (`sigma[i]`/`beta[i]` are
+/// point `i`'s coordinates; β strictly ascending, σ strictly descending),
+/// so threshold scans touch one contiguous `beta` run per colour instead
+/// of striding over boxed points.
+#[derive(Clone, Copy, Debug)]
+pub struct ColourFrontier<'a> {
+    /// Σσ of each point (strictly descending).
+    pub sigma: &'a [Cost],
+    /// Σβ of each point (strictly ascending).
+    pub beta: &'a [Cost],
+    /// Absolute offsets into `edges`; point `i` owns
+    /// `edges[edge_starts[i]..edge_starts[i+1]]`. Length `len() + 1`.
+    edge_starts: &'a [u32],
+    /// The whole edge arena (shared across colours).
+    edges: &'a [TreeEdge],
+}
+
+impl<'a> ColourFrontier<'a> {
+    /// Number of Pareto points.
+    pub fn len(&self) -> usize {
+        self.sigma.len()
+    }
+
+    /// True when the colour has no feasible cover at all.
+    pub fn is_empty(&self) -> bool {
+        self.sigma.is_empty()
+    }
+
+    /// The closed-tree edges of point `i`.
+    pub fn point_edges(&self, i: usize) -> &'a [TreeEdge] {
+        &self.edges[self.edge_starts[i] as usize..self.edge_starts[i + 1] as usize]
+    }
+
+    /// Materialises point `i` in the nested representation.
+    pub fn point(&self, i: usize) -> FrontierPoint {
+        FrontierPoint {
+            sigma: self.sigma[i],
+            beta: self.beta[i],
+            edges: self.point_edges(i).to_vec(),
+        }
+    }
+}
+
+impl PartialEq for ColourFrontier<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        self.sigma == other.sigma
+            && self.beta == other.beta
+            && (0..self.len()).all(|i| self.point_edges(i) == other.point_edges(i))
+    }
+}
+
+impl Eq for ColourFrontier<'_> {}
 
 /// The λ-independent half of the full-expansion solver: per-colour Pareto
 /// frontiers plus the sorted candidate thresholds.
@@ -264,10 +301,29 @@ fn assemble(
 /// services cache one `FrontierSet` per instance and answer each λ query
 /// from it — byte-identically to a fresh [`Expanded::solve`], at a fraction
 /// of the cost.
-#[derive(Clone, Debug)]
+///
+/// Internally the points of all colours live in **flat CSR-style arenas**:
+/// one contiguous `sigma`/`beta` pair of arrays plus one edge arena, with
+/// per-colour offset ranges (`point_starts`) — not a `Vec` of per-colour
+/// `Vec`s of boxed points. The threshold sweep thereby scans two dense
+/// arrays and the per-query cache footprint is three allocations instead
+/// of O(points). Access goes through [`FrontierSet::colour`] views; the
+/// nested representation is only materialised on demand
+/// ([`FrontierSet::to_nested`], the equivalence oracle of the test suite).
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct FrontierSet {
-    /// Per-satellite Pareto frontiers (β ascending, σ strictly descending).
-    pub frontiers: Vec<Frontier>,
+    /// Colour `s`'s points occupy `point_starts[s]..point_starts[s+1]` in
+    /// the point arenas. Length `n_colours + 1`.
+    point_starts: Vec<u32>,
+    /// Σσ per point, colour-major.
+    sigma: Vec<Cost>,
+    /// Σβ per point, colour-major (strictly ascending within a colour).
+    beta: Vec<Cost>,
+    /// Absolute offsets into `edges`; point `p` owns
+    /// `edges[edge_starts[p]..edge_starts[p+1]]`. Length `points + 1`.
+    edge_starts: Vec<u32>,
+    /// Every point's closed-tree edges, concatenated.
+    edges: Vec<TreeEdge>,
     /// Sorted distinct candidate thresholds (every frontier β value).
     pub thetas: Vec<Cost>,
     /// Total frontier points — the paper's |E′|.
@@ -275,6 +331,37 @@ pub struct FrontierSet {
 }
 
 impl FrontierSet {
+    /// Number of colours (satellites) the set covers.
+    pub fn n_colours(&self) -> usize {
+        self.point_starts.len() - 1
+    }
+
+    /// Colour `s`'s frontier as a borrowed arena view.
+    pub fn colour(&self, s: usize) -> ColourFrontier<'_> {
+        let (lo, hi) = (
+            self.point_starts[s] as usize,
+            self.point_starts[s + 1] as usize,
+        );
+        ColourFrontier {
+            sigma: &self.sigma[lo..hi],
+            beta: &self.beta[lo..hi],
+            edge_starts: &self.edge_starts[lo..=hi],
+            edges: &self.edges,
+        }
+    }
+
+    /// All colours' frontiers, in colour order.
+    pub fn colours(&self) -> impl Iterator<Item = ColourFrontier<'_>> {
+        (0..self.n_colours()).map(move |s| self.colour(s))
+    }
+
+    /// Materialises the nested `Vec<Frontier>` representation (tests and
+    /// the layout-equivalence oracle; the hot paths never do this).
+    pub fn to_nested(&self) -> Vec<Frontier> {
+        self.colours()
+            .map(|f| (0..f.len()).map(|i| f.point(i)).collect())
+            .collect()
+    }
     /// Computes the frontiers and thresholds for an instance.
     pub fn prepare(prep: &Prepared<'_>, cfg: &ExpandedConfig) -> Result<FrontierSet, AssignError> {
         let frontiers = colour_frontiers(prep, cfg)?;
@@ -304,10 +391,11 @@ impl FrontierSet {
     }
 
     /// The allocation-lean form of [`FrontierSet::refresh`]: patches this
-    /// set in place, touching **only** the dirty colours' frontiers (clean
-    /// frontiers are neither cloned nor moved — this is the `Session`
-    /// apply hot path). On error, `self` is unchanged: all dirty frontiers
-    /// are rebuilt fallibly off to the side before anything is swapped in.
+    /// set in place, re-running the cover DP **only** for the dirty
+    /// colours (clean colours' arena slices are block-copied, never
+    /// re-enumerated point by point — this is the `Session` apply hot
+    /// path). On error, `self` is unchanged: all dirty frontiers are
+    /// rebuilt fallibly off to the side before anything is spliced in.
     pub fn refresh_in_place(
         &mut self,
         prep: &Prepared<'_>,
@@ -317,7 +405,7 @@ impl FrontierSet {
         let n = prep.n_satellites() as usize;
         assert_eq!(dirty.len(), n, "dirty flags must cover every satellite");
         assert_eq!(
-            self.frontiers.len(),
+            self.n_colours(),
             n,
             "frontier set is for a different platform"
         );
@@ -329,38 +417,81 @@ impl FrontierSet {
             .map(|&d| if d { seed_frontier() } else { Frontier::new() })
             .collect();
         build_frontiers_into(prep, cfg, &mut rebuilt, dirty)?;
-        for (slot, (new_f, &d)) in self
-            .frontiers
-            .iter_mut()
-            .zip(rebuilt.into_iter().zip(dirty))
-        {
-            if d {
-                *slot = new_f;
-            }
-        }
+        self.splice_arenas(&rebuilt, dirty);
         self.rederive();
         Ok(())
     }
 
+    /// Rebuilds the flat arenas, taking dirty colours' points from
+    /// `rebuilt` and block-copying clean colours' slices from the current
+    /// arenas (clean edge offsets are rebased, their payload memcpy'd).
+    /// Infallible by design: every fallible step happened before this.
+    fn splice_arenas(&mut self, rebuilt: &[Frontier], dirty: &[bool]) {
+        let n = dirty.len();
+        let mut point_starts = Vec::with_capacity(n + 1);
+        let mut sigma = Vec::with_capacity(self.sigma.len());
+        let mut beta = Vec::with_capacity(self.beta.len());
+        let mut edge_starts = Vec::with_capacity(self.edge_starts.len());
+        let mut edges = Vec::with_capacity(self.edges.len());
+        point_starts.push(0u32);
+        edge_starts.push(0u32);
+        for s in 0..n {
+            if dirty[s] {
+                for p in &rebuilt[s] {
+                    sigma.push(p.sigma);
+                    beta.push(p.beta);
+                    edges.extend_from_slice(&p.edges);
+                    edge_starts.push(edges.len() as u32);
+                }
+            } else {
+                let (lo, hi) = (
+                    self.point_starts[s] as usize,
+                    self.point_starts[s + 1] as usize,
+                );
+                sigma.extend_from_slice(&self.sigma[lo..hi]);
+                beta.extend_from_slice(&self.beta[lo..hi]);
+                let elo = self.edge_starts[lo];
+                let base = edges.len() as u32;
+                edges.extend_from_slice(&self.edges[elo as usize..self.edge_starts[hi] as usize]);
+                edge_starts.extend(
+                    self.edge_starts[lo + 1..=hi]
+                        .iter()
+                        .map(|&e| e - elo + base),
+                );
+            }
+            point_starts.push(sigma.len() as u32);
+        }
+        self.point_starts = point_starts;
+        self.sigma = sigma;
+        self.beta = beta;
+        self.edge_starts = edge_starts;
+        self.edges = edges;
+    }
+
     /// Re-derives the threshold set and composite count from the current
-    /// frontiers — the one place that logic lives, shared by the
-    /// from-scratch and incremental paths.
+    /// arenas — the one place that logic lives, shared by the from-scratch
+    /// and incremental paths.
     fn rederive(&mut self) {
-        self.composites = self.frontiers.iter().map(|f| f.len() as u64).sum();
+        self.composites = self.beta.len() as u64;
         self.thetas.clear();
-        self.thetas
-            .extend(self.frontiers.iter().flat_map(|f| f.iter().map(|p| p.beta)));
+        self.thetas.extend_from_slice(&self.beta);
         self.thetas.sort();
         self.thetas.dedup();
     }
 
     /// Assembles the λ-independent preparation from per-colour frontiers.
     fn from_frontiers(frontiers: Vec<Frontier>) -> FrontierSet {
+        let n = frontiers.len();
         let mut fs = FrontierSet {
-            frontiers,
+            point_starts: vec![0; n + 1],
+            sigma: Vec::new(),
+            beta: Vec::new(),
+            edge_starts: vec![0],
+            edges: Vec::new(),
             thetas: Vec::new(),
             composites: 0,
         };
+        fs.splice_arenas(&frontiers, &vec![true; n]);
         fs.rederive();
         fs
     }
@@ -374,24 +505,26 @@ pub fn solve_with_frontiers(
     fs: &FrontierSet,
     lambda: Lambda,
 ) -> Result<Solution, AssignError> {
-    // Allocation-free scan for the winning threshold; the per-colour picks
-    // are only materialised once, for the winner. Candidate order, the
-    // strict `<` and the per-θ pick rule match the one-pass formulation
-    // exactly, so the chosen cut is byte-identical.
+    // Allocation-light scan for the winning threshold; the per-colour
+    // picks are only materialised once, for the winner. Candidate order,
+    // the strict `<` and the per-θ pick rule match the one-pass
+    // formulation exactly, so the chosen cut is byte-identical. The inner
+    // loop binary-searches each colour's dense β array and reads the
+    // matching σ by index — two contiguous streams, no pointer chasing.
+    let cols: Vec<ColourFrontier<'_>> = fs.colours().collect();
     let mut best: Option<(u128, Cost)> = None;
     let mut evaluated = 0u64;
     'theta: for &theta in &fs.thetas {
         let mut s = Cost::ZERO;
         let mut b = Cost::ZERO;
-        for f in &fs.frontiers {
-            let idx = f.partition_point(|p| p.beta <= theta);
+        for f in &cols {
+            let idx = f.beta.partition_point(|&pb| pb <= theta);
             if idx == 0 {
                 continue 'theta; // infeasible θ for this colour
             }
-            let p = &f[idx - 1];
-            s += p.sigma;
+            s += f.sigma[idx - 1];
             // The *actual* B may be below θ; use it.
-            b = b.max(p.beta);
+            b = b.max(f.beta[idx - 1]);
         }
         evaluated += 1;
         let obj = lambda.ssb_scaled(s, b);
@@ -400,11 +533,11 @@ pub fn solve_with_frontiers(
         }
     }
     let (_, theta) = best.ok_or(AssignError::NoFeasibleAssignment)?;
-    let picks = pick_for_threshold(&fs.frontiers, theta)
-        .expect("the winning threshold was feasible during the scan");
+    let picks =
+        pick_for_threshold(fs, theta).expect("the winning threshold was feasible during the scan");
     assemble(
         prep,
-        &fs.frontiers,
+        fs,
         &picks,
         lambda,
         SolveStats {
@@ -447,18 +580,18 @@ pub fn solve_sb_expanded(
     let fs = FrontierSet::prepare(prep, config)?;
     let mut best: Option<(Cost, Vec<usize>)> = None;
     for &theta in &fs.thetas {
-        let Some(picks) = pick_for_threshold(&fs.frontiers, theta) else {
+        let Some(picks) = pick_for_threshold(&fs, theta) else {
             continue;
         };
         let s: Cost = picks
             .iter()
-            .zip(&fs.frontiers)
-            .map(|(&i, f)| f[i].sigma)
+            .zip(fs.colours())
+            .map(|(&i, f)| f.sigma[i])
             .sum();
         let b: Cost = picks
             .iter()
-            .zip(&fs.frontiers)
-            .map(|(&i, f)| f[i].beta)
+            .zip(fs.colours())
+            .map(|(&i, f)| f.beta[i])
             .fold(Cost::ZERO, Cost::max);
         let sb = s.max(b);
         if best.as_ref().map(|(o, _)| sb < *o).unwrap_or(true) {
@@ -468,7 +601,7 @@ pub fn solve_sb_expanded(
     let (sb, picks) = best.ok_or(AssignError::NoFeasibleAssignment)?;
     let sol = assemble(
         prep,
-        &fs.frontiers,
+        &fs,
         &picks,
         // Report with λ=½ so `objective` is the S+B delay of the SB-optimal
         // partition — what T3 compares.

@@ -99,15 +99,15 @@ pub fn lambda_frontier_with(
     let mut candidates: Vec<(Cost, Cost, Vec<usize>)> = Vec::new();
     let mut evaluated = 0u64;
     for &theta in &fs.thetas {
-        let Some(picks) = crate::expanded::pick_for_threshold(&fs.frontiers, theta) else {
+        let Some(picks) = crate::expanded::pick_for_threshold(fs, theta) else {
             continue;
         };
         evaluated += 1;
         let mut s = Cost::ZERO;
         let mut b = Cost::ZERO;
-        for (f, &i) in fs.frontiers.iter().zip(&picks) {
-            s += f[i].sigma;
-            b = b.max(f[i].beta);
+        for (f, &i) in fs.colours().zip(&picks) {
+            s += f.sigma[i];
+            b = b.max(f.beta[i]);
         }
         candidates.push((s, b, picks));
     }
@@ -117,8 +117,8 @@ pub fn lambda_frontier_with(
     let envelope = lower_envelope(candidates).ok_or(AssignError::NoFeasibleAssignment)?;
     let envelope = envelope.try_map(|picks| {
         let mut edges: Vec<TreeEdge> = Vec::new();
-        for (f, &i) in fs.frontiers.iter().zip(&picks) {
-            edges.extend_from_slice(&f[i].edges);
+        for (f, &i) in fs.colours().zip(&picks) {
+            edges.extend_from_slice(f.point_edges(i));
         }
         Cut::new(&prep.tree, edges)
     })?;

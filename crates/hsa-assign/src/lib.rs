@@ -45,12 +45,12 @@ pub use delta::{dirty_colours, dirty_colours_of_labels, DirtyColours};
 pub use dual::{AssignmentGraph, DualEdge};
 pub use error::AssignError;
 pub use expanded::{
-    colour_frontiers, solve_sb_expanded, solve_with_frontiers, Expanded, ExpandedConfig, Frontier,
-    FrontierPoint, FrontierSet,
+    colour_frontiers, solve_sb_expanded, solve_with_frontiers, ColourFrontier, Expanded,
+    ExpandedConfig, Frontier, FrontierPoint, FrontierSet,
 };
 pub use frontier::{lambda_frontier, lambda_frontier_with, LambdaFrontier};
 pub use paper_ssb::{solve_with_trace, solve_with_trace_in, PaperSsb, PaperSsbConfig, SsbEvent};
-pub use prepared::{Prepared, ReplacedParts};
+pub use prepared::{ColourTops, Prepared, ReplacedParts};
 pub use solver::{Solution, SolveStats, Solver};
 
 // Re-exported so downstream crates name the workspace type without a direct

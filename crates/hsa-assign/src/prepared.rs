@@ -1,8 +1,70 @@
 //! A fully labelled, coloured problem instance shared by all solvers.
 
 use crate::{AssignError, AssignmentGraph};
-use hsa_tree::{BetaLabels, Colouring, CostModel, CruTree, SigmaLabels};
+use hsa_tree::{BetaLabels, Colour, Colouring, CostModel, CruId, CruTree, SigmaLabels};
 use std::borrow::Cow;
+
+/// The **top nodes** of every colour in CSR form: uniformly coloured nodes
+/// whose parent is conflicted (or absent), colour-major, pre-order within
+/// each colour. Their subtrees partition all satellite-bound work — the
+/// per-colour frontiers of the full-expansion solver are Minkowski sums
+/// over exactly these regions, and the incremental re-solver's
+/// invalidation unit ([`crate::dirty_colours`]) is defined over the same
+/// regions. Computed once per preparation so every frontier (re)build
+/// starts from the cached region roots instead of re-scanning the tree.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ColourTops {
+    /// Region roots, colour-major (colour `s`'s tops are contiguous).
+    tops: Vec<CruId>,
+    /// Colour `s`'s tops occupy `tops[starts[s]..starts[s+1]]`.
+    starts: Vec<u32>,
+}
+
+impl ColourTops {
+    fn compute(tree: &CruTree, colouring: &Colouring, n_satellites: u32) -> ColourTops {
+        let n = n_satellites as usize;
+        let mut pairs: Vec<(u32, CruId)> = Vec::new();
+        for c in tree.preorder() {
+            let Colour::Satellite(s) = colouring.node_colour[c.index()] else {
+                continue;
+            };
+            let parent_uniform = tree
+                .parent(c)
+                .map(|p| colouring.node_colour[p.index()] != Colour::Conflict)
+                .unwrap_or(false);
+            if parent_uniform {
+                continue; // interior of a colour region; handled by its top node
+            }
+            pairs.push((s.index() as u32, c));
+        }
+        let mut starts = vec![0u32; n + 1];
+        for &(s, _) in &pairs {
+            starts[s as usize + 1] += 1;
+        }
+        for s in 0..n {
+            let carry = starts[s];
+            starts[s + 1] += carry;
+        }
+        // Counting sort by colour; preorder is preserved within a colour.
+        let mut cursor = starts.clone();
+        let mut tops = vec![CruId(0); pairs.len()];
+        for (s, c) in pairs {
+            tops[cursor[s as usize] as usize] = c;
+            cursor[s as usize] += 1;
+        }
+        ColourTops { tops, starts }
+    }
+
+    /// Number of colours covered.
+    pub fn n_colours(&self) -> usize {
+        self.starts.len() - 1
+    }
+
+    /// Colour `s`'s region roots, in pre-order.
+    pub fn of(&self, s: usize) -> &[CruId] {
+        &self.tops[self.starts[s] as usize..self.starts[s + 1] as usize]
+    }
+}
 
 /// Everything the solvers need, computed once per instance:
 /// colouring (§5.1), σ/β labels (§5.3) and the coloured assignment graph
@@ -27,10 +89,18 @@ pub struct Prepared<'a> {
     pub beta: BetaLabels,
     /// The coloured assignment graph (dual of the closed tree).
     pub graph: AssignmentGraph,
+    /// The per-colour region roots (CSR), fed to every frontier build.
+    pub tops: ColourTops,
 }
 
 /// The derived (λ-independent) parts of an instance.
-type Derived = (Colouring, SigmaLabels, BetaLabels, AssignmentGraph);
+type Derived = (
+    Colouring,
+    SigmaLabels,
+    BetaLabels,
+    AssignmentGraph,
+    ColourTops,
+);
 
 fn derive(tree: &CruTree, costs: &CostModel) -> Result<Derived, AssignError> {
     tree.validate()?;
@@ -39,7 +109,8 @@ fn derive(tree: &CruTree, costs: &CostModel) -> Result<Derived, AssignError> {
     let sigma = SigmaLabels::compute(tree, costs)?;
     let beta = BetaLabels::compute(tree, costs)?;
     let graph = AssignmentGraph::build(tree, &colouring, &sigma, &beta)?;
-    Ok((colouring, sigma, beta, graph))
+    let tops = ColourTops::compute(tree, &colouring, costs.n_satellites);
+    Ok((colouring, sigma, beta, graph, tops))
 }
 
 impl<'a> Prepared<'a> {
@@ -47,7 +118,7 @@ impl<'a> Prepared<'a> {
     /// model, colours the tree, labels the edges, and builds the dual
     /// graph.
     pub fn new(tree: &'a CruTree, costs: &'a CostModel) -> Result<Self, AssignError> {
-        let (colouring, sigma, beta, graph) = derive(tree, costs)?;
+        let (colouring, sigma, beta, graph, tops) = derive(tree, costs)?;
         Ok(Prepared {
             tree: Cow::Borrowed(tree),
             costs: Cow::Borrowed(costs),
@@ -55,6 +126,7 @@ impl<'a> Prepared<'a> {
             sigma,
             beta,
             graph,
+            tops,
         })
     }
 
@@ -62,7 +134,7 @@ impl<'a> Prepared<'a> {
     /// every borrow: the result can be stored, cached, and shared across
     /// threads for repeated solving.
     pub fn new_owned(tree: CruTree, costs: CostModel) -> Result<Prepared<'static>, AssignError> {
-        let (colouring, sigma, beta, graph) = derive(&tree, &costs)?;
+        let (colouring, sigma, beta, graph, tops) = derive(&tree, &costs)?;
         Ok(Prepared {
             tree: Cow::Owned(tree),
             costs: Cow::Owned(costs),
@@ -70,6 +142,7 @@ impl<'a> Prepared<'a> {
             sigma,
             beta,
             graph,
+            tops,
         })
     }
 
@@ -83,6 +156,7 @@ impl<'a> Prepared<'a> {
             sigma: self.sigma,
             beta: self.beta,
             graph: self.graph,
+            tops: self.tops,
         }
     }
 
@@ -106,7 +180,7 @@ impl<'a> Prepared<'a> {
         &mut self,
         costs: CostModel,
     ) -> Result<(ReplacedParts<'a>, crate::DirtyColours), AssignError> {
-        let (colouring, sigma, beta, graph) = derive(&self.tree, &costs)?;
+        let (colouring, sigma, beta, graph, tops) = derive(&self.tree, &costs)?;
         // A platform-size change invalidates every colour of the new
         // platform; otherwise the single-pass label diff decides.
         let dirty = if costs.n_satellites != self.costs.n_satellites {
@@ -127,6 +201,7 @@ impl<'a> Prepared<'a> {
             sigma: std::mem::replace(&mut self.sigma, sigma),
             beta: std::mem::replace(&mut self.beta, beta),
             graph: std::mem::replace(&mut self.graph, graph),
+            tops: std::mem::replace(&mut self.tops, tops),
         };
         Ok((replaced, dirty))
     }
@@ -139,6 +214,7 @@ impl<'a> Prepared<'a> {
         self.sigma = parts.sigma;
         self.beta = parts.beta;
         self.graph = parts.graph;
+        self.tops = parts.tops;
     }
 }
 
@@ -150,6 +226,7 @@ pub struct ReplacedParts<'a> {
     sigma: SigmaLabels,
     beta: BetaLabels,
     graph: AssignmentGraph,
+    tops: ColourTops,
 }
 
 #[cfg(test)]

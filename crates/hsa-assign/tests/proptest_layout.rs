@@ -1,0 +1,173 @@
+//! Layout-equivalence oracle for the flat-arena [`FrontierSet`].
+//!
+//! The arena encoding (CSR point/edge arrays, DESIGN.md §11) is a pure
+//! re-layout: it must hold *bit-identical* frontiers to the nested
+//! `Vec<Frontier>` the cover DP emits — same points, same order, same
+//! edges, same derived thetas — on every instance, including interleaved
+//! colourings and along incremental `refresh_in_place` trajectories. The
+//! reference implementation is [`colour_frontiers`], which still builds
+//! the nested form directly; these properties pin the arena to it.
+
+use hsa_assign::{
+    colour_frontiers, dirty_colours, ExpandedConfig, Frontier, FrontierSet, Prepared,
+};
+use hsa_graph::Cost;
+use hsa_tree::{CostModel, CruId, CruNode, CruTree, SatelliteId};
+use hsa_workloads::{drift_trace, random_scenario, DriftConfig, RandomTreeParams};
+use proptest::prelude::*;
+use proptest::TestCaseError;
+
+#[derive(Clone, Debug)]
+struct Instance {
+    tree: CruTree,
+    costs: CostModel,
+}
+
+fn arb_instance(max_nodes: usize, max_sats: u32) -> impl Strategy<Value = Instance> {
+    (2usize..=max_nodes, 1u32..=max_sats).prop_flat_map(move |(n, k)| {
+        let parents = proptest::collection::vec(0usize..n, n - 1);
+        let costs = proptest::collection::vec((0u64..50, 0u64..50, 0u64..25, 0u64..25), n);
+        let sats = proptest::collection::vec(0u32..k, n);
+        (parents, costs, sats).prop_map(move |(parents, costvec, sats)| {
+            let mut nodes: Vec<CruNode> = (0..n)
+                .map(|i| CruNode {
+                    parent: None,
+                    children: Vec::new(),
+                    name: format!("n{i}"),
+                })
+                .collect();
+            for i in 1..n {
+                let p = parents[i - 1] % i;
+                nodes[i].parent = Some(CruId(p as u32));
+                nodes[p].children.push(CruId(i as u32));
+            }
+            let tree = CruTree::from_parts(nodes, CruId(0)).unwrap();
+            let mut m = CostModel::zeroed(&tree, k);
+            for i in 0..n {
+                let id = CruId(i as u32);
+                let (h, s, cu, cr) = costvec[i];
+                m.set_host_time(id, Cost::new(h));
+                m.set_satellite_time(id, Cost::new(s));
+                if i != 0 {
+                    m.set_comm_up(id, Cost::new(cu));
+                }
+                if tree.is_leaf(id) {
+                    m.pin_leaf(id, SatelliteId(sats[i] % k), Cost::new(cr));
+                }
+            }
+            Instance { tree, costs: m }
+        })
+    })
+}
+
+/// Asserts `fs` is byte-for-byte the arena form of `nested`: every point
+/// field, every edge list, the derived θ ladder and the composite count.
+fn assert_arena_matches(fs: &FrontierSet, nested: &[Frontier]) -> Result<(), TestCaseError> {
+    prop_assert_eq!(fs.n_colours(), nested.len());
+    prop_assert_eq!(
+        &fs.to_nested(),
+        nested,
+        "to_nested must reproduce the reference"
+    );
+    let mut composites = 0u64;
+    let mut thetas: Vec<Cost> = Vec::new();
+    for (s, reference) in nested.iter().enumerate() {
+        let f = fs.colour(s);
+        prop_assert_eq!(f.len(), reference.len(), "colour {} point count", s);
+        for (i, p) in reference.iter().enumerate() {
+            prop_assert_eq!(f.sigma[i], p.sigma, "colour {} point {} sigma", s, i);
+            prop_assert_eq!(f.beta[i], p.beta, "colour {} point {} beta", s, i);
+            prop_assert_eq!(
+                f.point_edges(i),
+                &p.edges[..],
+                "colour {} point {} edges",
+                s,
+                i
+            );
+            prop_assert_eq!(f.point(i), p.clone(), "colour {} point {} view", s, i);
+            if i > 0 {
+                // The invariant the threshold binary search leans on.
+                prop_assert!(f.beta[i] > f.beta[i - 1], "betas strictly ascend");
+                prop_assert!(f.sigma[i] < f.sigma[i - 1], "sigmas strictly descend");
+            }
+        }
+        composites += reference.len() as u64;
+        thetas.extend(reference.iter().map(|p| p.beta));
+    }
+    thetas.sort();
+    thetas.dedup();
+    prop_assert_eq!(&fs.thetas, &thetas, "theta ladder");
+    prop_assert_eq!(fs.composites, composites, "composite count");
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Freshly prepared arenas hold exactly the nested reference frontiers.
+    #[test]
+    fn arena_prepare_matches_nested_reference(inst in arb_instance(14, 4)) {
+        let prep = Prepared::new(&inst.tree, &inst.costs).unwrap();
+        let cfg = ExpandedConfig::default();
+        let fs = FrontierSet::prepare(&prep, &cfg).unwrap();
+        let nested = colour_frontiers(&prep, &cfg).unwrap();
+        assert_arena_matches(&fs, &nested)?;
+    }
+
+    /// Same oracle restricted to *interleaved* colourings, where a colour's
+    /// top nodes come from several bands and the CSR grouping in
+    /// `ColourTops` actually reorders work relative to a preorder scan.
+    #[test]
+    fn arena_matches_reference_on_interleaved_instances(inst in arb_instance(14, 3)) {
+        let prep = Prepared::new(&inst.tree, &inst.costs).unwrap();
+        prop_assume!(!prep.colouring.is_contiguous());
+        let cfg = ExpandedConfig::default();
+        let fs = FrontierSet::prepare(&prep, &cfg).unwrap();
+        let nested = colour_frontiers(&prep, &cfg).unwrap();
+        assert_arena_matches(&fs, &nested)?;
+    }
+
+    /// Along a drift trace, `refresh_in_place` (dirty-colour splice into the
+    /// live arenas) stays bit-identical to a from-scratch prepare *and* to
+    /// the nested reference at every step.
+    #[test]
+    fn refresh_in_place_matches_reference_along_drift(
+        seed in 0u64..1024,
+        drift_seed in 0u64..1024,
+        n_crus in 6usize..24,
+        n_satellites in 2u32..5,
+        magnitude_permille in 50u32..400,
+        churn_permille in 0u32..500,
+    ) {
+        let params = RandomTreeParams {
+            n_crus,
+            n_satellites,
+            ..RandomTreeParams::default()
+        };
+        let base = random_scenario(&params, seed);
+        let drift = drift_trace(&base, &DriftConfig {
+            steps: 8,
+            magnitude_permille,
+            touched_per_step: 2,
+            subtree_permille: 200,
+            churn_permille,
+            seed: drift_seed,
+        });
+        let cfg = ExpandedConfig::default();
+        let mut costs = base.costs.clone();
+        let mut prep = Prepared::new_owned(base.tree.clone(), costs.clone()).unwrap();
+        let mut fs = FrontierSet::prepare(&prep, &cfg).unwrap();
+        for (i, delta) in drift.deltas.iter().enumerate() {
+            delta.apply(&base.tree, &mut costs).unwrap();
+            let next = Prepared::new_owned(base.tree.clone(), costs.clone()).unwrap();
+            let dirty = dirty_colours(&prep, &next);
+            fs.refresh_in_place(&next, &cfg, &dirty.dirty).unwrap();
+            let scratch = FrontierSet::prepare(&next, &cfg).unwrap();
+            prop_assert_eq!(&fs, &scratch, "step {}: refreshed arenas must equal scratch", i);
+            let nested = colour_frontiers(&next, &cfg).unwrap();
+            assert_arena_matches(&fs, &nested)?;
+            prep = next;
+        }
+        prop_assert_eq!(&costs, &drift.final_costs, "trace replay must land on final_costs");
+    }
+}

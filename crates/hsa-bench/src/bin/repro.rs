@@ -111,6 +111,13 @@ fn main() {
     }
     if table {
         print!("{}", experiments::markdown_table());
+        // When the output directory already holds bench artefacts (a prior
+        // run, or --out baselines), render their measured metrics too —
+        // percentile columns when present, dashes when not.
+        if let Some(metrics) = experiments::metrics_table(&out_dir) {
+            println!("\nmeasured metrics under {}/:\n", out_dir.display());
+            print!("{metrics}");
+        }
         return;
     }
 

@@ -345,6 +345,42 @@ pub fn markdown_table() -> String {
     out
 }
 
+/// Renders the measured metrics of every perf-tracked artefact found
+/// under `dir` as a markdown table, with per-op mean and — when the
+/// artefact carries them — p50/p99 columns (dash when absent, so
+/// pre-percentile artefacts still render). Returns `None` when `dir`
+/// holds no readable bench artefact at all.
+pub fn metrics_table(dir: &Path) -> Option<String> {
+    let fmt = |v: Option<f64>| match v {
+        Some(ns) => format!("{:.1}", ns / 1000.0),
+        None => "-".to_string(),
+    };
+    let mut out = String::new();
+    out.push_str("| Id | Metric | ns/op | p50 (µs) | p99 (µs) |\n");
+    out.push_str("|---|---|---|---|---|\n");
+    let mut any = false;
+    for e in REGISTRY {
+        let Some(bench) = e.bench_artefact else {
+            continue;
+        };
+        let Ok(report) = BenchReport::load(&dir.join(bench)) else {
+            continue;
+        };
+        any = true;
+        for m in &report.metrics {
+            out.push_str(&format!(
+                "| {} | {} | {:.0} | {} | {} |\n",
+                e.id,
+                m.name,
+                m.ns_per_op,
+                fmt(m.p50_ns),
+                fmt(m.p99_ns),
+            ));
+        }
+    }
+    any.then_some(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -389,6 +425,25 @@ mod tests {
             assert!(table.contains(e.id), "table misses {}", e.id);
         }
         assert!(table.contains("BENCH_engine.json"));
+    }
+
+    #[test]
+    fn metrics_table_renders_percentiles_and_dashes() {
+        let dir = std::env::temp_dir().join("hsa-bench-metrics-table-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        assert!(metrics_table(&dir).is_none(), "empty dir has no table");
+        // A mixed artefact: one pre-percentile metric, one instrumented.
+        let mut r = BenchReport::new("engine", "t9", "test", "quick", 1);
+        r.metric("plain", 10, 20_000);
+        r.metric_with_percentiles("tail", 10, 20_000, 1_500, 9_000);
+        r.write_json(&dir).unwrap();
+        let table = metrics_table(&dir).expect("one artefact renders");
+        assert!(table.contains("| t9 | plain | 2000 | - | - |"), "{table}");
+        assert!(
+            table.contains("| t9 | tail | 2000 | 1.5 | 9.0 |"),
+            "{table}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

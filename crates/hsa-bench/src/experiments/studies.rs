@@ -764,26 +764,39 @@ pub(super) fn t11(ctx: &ExpCtx) {
         // both ratios' sides instead of poisoning one whole arm.
         let mut incr_samples = Vec::with_capacity(reps);
         let mut scratch_samples = Vec::with_capacity(reps);
+        // Per-step latency tails across every repetition: a drift step
+        // that falls back to a full rebuild is exactly the p99 the gated
+        // percentile columns are for (the arm totals above only see its
+        // contribution to the mean). The per-step `Instant` reads are
+        // nanoseconds against millisecond-scale steps.
+        let incr_hist = hsa_engine::LatencyHistogram::new();
+        let scratch_hist = hsa_engine::LatencyHistogram::new();
         for _ in 0..reps {
             // Forking the pristine replay point is setup, not the
             // apply+solve work under measurement — keep it off the clock.
             let mut s = pristine.clone();
             let t0 = std::time::Instant::now();
             for delta in &trace.deltas {
+                let s0 = std::time::Instant::now();
                 s.apply(delta).unwrap();
                 std::hint::black_box(s.solve(Lambda::HALF).unwrap().objective);
+                incr_hist.record_duration(s0.elapsed());
             }
             incr_samples.push(t0.elapsed().as_nanos() as u64);
             let mut costs = base.costs.clone();
             let t0 = std::time::Instant::now();
             for delta in &trace.deltas {
+                let s0 = std::time::Instant::now();
                 delta.apply(&base.tree, &mut costs).unwrap();
                 let prep = Prepared::new(&base.tree, &costs).unwrap();
                 let sol = Expanded::default().solve(&prep, Lambda::HALF).unwrap();
                 std::hint::black_box(sol.objective);
+                scratch_hist.record_duration(s0.elapsed());
             }
             scratch_samples.push(t0.elapsed().as_nanos() as u64);
         }
+        let incr_lat = incr_hist.snapshot().stats();
+        let scratch_lat = scratch_hist.snapshot().stats();
         incr_samples.sort_unstable();
         scratch_samples.sort_unstable();
         let incr_ns = incr_samples[incr_samples.len() / 2];
@@ -803,8 +816,20 @@ pub(super) fn t11(ctx: &ExpCtx) {
             scratch_ns.to_string(),
             format!("{speedup:.2}"),
         ]);
-        report.metric(format!("incremental_m{mag}"), steps as u64, incr_ns);
-        report.metric(format!("scratch_m{mag}"), steps as u64, scratch_ns);
+        report.metric_with_percentiles(
+            format!("incremental_m{mag}"),
+            steps as u64,
+            incr_ns,
+            incr_lat.p50_ns,
+            incr_lat.p99_ns,
+        );
+        report.metric_with_percentiles(
+            format!("scratch_m{mag}"),
+            steps as u64,
+            scratch_ns,
+            scratch_lat.p50_ns,
+            scratch_lat.p99_ns,
+        );
         report.param(format!("speedup_m{mag}"), speedup);
         report.param(format!("full_rebuilds_m{mag}"), stats.full_rebuilds as f64);
         report.param(format!("reuse_rate_m{mag}"), stats.reuse_rate());
@@ -973,6 +998,9 @@ pub(super) fn t12(ctx: &ExpCtx) {
             "solves",
             "frontiers",
             "deltas",
+            "solve_p50_us",
+            "solve_p99_us",
+            "delta_p99_us",
         ],
     );
     let mut report = BenchReport::new(
@@ -1001,6 +1029,8 @@ pub(super) fn t12(ctx: &ExpCtx) {
         let ns = samples[samples.len() / 2];
         let (estats, sstats) = last.expect("reps >= 1");
         let per_sec = stream.requests.len() as f64 * 1e9 / ns.max(1) as f64;
+        let lat = sstats.latency;
+        let us = |ns: u64| format!("{:.1}", ns as f64 / 1e3);
         table.row(&[
             w.to_string(),
             stream.requests.len().to_string(),
@@ -1011,8 +1041,29 @@ pub(super) fn t12(ctx: &ExpCtx) {
             sstats.solves.to_string(),
             sstats.frontiers.to_string(),
             sstats.deltas.to_string(),
+            us(lat.solve.p50_ns),
+            us(lat.solve.p99_ns),
+            us(lat.delta.p99_ns),
         ]);
         report.metric(format!("stream_w{w}"), stream.requests.len() as u64, ns);
+        // Per-kind accepted→answered latency of the (last) timed pass:
+        // ops × mean = the histogram's own count and sum, with the tail
+        // percentiles riding along as gated columns.
+        for (kind, l) in [
+            ("solve", lat.solve),
+            ("frontier", lat.frontier),
+            ("delta", lat.delta),
+        ] {
+            if l.count > 0 {
+                report.metric_with_percentiles(
+                    format!("lat_{kind}_w{w}"),
+                    l.count,
+                    l.sum_ns.max(1),
+                    l.p50_ns,
+                    l.p99_ns,
+                );
+            }
+        }
         report.param(format!("hit_rate_w{w}"), estats.hit_rate());
         report.param(
             format!("backpressure_waits_w{w}"),
@@ -1021,6 +1072,9 @@ pub(super) fn t12(ctx: &ExpCtx) {
     }
     report.threads = *worker_counts.last().unwrap();
     println!("{}", table.render_text());
+    println!("shape check: the p50/p99 columns are accepted→answered request latency");
+    println!("(a delta's wait in its tenant FIFO included) — the tail the perf gate");
+    println!("defends via the lat_*_w* metrics' percentile columns.");
     println!("shape check: the hit rate is high and worker-count-independent (the Zipf");
     println!("stream hammers a few hot keys in the sharded cache); requests/sec should");
     println!("grow with workers on multi-core machines and at worst plateau on one core.");

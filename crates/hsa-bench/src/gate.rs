@@ -42,6 +42,18 @@ pub enum GateStatus {
     Missing,
 }
 
+/// One percentile compared on a metric (present when both the baseline
+/// and the current run carry it).
+#[derive(Clone, Copy, Debug)]
+pub struct PercentileFinding {
+    /// Baseline per-op percentile, nanoseconds.
+    pub baseline_ns: f64,
+    /// Current per-op percentile, nanoseconds.
+    pub current_ns: f64,
+    /// `current / baseline`, judged by the same tolerance as ns/op.
+    pub ratio: f64,
+}
+
 /// One row of the regression table.
 #[derive(Clone, Debug)]
 pub struct GateFinding {
@@ -53,10 +65,25 @@ pub struct GateFinding {
     pub baseline_ns_per_op: f64,
     /// Current ns/op (0 when [`GateStatus::Missing`]).
     pub current_ns_per_op: f64,
-    /// `current / baseline` (0 when missing).
+    /// `current / baseline` mean ratio (0 when missing).
     pub ratio: f64,
-    /// The verdict.
+    /// The p50 comparison, when both sides measured it.
+    pub p50: Option<PercentileFinding>,
+    /// The p99 comparison, when both sides measured it.
+    pub p99: Option<PercentileFinding>,
+    /// The verdict (worst of the mean and percentile ratios).
     pub status: GateStatus,
+}
+
+impl GateFinding {
+    /// The worst of the mean and percentile ratios — what the verdict and
+    /// the table ordering use, so a tail-only regression surfaces first.
+    pub fn worst_ratio(&self) -> f64 {
+        [self.p50, self.p99]
+            .into_iter()
+            .flatten()
+            .fold(self.ratio, |acc, p| acc.max(p.ratio))
+    }
 }
 
 /// Everything one gate run found: per-metric findings plus structural
@@ -87,15 +114,22 @@ impl GateOutcome {
     /// worst ratios first, errors appended).
     pub fn render_text(&self, cfg: &GateConfig) -> String {
         let mut rows = self.findings.clone();
-        rows.sort_by(|a, b| b.ratio.total_cmp(&a.ratio));
+        rows.sort_by(|a, b| b.worst_ratio().total_cmp(&a.worst_ratio()));
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "{:<20} {:<28} {:>14} {:>14} {:>8}  verdict",
-            "report", "metric", "baseline ns/op", "current ns/op", "ratio"
+            "{:<20} {:<28} {:>14} {:>14} {:>8} {:>8} {:>8}  verdict",
+            "report", "metric", "baseline ns/op", "current ns/op", "ratio", "p50", "p99"
         );
-        out.push_str(&"-".repeat(100));
+        out.push_str(&"-".repeat(118));
         out.push('\n');
+        // Percentile columns print the ratio when both sides measured the
+        // percentile and a dash otherwise, so pre-percentile artefacts
+        // still render.
+        let pcol = |p: &Option<PercentileFinding>| match p {
+            Some(p) => format!("{:.2}x", p.ratio),
+            None => "-".to_string(),
+        };
         for f in &rows {
             let verdict = match f.status {
                 GateStatus::Ok => "ok",
@@ -104,8 +138,14 @@ impl GateOutcome {
             };
             let _ = writeln!(
                 out,
-                "{:<20} {:<28} {:>14.1} {:>14.1} {:>7.2}x  {verdict}",
-                f.report, f.metric, f.baseline_ns_per_op, f.current_ns_per_op, f.ratio
+                "{:<20} {:<28} {:>14.1} {:>14.1} {:>7.2}x {:>8} {:>8}  {verdict}",
+                f.report,
+                f.metric,
+                f.baseline_ns_per_op,
+                f.current_ns_per_op,
+                f.ratio,
+                pcol(&f.p50),
+                pcol(&f.p99),
             );
         }
         for e in &self.errors {
@@ -155,22 +195,48 @@ pub fn compare_reports(
                 baseline_ns_per_op: base.ns_per_op,
                 current_ns_per_op: 0.0,
                 ratio: 0.0,
+                p50: None,
+                p99: None,
                 status: GateStatus::Missing,
             }),
             Some(cur) => {
-                let ratio = cur.ns_per_op / base.ns_per_op;
-                out.findings.push(GateFinding {
+                // A baseline that gates a percentile must keep being fed
+                // one: silently dropping the measurement would un-gate the
+                // tail, which is exactly the regression class this exists
+                // to catch. (The reverse — a *new* percentile with no
+                // baseline yet — is fine, like any new metric.)
+                for (pname, b, c) in [
+                    ("p50_ns", base.p50_ns, cur.p50_ns),
+                    ("p99_ns", base.p99_ns, cur.p99_ns),
+                ] {
+                    if b.is_some() && c.is_none() {
+                        out.errors.push(format!(
+                            "{}: metric `{}` lost its {pname} — the baseline gates tail latency but the current run stopped emitting it",
+                            baseline.name, base.name
+                        ));
+                    }
+                }
+                let pair = |b: Option<f64>, c: Option<f64>| {
+                    b.zip(c).map(|(b, c)| PercentileFinding {
+                        baseline_ns: b,
+                        current_ns: c,
+                        ratio: c / b,
+                    })
+                };
+                let mut finding = GateFinding {
                     report: baseline.name.clone(),
                     metric: base.name.clone(),
                     baseline_ns_per_op: base.ns_per_op,
                     current_ns_per_op: cur.ns_per_op,
-                    ratio,
-                    status: if ratio > cfg.tolerance {
-                        GateStatus::Regressed
-                    } else {
-                        GateStatus::Ok
-                    },
-                });
+                    ratio: cur.ns_per_op / base.ns_per_op,
+                    p50: pair(base.p50_ns, cur.p50_ns),
+                    p99: pair(base.p99_ns, cur.p99_ns),
+                    status: GateStatus::Ok,
+                };
+                if finding.worst_ratio() > cfg.tolerance {
+                    finding.status = GateStatus::Regressed;
+                }
+                out.findings.push(finding);
             }
         }
     }
@@ -310,6 +376,71 @@ mod tests {
             .findings
             .iter()
             .any(|f| f.metric == "gone" && f.status == GateStatus::Missing));
+    }
+
+    fn report_with_tails(profile: &str, metrics: &[(&str, u64, u64, u64)]) -> BenchReport {
+        let mut r = BenchReport::new("demo", "t0", "demo", profile, 1);
+        for (name, ns, p50, p99) in metrics {
+            r.metric_with_percentiles(*name, 1, *ns, *p50, *p99);
+        }
+        r
+    }
+
+    #[test]
+    fn p99_regression_fails_even_when_the_mean_is_flat() {
+        // The tentpole scenario: identical means, 3× worse tail.
+        let base = report_with_tails("quick", &[("svc", 1_000_000, 800_000, 1_200_000)]);
+        let current = report_with_tails("quick", &[("svc", 1_000_000, 800_000, 3_600_000)]);
+        let cfg = GateConfig { tolerance: 2.0 };
+        let out = compare_reports(&base, &current, &cfg);
+        assert!(!out.passed());
+        let f = &out.findings[0];
+        assert_eq!(f.status, GateStatus::Regressed);
+        assert!((f.ratio - 1.0).abs() < 1e-9, "mean is flat");
+        assert!((f.p99.unwrap().ratio - 3.0).abs() < 1e-9);
+        assert!((f.worst_ratio() - 3.0).abs() < 1e-9);
+        let table = out.render_text(&cfg);
+        assert!(table.contains("3.00x") && table.contains("REGRESSED"));
+    }
+
+    #[test]
+    fn percentiles_within_tolerance_pass() {
+        let base = report_with_tails("quick", &[("svc", 1_000_000, 800_000, 1_200_000)]);
+        let current = report_with_tails("quick", &[("svc", 1_100_000, 900_000, 1_500_000)]);
+        assert!(compare_reports(&base, &current, &GateConfig { tolerance: 2.0 }).passed());
+    }
+
+    #[test]
+    fn losing_a_gated_percentile_is_a_structural_error() {
+        let base = report_with_tails("quick", &[("svc", 1_000_000, 800_000, 1_200_000)]);
+        let current = report("quick", &[("svc", 1_000_000)]);
+        let out = compare_reports(&base, &current, &GateConfig::default());
+        assert!(!out.passed());
+        assert_eq!(out.errors.len(), 2, "both p50 and p99 were lost");
+        assert!(out.errors[0].contains("p50_ns") && out.errors[1].contains("p99_ns"));
+    }
+
+    #[test]
+    fn old_baselines_without_percentiles_still_gate_and_render() {
+        // Pre-percentile baseline vs an instrumented current run: the new
+        // percentiles have no baseline, so only the mean is judged, and
+        // the table renders dashes for the absent columns.
+        let base = report("quick", &[("svc", 1_000_000)]);
+        let current = report_with_tails("quick", &[("svc", 1_000_000, 800_000, 1_200_000)]);
+        let cfg = GateConfig::default();
+        let out = compare_reports(&base, &current, &cfg);
+        assert!(out.passed());
+        assert!(out.findings[0].p50.is_none() && out.findings[0].p99.is_none());
+        let row = out
+            .render_text(&cfg)
+            .lines()
+            .find(|l| l.starts_with("demo"))
+            .unwrap()
+            .to_string();
+        assert!(
+            row.contains(" - "),
+            "dash columns for absent percentiles: {row}"
+        );
     }
 
     #[test]

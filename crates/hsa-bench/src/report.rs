@@ -54,7 +54,14 @@ impl EnvFingerprint {
 
 /// One measured quantity: `ops` operations took `total_ns` nanoseconds
 /// (median over repetitions; see [`crate::time_median_ns`]).
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+///
+/// Latency-instrumented metrics additionally carry per-op `p50_ns` /
+/// `p99_ns` tail percentiles. The fields are optional and *omitted from
+/// the JSON when absent* (serde is hand-written below for exactly that
+/// reason), so schema v1 artefacts written before percentiles existed
+/// still load — and the gate can tell "never measured" from "stopped
+/// measuring".
+#[derive(Clone, Debug, PartialEq)]
 pub struct Metric {
     /// Metric name, unique within its report (e.g. `"expanded_n40"`).
     pub name: String,
@@ -66,6 +73,10 @@ pub struct Metric {
     pub ns_per_op: f64,
     /// Derived: operations per second.
     pub per_sec: f64,
+    /// Optional per-op median latency, nanoseconds.
+    pub p50_ns: Option<f64>,
+    /// Optional per-op 99th-percentile latency, nanoseconds.
+    pub p99_ns: Option<f64>,
 }
 
 impl Metric {
@@ -79,7 +90,63 @@ impl Metric {
             total_ns,
             ns_per_op: ns as f64 / ops as f64,
             per_sec: ops as f64 * 1e9 / ns as f64,
+            p50_ns: None,
+            p99_ns: None,
         }
+    }
+
+    /// Attaches tail-latency percentiles (per-op nanoseconds, clamped to
+    /// ≥ 1 so validation and gate ratios stay well-defined).
+    pub fn with_percentiles(mut self, p50_ns: u64, p99_ns: u64) -> Metric {
+        self.p50_ns = Some(p50_ns.max(1) as f64);
+        self.p99_ns = Some(p99_ns.max(1) as f64);
+        self
+    }
+}
+
+// Hand-written (not derived): the vendored derive would emit `p50_ns`/
+// `p99_ns` as JSON `null` and *require* the keys on load, breaking every
+// pre-percentile artefact. Here absent and `null` both read back as
+// `None`, and `None` writes no key at all.
+impl Serialize for Metric {
+    fn to_value(&self) -> serde::Value {
+        let mut entries = vec![
+            ("name".to_string(), self.name.to_value()),
+            ("ops".to_string(), self.ops.to_value()),
+            ("total_ns".to_string(), self.total_ns.to_value()),
+            ("ns_per_op".to_string(), self.ns_per_op.to_value()),
+            ("per_sec".to_string(), self.per_sec.to_value()),
+        ];
+        if let Some(p) = self.p50_ns {
+            entries.push(("p50_ns".to_string(), p.to_value()));
+        }
+        if let Some(p) = self.p99_ns {
+            entries.push(("p99_ns".to_string(), p.to_value()));
+        }
+        serde::Value::Map(entries)
+    }
+}
+
+impl Deserialize for Metric {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let entries = v
+            .as_map()
+            .ok_or_else(|| serde::DeError::custom("expected a map for Metric"))?;
+        let optional = |name: &str| -> Result<Option<f64>, serde::DeError> {
+            match entries.iter().find(|(k, _)| k == name) {
+                None => Ok(None),
+                Some((_, value)) => Option::<f64>::from_value(value),
+            }
+        };
+        Ok(Metric {
+            name: String::from_value(serde::value::field(entries, "name")?)?,
+            ops: u64::from_value(serde::value::field(entries, "ops")?)?,
+            total_ns: u64::from_value(serde::value::field(entries, "total_ns")?)?,
+            ns_per_op: f64::from_value(serde::value::field(entries, "ns_per_op")?)?,
+            per_sec: f64::from_value(serde::value::field(entries, "per_sec")?)?,
+            p50_ns: optional("p50_ns")?,
+            p99_ns: optional("p99_ns")?,
+        })
     }
 }
 
@@ -154,6 +221,21 @@ impl BenchReport {
         self
     }
 
+    /// Appends a latency-instrumented measurement carrying per-op p50/p99
+    /// tail percentiles (nanoseconds) next to the mean.
+    pub fn metric_with_percentiles(
+        &mut self,
+        name: impl Into<String>,
+        ops: u64,
+        total_ns: u64,
+        p50_ns: u64,
+        p99_ns: u64,
+    ) -> &mut Self {
+        self.metrics
+            .push(Metric::new(name, ops, total_ns).with_percentiles(p50_ns, p99_ns));
+        self
+    }
+
     /// Appends an annotation.
     pub fn param(&mut self, key: impl Into<String>, value: f64) -> &mut Self {
         self.params.push(Param {
@@ -201,6 +283,18 @@ impl BenchReport {
             }
             if !m.ns_per_op.is_finite() || !m.per_sec.is_finite() || m.ns_per_op <= 0.0 {
                 return Err(format!("metric `{}` has non-finite rates", m.name));
+            }
+            for (pname, p) in [("p50_ns", m.p50_ns), ("p99_ns", m.p99_ns)] {
+                if let Some(p) = p {
+                    if !p.is_finite() || p <= 0.0 {
+                        return Err(format!("metric `{}` has a bad {pname}", m.name));
+                    }
+                }
+            }
+            if let (Some(p50), Some(p99)) = (m.p50_ns, m.p99_ns) {
+                if p50 > p99 {
+                    return Err(format!("metric `{}` has p50_ns > p99_ns", m.name));
+                }
             }
         }
         let mut names: Vec<&str> = self.metrics.iter().map(|m| m.name.as_str()).collect();
@@ -301,5 +395,48 @@ mod tests {
         let mut r = sample();
         r.profile = "warp".into();
         assert!(r.validate().unwrap_err().contains("profile"));
+    }
+
+    #[test]
+    fn percentiles_round_trip_through_json() {
+        let mut r = sample();
+        r.metric_with_percentiles("tail_path", 1000, 2_000_000, 1_800, 9_500);
+        let json = r.to_json();
+        assert!(json.contains("\"p50_ns\"") && json.contains("\"p99_ns\""));
+        let back: BenchReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+        let m = back.find_metric("tail_path").unwrap();
+        assert_eq!((m.p50_ns, m.p99_ns), (Some(1_800.0), Some(9_500.0)));
+        // Plain metrics keep their keys out of the JSON entirely.
+        let plain = back.find_metric("fast_path").unwrap();
+        assert_eq!((plain.p50_ns, plain.p99_ns), (None, None));
+        back.validate().unwrap();
+    }
+
+    #[test]
+    fn metrics_without_percentile_keys_still_load() {
+        // A literal pre-percentile artefact shape: no p50_ns/p99_ns keys
+        // anywhere. It must parse to `None`, not error.
+        let legacy = r#"{
+            "name": "old_path", "ops": 10, "total_ns": 1000,
+            "ns_per_op": 100.0, "per_sec": 10000000.0
+        }"#;
+        let m: Metric = serde_json::from_str(legacy).unwrap();
+        assert_eq!(m.name, "old_path");
+        assert_eq!((m.p50_ns, m.p99_ns), (None, None));
+        // And a serialised plain metric parses back without the keys.
+        let re = serde_json::to_string(&m).unwrap();
+        assert!(!re.contains("p50_ns") && !re.contains("null"));
+    }
+
+    #[test]
+    fn validate_rejects_bad_percentiles() {
+        let mut r = sample();
+        r.metric_with_percentiles("t", 1, 1_000, 10, 20);
+        r.metrics.last_mut().unwrap().p99_ns = Some(f64::NAN);
+        assert!(r.validate().unwrap_err().contains("p99_ns"));
+        let mut r = sample();
+        r.metric_with_percentiles("t", 1, 1_000, 500, 100);
+        assert!(r.validate().unwrap_err().contains("p50_ns > p99_ns"));
     }
 }

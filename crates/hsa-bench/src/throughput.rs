@@ -15,7 +15,7 @@
 use crate::report::BenchReport;
 use crate::time_median_ns;
 use hsa_assign::{Expanded, Prepared, Solver};
-use hsa_engine::{Engine, EngineConfig, EngineStats, InstanceId};
+use hsa_engine::{Engine, EngineConfig, EngineStats, InstanceId, LatencyHistogram, LatencyStats};
 use hsa_graph::Lambda;
 use hsa_tree::{CostModel, CruTree};
 use hsa_workloads::{catalog, random_instance, Placement, RandomTreeParams};
@@ -64,6 +64,13 @@ pub struct EngineThroughput {
     pub naive_ns: u64,
     /// Batched arm: `Engine::solve_batch` over the cached instances.
     pub batched_ns: u64,
+    /// Per-query latency distribution of the naive arm (one histogram
+    /// sample per fresh prepare+solve).
+    pub naive_lat: LatencyStats,
+    /// Per-query latency distribution of single-query solves against a
+    /// warm engine — the cached request-latency tail a service caller
+    /// sees, as opposed to the whole-batch throughput above.
+    pub batched_lat: LatencyStats,
     /// Engine counters from the verification batch (cache fills, query
     /// counts, merged solver work).
     pub engine_stats: EngineStats,
@@ -97,8 +104,20 @@ impl EngineThroughput {
         );
         report.threads = self.threads;
         report.instance_sizes = self.instance_sizes.clone();
-        report.metric("naive", self.queries as u64, self.naive_ns);
-        report.metric("batched", self.queries as u64, self.batched_ns);
+        report.metric_with_percentiles(
+            "naive",
+            self.queries as u64,
+            self.naive_ns,
+            self.naive_lat.p50_ns,
+            self.naive_lat.p99_ns,
+        );
+        report.metric_with_percentiles(
+            "batched",
+            self.queries as u64,
+            self.batched_ns,
+            self.batched_lat.p50_ns,
+            self.batched_lat.p99_ns,
+        );
         report.param("speedup", self.speedup());
         report.param("instances", self.instances as f64);
         report.param("cache_misses", self.engine_stats.cache_misses as f64);
@@ -173,6 +192,36 @@ pub fn engine_throughput(cfg: &ThroughputConfig) -> EngineThroughput {
         }
     }
 
+    // Per-query latency distributions, measured on the same workload: the
+    // naive arm times every fresh prepare+solve; the cached arm times
+    // single-query solves against a *separate* warm engine, so the cache
+    // counters of the verification engine above stay untouched. This is
+    // what a request-at-a-time caller experiences, and what the p50/p99
+    // columns of BENCH_engine.json gate.
+    let naive_hist = LatencyHistogram::new();
+    for (tree, costs) in &instances {
+        for &lambda in &lambdas {
+            let t0 = std::time::Instant::now();
+            let prep = Prepared::new(tree, costs).expect("workload prepares");
+            let sol = Expanded::default().solve(&prep, lambda).unwrap();
+            naive_hist.record_duration(t0.elapsed());
+            std::hint::black_box(sol.objective);
+        }
+    }
+    let batched_hist = LatencyHistogram::new();
+    {
+        let warm = Engine::new(EngineConfig::default());
+        for (t, c) in &instances {
+            warm.prepare(t, c).expect("workload prepares");
+        }
+        for &q in &queries {
+            let t0 = std::time::Instant::now();
+            let out = warm.solve_batch(&[q]);
+            batched_hist.record_duration(t0.elapsed());
+            std::hint::black_box(out.len());
+        }
+    }
+
     let naive_ns = time_median_ns(cfg.reps, || {
         for (tree, costs) in &instances {
             for &lambda in &lambdas {
@@ -200,6 +249,8 @@ pub fn engine_throughput(cfg: &ThroughputConfig) -> EngineThroughput {
         threads: engine.threads(),
         naive_ns,
         batched_ns,
+        naive_lat: naive_hist.snapshot().stats(),
+        batched_lat: batched_hist.snapshot().stats(),
         engine_stats: engine.stats(),
     }
 }
@@ -220,8 +271,16 @@ mod tests {
         assert!(t.queries >= 4 * t.instances.min(t.queries));
         assert!(t.naive_ns > 0 && t.batched_ns > 0);
         assert_eq!(t.instance_sizes.len(), t.instances);
+        // The latency passes cover every query and land in the report as
+        // gated percentile columns.
+        assert_eq!(t.naive_lat.count, t.queries as u64);
+        assert_eq!(t.batched_lat.count, t.queries as u64);
         let report = t.to_report("quick");
         report.validate().unwrap();
+        for arm in ["naive", "batched"] {
+            let m = report.find_metric(arm).unwrap();
+            assert!(m.p50_ns.is_some() && m.p99_ns.is_some(), "{arm} has tails");
+        }
         assert_eq!(report.name, "engine");
         assert_eq!(report.experiment, "t9");
         assert_eq!(report.seed, WORKLOAD_SEED);

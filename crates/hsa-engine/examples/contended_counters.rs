@@ -1,0 +1,61 @@
+//! Measures what cache-line padding buys the engine's counter banks.
+//!
+//! `N` threads each hammer *their own* `AtomicU64` — no logical sharing at
+//! all — first with the counters packed adjacently (eight per cache line,
+//! the layout `EngineCounters` had before [`CachePadded`]), then with each
+//! counter on its own 64-byte line. Any slowdown in the packed run is pure
+//! false sharing: cores stealing a line from each other to write values
+//! the other core never reads.
+//!
+//! Run with `cargo run --release -p hsa-engine --example contended_counters`.
+//! On a single-core host the two layouts tie (there is no second core to
+//! ping-pong with); the gap opens with physical parallelism.
+
+use hsa_engine::CachePadded;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+const ITERS: u64 = 2_000_000;
+
+/// Spawns one thread per counter, each incrementing only its own slot,
+/// and returns mean wall nanoseconds per increment across all threads.
+fn hammer<B: Send + Sync + 'static>(bank: Arc<B>, pick: fn(&B, usize) -> &AtomicU64) -> f64 {
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get().min(4))
+        .unwrap_or(1);
+    let barrier = Arc::new(Barrier::new(threads + 1));
+    let handles: Vec<_> = (0..threads)
+        .map(|i| {
+            let bank = Arc::clone(&bank);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                for _ in 0..ITERS {
+                    pick(&bank, i).fetch_add(1, Ordering::Relaxed);
+                }
+            })
+        })
+        .collect();
+    barrier.wait();
+    let start = Instant::now();
+    for h in handles {
+        h.join().expect("hammer thread panicked");
+    }
+    start.elapsed().as_nanos() as f64 / (ITERS * threads as u64) as f64
+}
+
+fn main() {
+    let packed: Arc<[AtomicU64; 8]> = Arc::new(Default::default());
+    let padded: Arc<[CachePadded<AtomicU64>; 8]> = Arc::new(Default::default());
+
+    // Warm-up pass to settle frequency scaling, then the measured passes.
+    hammer(Arc::clone(&packed), |b, i| &b[i]);
+    let packed_ns = hammer(packed, |b, i| &b[i]);
+    let padded_ns = hammer(padded, |b, i| &b[i]);
+
+    println!("threads hammering disjoint counters, {ITERS} increments each");
+    println!("  packed  (8 per line):  {packed_ns:7.2} ns/op");
+    println!("  padded  (1 per line):  {padded_ns:7.2} ns/op");
+    println!("  packed/padded ratio:   {:7.2}x", packed_ns / padded_ns);
+}

@@ -20,6 +20,7 @@
 //!   one inserts, and the loser adopts the winner's entry — wasted work
 //!   on a race, never a wrong answer and never a lock held across a DP.
 
+use crate::pad::CachePadded;
 use hsa_assign::{FrontierSet, Prepared};
 use std::collections::BTreeMap;
 use std::sync::{Arc, RwLock};
@@ -47,22 +48,28 @@ pub(crate) struct Inserted {
     pub(crate) adopted: bool,
 }
 
-/// The sharded map. All methods take `&self`.
+/// One shard: a read-write lock over its slice of the key space.
+type Shard = RwLock<BTreeMap<u64, Arc<CachedInstance>>>;
+
+/// The sharded map. All methods take `&self`. Each shard lock sits on its
+/// own cache line ([`CachePadded`]): a `RwLock` is a word-sized atomic
+/// state plus the map pointer, so without padding four shards share one
+/// line and "independent" shards still ping-pong it between cores.
 pub(crate) struct ShardedCache {
-    shards: [RwLock<BTreeMap<u64, Arc<CachedInstance>>>; SHARDS],
+    shards: [CachePadded<Shard>; SHARDS],
 }
 
 impl ShardedCache {
     pub(crate) fn new() -> ShardedCache {
         ShardedCache {
-            shards: std::array::from_fn(|_| RwLock::new(BTreeMap::new())),
+            shards: std::array::from_fn(|_| CachePadded::new(RwLock::new(BTreeMap::new()))),
         }
     }
 
     /// The shard a content hash lives in. The hash is FNV-mixed already;
     /// the top bits decorrelate better than the bottom ones for
     /// structurally similar instances, so index with them.
-    fn shard(&self, hash: u64) -> &RwLock<BTreeMap<u64, Arc<CachedInstance>>> {
+    fn shard(&self, hash: u64) -> &Shard {
         &self.shards[(hash >> (64 - SHARDS.trailing_zeros())) as usize & (SHARDS - 1)]
     }
 

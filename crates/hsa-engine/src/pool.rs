@@ -34,8 +34,8 @@
 use hsa_assign::SolveScratch;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
 /// A unit of work: owns everything it touches (`'static`), so it can
@@ -165,7 +165,16 @@ impl WorkerPool {
 
     /// Fans `items` across the pool, collecting `job`'s results in input
     /// order. Blocks until the whole batch drained. If any job panicked,
-    /// the first panic payload is re-raised here, on the calling thread.
+    /// a panic payload is re-raised here, on the calling thread.
+    ///
+    /// Delivery is **single-slot**: the batch shares one `Arc` carrying
+    /// the job and a slot array; each worker writes its result straight
+    /// into its own pre-assigned slot and decrements a countdown, and the
+    /// last one wakes the caller. Per item that is one `Arc` bump and one
+    /// uncontended slot lock — the previous scheme paid an `Arc` clone of
+    /// the job *plus* an mpsc sender clone per item, and every result took
+    /// a second hop through the channel before the caller re-scattered it
+    /// into an ordered buffer.
     pub fn run_batch<T, R, F>(&self, items: Vec<T>, job: F) -> Vec<R>
     where
         T: Send + 'static,
@@ -176,26 +185,50 @@ impl WorkerPool {
         if n == 0 {
             return Vec::new();
         }
-        let job = Arc::new(job);
-        let (tx, rx) = mpsc::channel::<(usize, std::thread::Result<R>)>();
+        if n == 1 {
+            // A one-item batch has no parallelism to exploit; shipping it
+            // to a worker just buys two context switches and a condvar
+            // round-trip. Run it on the calling thread instead — this is
+            // the service's per-request solve path, so the hop matters.
+            let item = items.into_iter().next().expect("n == 1");
+            return vec![job(item)];
+        }
+        let shared = Arc::new(BatchShared {
+            job,
+            slots: (0..n).map(|_| Mutex::new(None)).collect::<Vec<_>>(),
+            remaining: AtomicUsize::new(n),
+            done: Mutex::new(false),
+            all_done: Condvar::new(),
+        });
         for (i, item) in items.into_iter().enumerate() {
-            let job = Arc::clone(&job);
-            let tx = tx.clone();
+            let sh = Arc::clone(&shared);
             self.submit(move || {
                 // Catch here (not only in the worker loop) so the batch
                 // collector learns about the panic instead of hanging on a
                 // result that will never arrive.
-                let out = catch_unwind(AssertUnwindSafe(|| job(item)));
-                let _ = tx.send((i, out));
+                let out = catch_unwind(AssertUnwindSafe(|| (sh.job)(item)));
+                *sh.slots[i].lock().expect("batch slot poisoned") = Some(out);
+                if sh.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                    *sh.done.lock().expect("batch latch poisoned") = true;
+                    sh.all_done.notify_one();
+                }
             });
         }
-        drop(tx);
-        let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        let mut done = shared.done.lock().expect("batch latch poisoned");
+        while !*done {
+            done = shared.all_done.wait(done).expect("batch latch poisoned");
+        }
+        drop(done);
         let mut first_panic = None;
-        for _ in 0..n {
-            let (i, out) = rx.recv().expect("pool dropped a batch result");
-            match out {
-                Ok(r) => slots[i] = Some(r),
+        let mut out = Vec::with_capacity(n);
+        for slot in &shared.slots {
+            let result = slot
+                .lock()
+                .expect("batch slot poisoned")
+                .take()
+                .expect("all batch slots filled");
+            match result {
+                Ok(r) => out.push(r),
                 Err(payload) => {
                     first_panic.get_or_insert(payload);
                 }
@@ -204,11 +237,19 @@ impl WorkerPool {
         if let Some(payload) = first_panic {
             resume_unwind(payload);
         }
-        slots
-            .into_iter()
-            .map(|r| r.expect("all batch slots filled"))
-            .collect()
+        out
     }
+}
+
+/// The shared state of one `run_batch` call: the job, one result slot per
+/// item (each written by exactly one worker, so its lock is never
+/// contended), and the countdown latch the caller parks on.
+struct BatchShared<R, F> {
+    job: F,
+    slots: Vec<Mutex<Option<std::thread::Result<R>>>>,
+    remaining: AtomicUsize,
+    done: Mutex<bool>,
+    all_done: Condvar,
 }
 
 impl Drop for WorkerPool {
@@ -273,6 +314,7 @@ impl ScratchPool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::mpsc;
 
     #[test]
     fn parallel_map_preserves_order() {

@@ -51,6 +51,8 @@
 //! assert!(solution.objective >= sol.objective);
 //! ```
 
+use crate::hist::{LatencyHistogram, LatencyStats};
+use crate::pad::CachePadded;
 use crate::pool::WorkerPool;
 use crate::session::{ApplyOutcome, Session, SessionConfig, SessionStats};
 use crate::{Engine, EngineError};
@@ -64,6 +66,7 @@ use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::time::Instant;
 
 /// A tenant's identity in the service's session registry.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -337,15 +340,27 @@ impl Gate {
     }
 }
 
-/// Live request counters; snapshot via [`Service::stats`].
+/// The request kinds the service tracks separately — counter and
+/// latency-histogram selector.
+#[derive(Clone, Copy)]
+enum ReqKind {
+    Solve,
+    Frontier,
+    Delta,
+}
+
+/// Live request counters; snapshot via [`Service::stats`]. Bumped from
+/// every worker on every request, so each counter sits on its own cache
+/// line ([`CachePadded`]) — unpadded, the whole bank shares one line and
+/// concurrent requests serialise on it for no semantic reason.
 #[derive(Default)]
 struct ServiceCounters {
-    submitted: AtomicU64,
-    completed: AtomicU64,
-    failed: AtomicU64,
-    solves: AtomicU64,
-    frontiers: AtomicU64,
-    deltas: AtomicU64,
+    submitted: CachePadded<AtomicU64>,
+    completed: CachePadded<AtomicU64>,
+    failed: CachePadded<AtomicU64>,
+    solves: CachePadded<AtomicU64>,
+    frontiers: CachePadded<AtomicU64>,
+    deltas: CachePadded<AtomicU64>,
 }
 
 /// A snapshot of the service's counters.
@@ -365,6 +380,22 @@ pub struct ServiceStats {
     pub deltas: u64,
     /// `submit` calls that had to block on a full queue (backpressure).
     pub backpressure_waits: u64,
+    /// Per-request-kind latency percentiles (accepted → answered).
+    pub latency: RequestLatency,
+}
+
+/// Per-request-kind latency summaries, measured from acceptance (the
+/// in-flight gate slot is taken) to the reply being fulfilled — so a
+/// delta's wait in its tenant's FIFO queue counts, but a producer
+/// blocking on backpressure does not.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RequestLatency {
+    /// Solve requests.
+    pub solve: LatencyStats,
+    /// Frontier requests.
+    pub frontier: LatencyStats,
+    /// Delta requests.
+    pub delta: LatencyStats,
 }
 
 /// One tenant. The submission side (`queue`) and the solving side
@@ -382,7 +413,9 @@ struct Tenant {
 }
 
 struct TenantQueue {
-    pending: VecDeque<(Arc<Delta>, Lambda, Arc<ReplySlot>)>,
+    /// `(delta, λ, reply slot, acceptance time)` in submission order; the
+    /// `Instant` rides along so a delta's latency includes its FIFO wait.
+    pending: VecDeque<(Arc<Delta>, Lambda, Arc<ReplySlot>, Instant)>,
     /// True while some worker owns the drain loop for this tenant; at
     /// most one drainer exists at a time, which is what serialises a
     /// tenant's deltas without serialising tenants against each other.
@@ -394,7 +427,28 @@ struct Shared {
     engine: Arc<Engine>,
     gate: Gate,
     counters: ServiceCounters,
+    lat_solve: LatencyHistogram,
+    lat_frontier: LatencyHistogram,
+    lat_delta: LatencyHistogram,
     verify: bool,
+}
+
+impl Shared {
+    fn latency_of(&self, kind: ReqKind) -> &LatencyHistogram {
+        match kind {
+            ReqKind::Solve => &self.lat_solve,
+            ReqKind::Frontier => &self.lat_frontier,
+            ReqKind::Delta => &self.lat_delta,
+        }
+    }
+
+    fn counter_of(&self, kind: ReqKind) -> &AtomicU64 {
+        match kind {
+            ReqKind::Solve => &self.counters.solves,
+            ReqKind::Frontier => &self.counters.frontiers,
+            ReqKind::Delta => &self.counters.deltas,
+        }
+    }
 }
 
 /// The request-stream front-end. See the module docs.
@@ -419,6 +473,9 @@ impl Service {
                 engine,
                 gate: Gate::new(cfg.queue_capacity),
                 counters: ServiceCounters::default(),
+                lat_solve: LatencyHistogram::new(),
+                lat_frontier: LatencyHistogram::new(),
+                lat_delta: LatencyHistogram::new(),
                 verify: cfg.verify,
             }),
             tenants: RwLock::new(BTreeMap::new()),
@@ -546,6 +603,11 @@ impl Service {
             frontiers: load(&c.frontiers),
             deltas: load(&c.deltas),
             backpressure_waits: self.shared.gate.waits.load(Ordering::Relaxed),
+            latency: RequestLatency {
+                solve: self.shared.lat_solve.snapshot().stats(),
+                frontier: self.shared.lat_frontier.snapshot().stats(),
+                delta: self.shared.lat_delta.snapshot().stats(),
+            },
         }
     }
 
@@ -571,6 +633,7 @@ impl Service {
     /// released by whoever fulfils the reply).
     fn dispatch(&self, request: Request) -> Ticket {
         let shared = &self.shared;
+        let accepted = Instant::now();
         shared.counters.submitted.fetch_add(1, Ordering::Relaxed);
         let slot = ReplySlot::new();
         let ticket = Ticket {
@@ -585,14 +648,14 @@ impl Service {
                 let shared = Arc::clone(shared);
                 self.pool.submit(move || {
                     let result = handle_solve(&shared, &tree, &costs, lambda);
-                    finish(&shared, &shared.counters.solves, &slot, result);
+                    finish(&shared, ReqKind::Solve, accepted, &slot, result);
                 });
             }
             Request::Frontier { tree, costs } => {
                 let shared = Arc::clone(shared);
                 self.pool.submit(move || {
                     let result = handle_frontier(&shared, &tree, &costs);
-                    finish(&shared, &shared.counters.frontiers, &slot, result);
+                    finish(&shared, ReqKind::Frontier, accepted, &slot, result);
                 });
             }
             Request::Delta {
@@ -609,7 +672,8 @@ impl Service {
                 else {
                     finish(
                         shared,
-                        &shared.counters.deltas,
+                        ReqKind::Delta,
+                        accepted,
                         &slot,
                         Err(ServiceError::UnknownTenant(tenant)),
                     );
@@ -622,7 +686,7 @@ impl Service {
                 // behind a busy tenant's in-flight apply.
                 let start_drain = {
                     let mut q = slot_tenant.queue.lock().expect("tenant queue poisoned");
-                    q.pending.push_back((delta, lambda, slot));
+                    q.pending.push_back((delta, lambda, slot, accepted));
                     if q.draining {
                         false
                     } else {
@@ -641,21 +705,26 @@ impl Service {
     }
 }
 
-/// Fulfils a reply, releases the gate slot and counts the outcome — the
-/// one funnel every answered request goes through.
+/// Fulfils a reply, releases the gate slot, counts the outcome and
+/// records the accepted→answered latency — the one funnel every answered
+/// request goes through. Counters and the histogram are updated *before*
+/// the slot is fulfilled, so a caller that waited a ticket observes its
+/// own request in [`Service::stats`].
 fn finish(
     shared: &Shared,
-    kind: &AtomicU64,
+    kind: ReqKind,
+    accepted: Instant,
     slot: &ReplySlot,
     result: Result<Reply, ServiceError>,
 ) {
-    kind.fetch_add(1, Ordering::Relaxed);
+    shared.counter_of(kind).fetch_add(1, Ordering::Relaxed);
     let bucket = if result.is_ok() {
         &shared.counters.completed
     } else {
         &shared.counters.failed
     };
     bucket.fetch_add(1, Ordering::Relaxed);
+    shared.latency_of(kind).record_duration(accepted.elapsed());
     slot.fulfill(result);
     shared.gate.release();
 }
@@ -730,12 +799,12 @@ fn drain_tenant(shared: &Shared, tenant: &Tenant) {
                 }
             }
         };
-        let (delta, lambda, slot) = next;
+        let (delta, lambda, slot, accepted) = next;
         let result = {
             let mut session = tenant.session.lock().expect("tenant session poisoned");
             apply_and_solve(shared, &mut session, &delta, lambda)
         };
-        finish(shared, &shared.counters.deltas, &slot, result);
+        finish(shared, ReqKind::Delta, accepted, &slot, result);
     }
 }
 
@@ -901,6 +970,47 @@ mod tests {
             stats.backpressure_waits > 0,
             "8 submissions through a 2-deep queue must stall at least once"
         );
+    }
+
+    #[test]
+    fn latency_percentiles_cover_every_answered_request() {
+        let sc = paper_scenario();
+        let svc = service(ServiceConfig {
+            workers: 2,
+            ..ServiceConfig::default()
+        });
+        let tenant = TenantId(1);
+        svc.open_tenant(tenant, &sc.tree, &sc.costs).unwrap();
+        let leaf = *sc.tree.leaves_in_order().first().unwrap();
+        let tickets: Vec<Ticket> = (0..4u64)
+            .flat_map(|n| {
+                let delta =
+                    Delta::new().set_satellite_time(leaf, hsa_graph::Cost::new(100 + 7 * n));
+                [
+                    svc.submit(Request::solve(&sc.tree, &sc.costs, Lambda::HALF)),
+                    svc.submit(Request::frontier(&sc.tree, &sc.costs)),
+                    svc.submit(Request::delta(tenant, delta, Lambda::HALF)),
+                ]
+            })
+            .collect();
+        for t in tickets {
+            assert!(t.wait().is_ok());
+        }
+        let stats = svc.stats();
+        let lat = stats.latency;
+        // Every answered request of each kind was recorded…
+        assert_eq!(lat.solve.count, stats.solves);
+        assert_eq!(lat.frontier.count, stats.frontiers);
+        assert_eq!(lat.delta.count, stats.deltas);
+        assert_eq!(
+            (lat.solve.count, lat.frontier.count, lat.delta.count),
+            (4, 4, 4)
+        );
+        // …with sane, ordered percentiles (a solve takes > 0 ns).
+        for kind in [lat.solve, lat.frontier, lat.delta] {
+            assert!(kind.sum_ns > 0);
+            assert!(kind.p50_ns <= kind.p90_ns && kind.p90_ns <= kind.p99_ns);
+        }
     }
 
     #[test]

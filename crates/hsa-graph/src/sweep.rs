@@ -62,24 +62,24 @@ fn sweep_thresholds<F: FnMut(Path, Cost, Cost)>(
     mut visit: F,
 ) -> usize {
     let snapshot = g.snapshot();
-    let mut thetas: Vec<Cost> = g.alive_edges().map(|(_, e)| e.beta).collect();
-    thetas.sort();
-    thetas.dedup();
+    // One β-sorted (β, edge) table, built once. Scanning θ in ascending
+    // order, the edges to kill (β > θ) are exactly a suffix of this table,
+    // so each probe is a binary search plus a branch-free suffix walk over
+    // two parallel columns — no per-θ full rescan of the edge list.
+    let mut by_beta: Vec<(Cost, u32)> = g.alive_edges().map(|(id, e)| (e.beta, id.0)).collect();
+    by_beta.sort();
 
     let mut probes = 0;
-    for &theta in &thetas {
+    let mut i = 0;
+    while i < by_beta.len() {
+        let theta = by_beta[i].0;
+        while i < by_beta.len() && by_beta[i].0 == theta {
+            i += 1; // advance past the run of equal β: victims start at i
+        }
         g.restore(&snapshot);
-        let mut victims = std::mem::take(&mut ws.edge_buf);
-        victims.clear();
-        victims.extend(
-            g.alive_edges()
-                .filter(|(_, e)| e.beta > theta)
-                .map(|(id, _)| id.0),
-        );
-        for &e in &victims {
+        for &(_, e) in &by_beta[i..] {
             g.kill_edge(crate::EdgeId(e));
         }
-        ws.edge_buf = victims;
         probes += 1;
         if let Some(sp) = shortest_path_in(g, source, target, ws) {
             let b = sp.path.b_weight(g);
