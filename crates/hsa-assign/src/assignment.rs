@@ -110,6 +110,144 @@ pub fn evaluate_cut(
     ))
 }
 
+/// Reusable buffers for the walk-free cut evaluation
+/// ([`evaluate_cut_in`]). One per worker thread; steady-state answers then
+/// reuse the range and load buffers instead of reallocating them, and only
+/// the `Solution`-owned output vectors are freshly built.
+#[derive(Debug, Default)]
+pub struct EvalScratch {
+    /// Per cut edge with a below-subtree: `(preorder pos, size, colour)`.
+    ranges: Vec<(u32, u32, u32)>,
+    /// Per-satellite load accumulator (`Σ β` per colour).
+    loads: Vec<Cost>,
+}
+
+impl EvalScratch {
+    /// A fresh scratch; buffers grow on first use and are then reused.
+    pub fn new() -> EvalScratch {
+        EvalScratch::default()
+    }
+
+    /// Runs `f` with this thread's shared scratch — the zero-plumbing way
+    /// for a solver to reach the walk-free path without threading a
+    /// scratch through its own signature. Worker threads (the engine
+    /// pool) each keep their own warm instance.
+    pub fn with_thread_local<R>(f: impl FnOnce(&mut EvalScratch) -> R) -> R {
+        thread_local! {
+            static SCRATCH: std::cell::RefCell<EvalScratch> =
+                std::cell::RefCell::new(EvalScratch::new());
+        }
+        SCRATCH.with(|s| f(&mut s.borrow_mut()))
+    }
+}
+
+/// Walk-free twin of [`evaluate_cut`]: evaluates a cut using the σ/β edge
+/// labels and the pre-order index instead of re-walking the tree.
+///
+/// Byte-identity with the oracle holds by construction:
+///
+/// * **S** — `Σ σ(e)` over the cut equals the host-side `Σ h` (the Figure 8
+///   σ identity, property-tested in `hsa-tree::sigma`); [`Cost`] addition
+///   saturates, and saturating addition of non-negatives is associative
+///   and commutative (both groupings equal `min(true sum, MAX)`), so the
+///   per-edge grouping reproduces the oracle's node-by-node sum exactly.
+/// * **loads** — `β(Parent(c)) = Σ s(subtree c) + c_up(c)` and
+///   `β(Sensor(l)) = c_raw(l)`; summing β per edge colour is the
+///   `satellite_loads_of_cut` oracle under the same associativity.
+/// * **assignment** — subtrees are contiguous pre-order ranges
+///   ([`crate::EvalIndex`]); concatenating the colour-`s` ranges in
+///   pre-order position order reproduces the oracle's pre-order
+///   per-satellite lists, and the gaps between ranges are exactly the
+///   host-side nodes, in pre-order.
+///
+/// Cuts whose below-nodes are not uniformly satellite-coloured (only
+/// possible for hand-built cuts, never for frontier-assembled ones) fall
+/// back to [`evaluate_cut`] so error behaviour is identical too. The cut
+/// is **trusted** (frontier assembly builds valid cuts by construction);
+/// debug builds assert validity.
+pub fn evaluate_cut_in(
+    prep: &Prepared<'_>,
+    cut: &Cut,
+    scratch: &mut EvalScratch,
+) -> Result<(Assignment, DelayReport), AssignError> {
+    debug_assert!(cut.validate(&prep.tree).is_ok(), "trusted cut invalid");
+    let n_sat = prep.n_satellites() as usize;
+    scratch.loads.clear();
+    scratch.loads.resize(n_sat, Cost::ZERO);
+    scratch.ranges.clear();
+
+    let mut host_time = Cost::ZERO;
+    for &e in cut.edges() {
+        host_time += prep.sigma.sigma(e);
+        if let Some(s) = prep.colouring.edge_colour(e).satellite() {
+            scratch.loads[s.index()] += prep.beta.beta(e);
+        }
+        if let TreeEdge::Parent(c) = e {
+            let Some(s) = prep.colouring.node_colour[c.index()].satellite() else {
+                // Conflicted below-subtree: delegate to the oracle for its
+                // exact error (which names the first conflicted node).
+                return evaluate_cut(prep, cut);
+            };
+            scratch.ranges.push((
+                prep.eval.pos[c.index()],
+                prep.eval.size[c.index()],
+                s.index() as u32,
+            ));
+        }
+    }
+
+    // Assemble placement lists from pre-order ranges: colour ranges in
+    // position order, host nodes from the gaps between them.
+    scratch.ranges.sort_unstable_by_key(|r| r.0);
+    let offloaded: u32 = scratch.ranges.iter().map(|r| r.1).sum();
+    let mut host = Vec::with_capacity(prep.tree.len() - offloaded as usize);
+    let mut per_satellite: Vec<Vec<CruId>> = vec![Vec::new(); n_sat];
+    let mut cursor = 0usize;
+    for &(pos, size, s) in &scratch.ranges {
+        let (pos, size) = (pos as usize, size as usize);
+        host.extend_from_slice(&prep.eval.preorder[cursor..pos]);
+        per_satellite[s as usize].extend_from_slice(&prep.eval.preorder[pos..pos + size]);
+        cursor = pos + size;
+    }
+    host.extend_from_slice(&prep.eval.preorder[cursor..]);
+
+    let satellite_loads: Vec<SatelliteLoad> = scratch
+        .loads
+        .iter()
+        .enumerate()
+        .map(|(i, &total)| SatelliteLoad {
+            satellite: SatelliteId(i as u32),
+            total,
+        })
+        .collect();
+    let (bottleneck, bottleneck_satellite) =
+        scratch
+            .loads
+            .iter()
+            .enumerate()
+            .fold((Cost::ZERO, None), |(best, who), (i, &l)| {
+                if l > best {
+                    (l, Some(SatelliteId(i as u32)))
+                } else {
+                    (best, who)
+                }
+            });
+
+    Ok((
+        Assignment {
+            host,
+            per_satellite,
+        },
+        DelayReport {
+            host_time,
+            satellite_loads,
+            bottleneck,
+            bottleneck_satellite,
+            end_to_end: host_time + bottleneck,
+        },
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -3,8 +3,8 @@
 //! objective differs from Bokhari's (T3).
 
 use crate::{
-    evaluate_cut, solve_sb_expanded, AssignError, ExpandedConfig, Prepared, Solution, SolveStats,
-    Solver,
+    evaluate_cut, solve_sb_expanded, AssignError, EvalScratch, ExpandedConfig, Prepared, Solution,
+    SolveStats, Solver,
 };
 use hsa_graph::{Cost, Lambda, SolveScratch};
 use hsa_tree::{Cut, TreeEdge};
@@ -26,12 +26,15 @@ impl Solver for AllOnHost {
         lambda: Lambda,
         _scratch: &mut SolveScratch,
     ) -> Result<Solution, AssignError> {
-        Solution::from_cut(
-            prep,
-            Cut::all_on_host(&prep.tree),
-            lambda,
-            SolveStats::default(),
-        )
+        EvalScratch::with_thread_local(|es| {
+            Solution::from_cut_in(
+                prep,
+                Cut::all_on_host(&prep.tree),
+                lambda,
+                SolveStats::default(),
+                es,
+            )
+        })
     }
 }
 
@@ -51,12 +54,15 @@ impl Solver for MaxOffload {
         lambda: Lambda,
         _scratch: &mut SolveScratch,
     ) -> Result<Solution, AssignError> {
-        Solution::from_cut(
-            prep,
-            Cut::max_offload(&prep.tree, &prep.colouring),
-            lambda,
-            SolveStats::default(),
-        )
+        EvalScratch::with_thread_local(|es| {
+            Solution::from_cut_in(
+                prep,
+                Cut::max_offload(&prep.tree, &prep.colouring),
+                lambda,
+                SolveStats::default(),
+                es,
+            )
+        })
     }
 }
 
@@ -110,16 +116,19 @@ impl Solver for GreedyDescent {
                 None => break,
             }
         }
-        Solution::from_cut(
-            prep,
-            current,
-            lambda,
-            SolveStats {
-                iterations,
-                evaluated,
-                ..SolveStats::default()
-            },
-        )
+        EvalScratch::with_thread_local(|es| {
+            Solution::from_cut_in(
+                prep,
+                current,
+                lambda,
+                SolveStats {
+                    iterations,
+                    evaluated,
+                    ..SolveStats::default()
+                },
+                es,
+            )
+        })
     }
 }
 
@@ -191,12 +200,15 @@ impl Solver for RandomCut {
                 }
             }
         }
-        Solution::from_cut(
-            prep,
-            Cut::new(&prep.tree, edges)?,
-            lambda,
-            SolveStats::default(),
-        )
+        EvalScratch::with_thread_local(|es| {
+            Solution::from_cut_in(
+                prep,
+                Cut::new(&prep.tree, edges)?,
+                lambda,
+                SolveStats::default(),
+                es,
+            )
+        })
     }
 }
 

@@ -2,7 +2,7 @@
 //! optimum. Exponential — guarded by a cut-count cap — and used as the
 //! ground truth the polynomial solvers are property-tested against.
 
-use crate::{AssignError, Prepared, Solution, SolveStats, Solver};
+use crate::{AssignError, EvalScratch, Prepared, Solution, SolveStats, Solver};
 use hsa_graph::{Lambda, SolveScratch};
 use hsa_tree::{bottleneck_of_cut, count_cuts, for_each_cut, host_time_of_cut, Cut, TreeEdge};
 
@@ -56,15 +56,18 @@ impl Solver for BruteForce {
             }
         });
         let (cut, _) = best.ok_or(AssignError::NoFeasibleAssignment)?;
-        Solution::from_cut(
-            prep,
-            cut,
-            lambda,
-            SolveStats {
-                evaluated,
-                ..SolveStats::default()
-            },
-        )
+        EvalScratch::with_thread_local(|es| {
+            Solution::from_cut_in(
+                prep,
+                cut,
+                lambda,
+                SolveStats {
+                    evaluated,
+                    ..SolveStats::default()
+                },
+                es,
+            )
+        })
     }
 }
 

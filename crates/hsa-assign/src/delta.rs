@@ -209,7 +209,7 @@ mod tests {
         let (tree, costs) = fig2_tree();
         let leaf = *tree.leaves_in_order().first().unwrap();
         let from = costs.pinned_satellite(leaf).unwrap();
-        let to = hsa_tree::SatelliteId((from.0 + 1) % costs.n_satellites);
+        let to = hsa_tree::SatelliteId((from.0 + 1) % costs.n_satellites());
         let (old, new) = prepare_pair(&Delta::new().repin(leaf, to));
         let d = dirty_colours(&old, &new);
         assert!(d.dirty[from.index()], "losing colour must be dirty");
@@ -258,7 +258,7 @@ mod tests {
     fn platform_shape_changes_are_conservatively_all_dirty() {
         let (tree, costs) = fig2_tree();
         let mut fewer = costs.clone();
-        fewer.n_satellites += 1; // platform grew: ids shifted semantics
+        fewer.set_n_satellites(fewer.n_satellites() + 1); // platform grew: ids shifted semantics
         let old = Prepared::new_owned(tree.clone(), costs).unwrap();
         let new = Prepared::new_owned(tree, fewer).unwrap();
         let d = dirty_colours(&old, &new);

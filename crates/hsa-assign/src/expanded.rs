@@ -29,7 +29,7 @@
 //! frontier size and fails loudly ([`AssignError::FrontierOverflow`])
 //! rather than degrade silently.
 
-use crate::{AssignError, Prepared, Solution, SolveStats, Solver};
+use crate::{AssignError, EvalScratch, Prepared, Solution, SolveStats, Solver};
 use hsa_graph::{Cost, Lambda, SolveScratch};
 #[cfg(test)]
 use hsa_tree::SatelliteId;
@@ -232,8 +232,11 @@ fn assemble(
     for (f, &i) in fs.colours().zip(picks) {
         edges.extend_from_slice(f.point_edges(i));
     }
-    let cut = Cut::new(&prep.tree, edges)?;
-    Solution::from_cut(prep, cut, lambda, stats)
+    // Frontier points are valid per-colour partial cuts and colours'
+    // regions are disjoint, so their union is a valid cut by construction:
+    // take the walk-free path (`trusted` + label-based evaluation).
+    let cut = Cut::trusted(&prep.tree, edges);
+    EvalScratch::with_thread_local(|es| Solution::from_cut_in(prep, cut, lambda, stats, es))
 }
 
 /// A borrowed view of one colour's Pareto frontier inside a

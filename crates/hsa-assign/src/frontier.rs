@@ -16,7 +16,9 @@
 //! independent per-λ solves is property-tested at λ = 0, ½, 1 and at every
 //! segment midpoint (`tests/` of the `hsa-engine` crate).
 
-use crate::{AssignError, ExpandedConfig, FrontierSet, Prepared, Solution, SolveStats};
+use crate::{
+    AssignError, EvalScratch, ExpandedConfig, FrontierSet, Prepared, Solution, SolveStats,
+};
 use hsa_graph::envelope::{lower_envelope, EnvelopeSegment, LambdaEnvelope, LambdaQ};
 use hsa_graph::{Cost, Lambda, ScaledSsb};
 use hsa_tree::{Cut, TreeEdge};
@@ -72,7 +74,9 @@ impl LambdaFrontier {
         prep: &Prepared<'_>,
         lambda: Lambda,
     ) -> Result<Solution, AssignError> {
-        Solution::from_cut(prep, self.cut_at(lambda).clone(), lambda, self.stats)
+        EvalScratch::with_thread_local(|es| {
+            Solution::from_cut_in(prep, self.cut_at(lambda).clone(), lambda, self.stats, es)
+        })
     }
 }
 
@@ -120,7 +124,9 @@ pub fn lambda_frontier_with(
         for (f, &i) in fs.colours().zip(&picks) {
             edges.extend_from_slice(f.point_edges(i));
         }
-        Cut::new(&prep.tree, edges)
+        // Frontier picks form valid cuts by construction (see `assemble`);
+        // skip the O(n) re-validation on this hot path.
+        Ok::<_, hsa_tree::TreeError>(Cut::trusted(&prep.tree, edges))
     })?;
     Ok(LambdaFrontier {
         envelope,

@@ -35,7 +35,9 @@ mod paper_ssb;
 mod prepared;
 mod solver;
 
-pub use assignment::{evaluate_cut, Assignment, DelayReport, SatelliteLoad};
+pub use assignment::{
+    evaluate_cut, evaluate_cut_in, Assignment, DelayReport, EvalScratch, SatelliteLoad,
+};
 pub use baselines::{
     all_solvers, sb_optimum, AllOnHost, GreedyDescent, MaxOffload, RandomCut, SbObjective,
 };
@@ -50,7 +52,7 @@ pub use expanded::{
 };
 pub use frontier::{lambda_frontier, lambda_frontier_with, LambdaFrontier};
 pub use paper_ssb::{solve_with_trace, solve_with_trace_in, PaperSsb, PaperSsbConfig, SsbEvent};
-pub use prepared::{ColourTops, Prepared, ReplacedParts};
+pub use prepared::{ColourTops, EvalIndex, Prepared, ReplacedParts};
 pub use solver::{Solution, SolveStats, Solver};
 
 // Re-exported so downstream crates name the workspace type without a direct

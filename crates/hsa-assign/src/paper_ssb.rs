@@ -32,7 +32,7 @@
 //! Exactness is property-tested against brute force and the full-expansion
 //! solver over thousands of random instances (see `tests/`).
 
-use crate::{AssignError, Prepared, Solution, SolveStats, Solver};
+use crate::{AssignError, EvalScratch, Prepared, Solution, SolveStats, Solver};
 use hsa_graph::{Cost, Lambda, ScaledSsb, SolveScratch, SSB_INFINITY};
 use hsa_tree::{Band, Cut, SatelliteId, TreeEdge};
 use std::collections::BTreeSet;
@@ -146,7 +146,9 @@ pub fn solve_with_trace_in(
     search(&mut ctx, graph, &BTreeSet::new(), ws)?;
     let best = ctx.best.ok_or(AssignError::NoFeasibleAssignment)?;
     let cut = Cut::new(&prep.tree, best)?;
-    let sol = Solution::from_cut(prep, cut, lambda, ctx.stats)?;
+    let sol = EvalScratch::with_thread_local(|es| {
+        Solution::from_cut_in(prep, cut, lambda, ctx.stats, es)
+    })?;
     Ok((sol, ctx.trace))
 }
 
@@ -745,14 +747,12 @@ mod tests {
     #[test]
     fn zero_cost_instance() {
         let (t, mut m) = fig2_tree();
-        for v in m
-            .host_time
-            .iter_mut()
-            .chain(m.satellite_time.iter_mut())
-            .chain(m.comm_up.iter_mut())
-            .chain(m.comm_raw.iter_mut())
-        {
-            *v = Cost::ZERO;
+        for i in 0..t.len() {
+            let c = hsa_tree::CruId(i as u32);
+            m.set_host_time(c, Cost::ZERO)
+                .set_satellite_time(c, Cost::ZERO)
+                .set_comm_up(c, Cost::ZERO)
+                .set_comm_raw(c, Cost::ZERO);
         }
         let prep = Prepared::new(&t, &m).unwrap();
         let sol = PaperSsb::default().solve(&prep, Lambda::HALF).unwrap();

@@ -66,6 +66,42 @@ impl ColourTops {
     }
 }
 
+/// The pre-order index of the tree, computed once per preparation so the
+/// per-answer evaluation ([`crate::evaluate_cut_in`]) can turn a cut edge
+/// into the contiguous pre-order *range* of its below-subtree instead of
+/// re-walking the tree: in a pre-order traversal the subtree of `c`
+/// occupies exactly `preorder[pos[c] .. pos[c] + size[c]]`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EvalIndex {
+    /// All CRUs in pre-order (root first, subtrees left to right).
+    pub preorder: Vec<CruId>,
+    /// `pos[c]` — position of `c` in [`EvalIndex::preorder`].
+    pub pos: Vec<u32>,
+    /// `size[c]` — number of nodes in the subtree of `c` (incl. `c`).
+    pub size: Vec<u32>,
+}
+
+impl EvalIndex {
+    fn compute(tree: &CruTree) -> EvalIndex {
+        let preorder = tree.preorder();
+        let mut pos = vec![0u32; tree.len()];
+        for (i, &c) in preorder.iter().enumerate() {
+            pos[c.index()] = i as u32;
+        }
+        let mut size = vec![1u32; tree.len()];
+        for c in tree.postorder() {
+            for &ch in tree.children(c) {
+                size[c.index()] += size[ch.index()];
+            }
+        }
+        EvalIndex {
+            preorder,
+            pos,
+            size,
+        }
+    }
+}
+
 /// Everything the solvers need, computed once per instance:
 /// colouring (§5.1), σ/β labels (§5.3) and the coloured assignment graph
 /// (§5.2).
@@ -91,6 +127,8 @@ pub struct Prepared<'a> {
     pub graph: AssignmentGraph,
     /// The per-colour region roots (CSR), fed to every frontier build.
     pub tops: ColourTops,
+    /// The pre-order index powering the walk-free answer path.
+    pub eval: EvalIndex,
 }
 
 /// The derived (λ-independent) parts of an instance.
@@ -100,6 +138,7 @@ type Derived = (
     BetaLabels,
     AssignmentGraph,
     ColourTops,
+    EvalIndex,
 );
 
 fn derive(tree: &CruTree, costs: &CostModel) -> Result<Derived, AssignError> {
@@ -109,8 +148,9 @@ fn derive(tree: &CruTree, costs: &CostModel) -> Result<Derived, AssignError> {
     let sigma = SigmaLabels::compute(tree, costs)?;
     let beta = BetaLabels::compute(tree, costs)?;
     let graph = AssignmentGraph::build(tree, &colouring, &sigma, &beta)?;
-    let tops = ColourTops::compute(tree, &colouring, costs.n_satellites);
-    Ok((colouring, sigma, beta, graph, tops))
+    let tops = ColourTops::compute(tree, &colouring, costs.n_satellites());
+    let eval = EvalIndex::compute(tree);
+    Ok((colouring, sigma, beta, graph, tops, eval))
 }
 
 impl<'a> Prepared<'a> {
@@ -118,7 +158,7 @@ impl<'a> Prepared<'a> {
     /// model, colours the tree, labels the edges, and builds the dual
     /// graph.
     pub fn new(tree: &'a CruTree, costs: &'a CostModel) -> Result<Self, AssignError> {
-        let (colouring, sigma, beta, graph, tops) = derive(tree, costs)?;
+        let (colouring, sigma, beta, graph, tops, eval) = derive(tree, costs)?;
         Ok(Prepared {
             tree: Cow::Borrowed(tree),
             costs: Cow::Borrowed(costs),
@@ -127,6 +167,7 @@ impl<'a> Prepared<'a> {
             beta,
             graph,
             tops,
+            eval,
         })
     }
 
@@ -134,7 +175,7 @@ impl<'a> Prepared<'a> {
     /// every borrow: the result can be stored, cached, and shared across
     /// threads for repeated solving.
     pub fn new_owned(tree: CruTree, costs: CostModel) -> Result<Prepared<'static>, AssignError> {
-        let (colouring, sigma, beta, graph, tops) = derive(&tree, &costs)?;
+        let (colouring, sigma, beta, graph, tops, eval) = derive(&tree, &costs)?;
         Ok(Prepared {
             tree: Cow::Owned(tree),
             costs: Cow::Owned(costs),
@@ -143,6 +184,7 @@ impl<'a> Prepared<'a> {
             beta,
             graph,
             tops,
+            eval,
         })
     }
 
@@ -157,12 +199,13 @@ impl<'a> Prepared<'a> {
             beta: self.beta,
             graph: self.graph,
             tops: self.tops,
+            eval: self.eval,
         }
     }
 
     /// Number of satellites in the platform.
     pub fn n_satellites(&self) -> u32 {
-        self.costs.n_satellites
+        self.costs.n_satellites()
     }
 
     /// Re-costs this prepared instance **in place**: re-derives colouring,
@@ -180,17 +223,17 @@ impl<'a> Prepared<'a> {
         &mut self,
         costs: CostModel,
     ) -> Result<(ReplacedParts<'a>, crate::DirtyColours), AssignError> {
-        let (colouring, sigma, beta, graph, tops) = derive(&self.tree, &costs)?;
+        let (colouring, sigma, beta, graph, tops, eval) = derive(&self.tree, &costs)?;
         // A platform-size change invalidates every colour of the new
         // platform; otherwise the single-pass label diff decides.
-        let dirty = if costs.n_satellites != self.costs.n_satellites {
+        let dirty = if costs.n_satellites() != self.costs.n_satellites() {
             crate::DirtyColours {
-                dirty: vec![true; costs.n_satellites as usize],
+                dirty: vec![true; costs.n_satellites() as usize],
             }
         } else {
             crate::dirty_colours_of_labels(
                 &self.tree,
-                costs.n_satellites,
+                costs.n_satellites(),
                 (&self.colouring, &self.sigma, &self.beta),
                 (&colouring, &sigma, &beta),
             )
@@ -202,6 +245,7 @@ impl<'a> Prepared<'a> {
             beta: std::mem::replace(&mut self.beta, beta),
             graph: std::mem::replace(&mut self.graph, graph),
             tops: std::mem::replace(&mut self.tops, tops),
+            eval: std::mem::replace(&mut self.eval, eval),
         };
         Ok((replaced, dirty))
     }
@@ -215,6 +259,7 @@ impl<'a> Prepared<'a> {
         self.beta = parts.beta;
         self.graph = parts.graph;
         self.tops = parts.tops;
+        self.eval = parts.eval;
     }
 }
 
@@ -227,6 +272,7 @@ pub struct ReplacedParts<'a> {
     beta: BetaLabels,
     graph: AssignmentGraph,
     tops: ColourTops,
+    eval: EvalIndex,
 }
 
 #[cfg(test)]

@@ -1,6 +1,8 @@
 //! The common solver interface and solution type.
 
-use crate::{evaluate_cut, AssignError, Assignment, DelayReport, Prepared};
+use crate::{
+    evaluate_cut, evaluate_cut_in, AssignError, Assignment, DelayReport, EvalScratch, Prepared,
+};
 use hsa_graph::{Cost, Lambda, ScaledSsb, SolveScratch};
 use hsa_tree::Cut;
 
@@ -65,6 +67,30 @@ impl Solution {
         stats: SolveStats,
     ) -> Result<Solution, AssignError> {
         let (assignment, report) = evaluate_cut(prep, &cut)?;
+        let objective = report.ssb_scaled(lambda);
+        Ok(Solution {
+            cut,
+            assignment,
+            report,
+            lambda,
+            objective,
+            stats,
+        })
+    }
+
+    /// Walk-free twin of [`Solution::from_cut`]: evaluates through the
+    /// σ/β labels and the pre-order index ([`crate::evaluate_cut_in`]),
+    /// reusing `scratch`'s buffers. Byte-identical to [`Solution::from_cut`]
+    /// for any cut the solvers produce — that identity is what the
+    /// engine's verify mode and the `proptest_eval` suite pin down.
+    pub fn from_cut_in(
+        prep: &Prepared<'_>,
+        cut: Cut,
+        lambda: Lambda,
+        stats: SolveStats,
+        scratch: &mut EvalScratch,
+    ) -> Result<Solution, AssignError> {
+        let (assignment, report) = evaluate_cut_in(prep, &cut, scratch)?;
         let objective = report.ssb_scaled(lambda);
         Ok(Solution {
             cut,

@@ -147,7 +147,7 @@ proptest! {
             assert_eq!(&back, cut);
             // The coloured measure of the path equals the direct evaluation.
             let mea = hsa_assign::ColouredMeasure::of_edges(
-                &prep.graph, &path.edges, inst.costs.n_satellites);
+                &prep.graph, &path.edges, inst.costs.n_satellites());
             let (_a, rep) = hsa_assign::evaluate_cut(&prep, cut).unwrap();
             assert_eq!(mea.s, rep.host_time);
             assert_eq!(mea.b, rep.bottleneck);

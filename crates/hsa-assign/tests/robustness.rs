@@ -66,14 +66,13 @@ fn optimum_is_homogeneous() {
         let prep = Prepared::new(&tree, &costs).unwrap();
         let base = Expanded::default().solve(&prep, Lambda::HALF).unwrap();
         let mut m2 = costs.clone();
-        for v in m2
-            .host_time
-            .iter_mut()
-            .chain(m2.satellite_time.iter_mut())
-            .chain(m2.comm_up.iter_mut())
-            .chain(m2.comm_raw.iter_mut())
-        {
-            *v = v.saturating_mul(3);
+        for i in 0..tree.len() {
+            let c = hsa_tree::CruId(i as u32);
+            let (h, sv, up, raw) = (m2.h(c), m2.s(c), m2.c_up(c), m2.c_raw(c));
+            m2.set_host_time(c, h.saturating_mul(3));
+            m2.set_satellite_time(c, sv.saturating_mul(3));
+            m2.set_comm_up(c, up.saturating_mul(3));
+            m2.set_comm_raw(c, raw.saturating_mul(3));
         }
         let prep2 = Prepared::new(&tree, &m2).unwrap();
         let scaled = Expanded::default().solve(&prep2, Lambda::HALF).unwrap();
@@ -137,7 +136,7 @@ fn invalid_input_errors_cleanly() {
     let (tree, mut costs) = random_instance(&params(0), 0);
     // Unpin a leaf.
     let leaf = tree.leaves_in_order()[0];
-    costs.pinning[leaf.index()] = None;
+    costs.set_pinning(leaf, None);
     assert!(matches!(
         Prepared::new(&tree, &costs),
         Err(AssignError::Tree(_))
@@ -164,11 +163,11 @@ fn delay_is_bounded_by_total_work() {
         let (tree, costs) = random_instance(&params(seed as u32), seed);
         let prep = Prepared::new(&tree, &costs).unwrap();
         let total: Cost = costs
-            .host_time
+            .host_times()
             .iter()
-            .chain(costs.satellite_time.iter())
-            .chain(costs.comm_up.iter())
-            .chain(costs.comm_raw.iter())
+            .chain(costs.satellite_times().iter())
+            .chain(costs.comm_ups().iter())
+            .chain(costs.comm_raws().iter())
             .copied()
             .sum();
         for solver in hsa_assign::all_solvers() {

@@ -1,0 +1,19 @@
+//! Bench T12: the cached-identity hot path — cold vs hot prepare, raw
+//! cache lookup, and the id-addressed solve (DESIGN.md §12).
+//!
+//! Thin shim: the measurement body lives in the experiment registry
+//! (`hsa_bench::experiments`, id `t12`) so `cargo bench` and `repro`
+//! share one implementation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    hsa_bench::experiments::criterion_bench("t12", c);
+}
+
+criterion_group! {
+    name = benches;
+    config = hsa_bench::experiments::criterion_config();
+    targets = bench
+}
+criterion_main!(benches);

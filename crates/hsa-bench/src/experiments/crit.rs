@@ -400,3 +400,50 @@ pub(super) fn ablations(c: &mut Criterion) {
     }
     group.finish();
 }
+
+/// Bench T12 hot client (DESIGN.md §12): the per-request floor a warm
+/// service rides. `prepare_cold` is the full miss work (owned prepare +
+/// per-colour frontiers), `prepare_hit` the hashed re-prepare with its
+/// first-contact equality check, `instance_lookup` the raw sharded-cache
+/// read, and `solve_by_id` the whole id-addressed answer (lookup +
+/// λ-sweep + walk-free evaluation).
+pub(super) fn prepare_hot(c: &mut Criterion) {
+    use hsa_assign::{ExpandedConfig, FrontierSet};
+    use hsa_engine::{Engine, EngineConfig};
+    let mut group = c.benchmark_group("prepare_hot");
+    for &n in &[16usize, 64] {
+        let (tree, costs) = random_instance(
+            &RandomTreeParams {
+                n_crus: n,
+                ..RandomTreeParams::default()
+            },
+            4242,
+        );
+        let engine = Engine::new(EngineConfig {
+            threads: 1,
+            ..EngineConfig::default()
+        });
+        let id = engine.prepare(&tree, &costs).expect("instance prepares");
+        let label = format!("n{n}");
+        group.bench_function(format!("prepare_cold/{label}"), |b| {
+            b.iter(|| {
+                let prep = Prepared::new_owned(tree.clone(), costs.clone()).unwrap();
+                let fs = FrontierSet::prepare(&prep, &ExpandedConfig::default()).unwrap();
+                black_box(&fs);
+            })
+        });
+        group.bench_function(format!("prepare_hit/{label}"), |b| {
+            b.iter(|| black_box(engine.prepare(&tree, &costs).unwrap()))
+        });
+        group.bench_function(format!("instance_lookup/{label}"), |b| {
+            b.iter(|| black_box(engine.instance(id).is_some()))
+        });
+        group.bench_function(format!("solve_by_id/{label}"), |b| {
+            b.iter(|| {
+                let out = engine.solve_batch(&[(id, Lambda::HALF)]);
+                black_box(out[0].as_ref().unwrap().objective)
+            })
+        });
+    }
+    group.finish();
+}

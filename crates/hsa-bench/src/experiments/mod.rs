@@ -260,7 +260,7 @@ pub static REGISTRY: &[Experiment] = &[
         artefacts: &["t12_service_stream.csv", "BENCH_service.json"],
         bench_artefact: Some("BENCH_service.json"),
         run: studies::t12,
-        criterion: None,
+        criterion: Some(crit::prepare_hot),
     },
     Experiment {
         id: "a1",

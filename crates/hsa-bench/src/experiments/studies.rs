@@ -12,11 +12,13 @@ use super::ExpCtx;
 use crate::report::BenchReport;
 use crate::{parallel_map, sweep_instances, time_median_ns, CsvTable};
 use hsa_assign::{
-    all_solvers, evaluate_cut, lambda_frontier_with, sb_optimum, AllOnHost, BruteForce, Expanded,
-    ExpandedConfig, FrontierSet, MaxOffload, PaperSsb, Prepared, SbObjective, Solver,
+    all_solvers, evaluate_cut, evaluate_cut_in, lambda_frontier_with, sb_optimum,
+    solve_with_frontiers, AllOnHost, BruteForce, EvalScratch, Expanded, ExpandedConfig,
+    FrontierSet, MaxOffload, PaperSsb, Prepared, SbObjective, Solver,
 };
 use hsa_engine::{
-    Engine, EngineConfig, Reply, Request, Service, ServiceConfig, Session, SessionConfig, TenantId,
+    Engine, EngineConfig, InstanceId, Reply, Request, Service, ServiceConfig, Session,
+    SessionConfig, TenantId, Ticket,
 };
 use hsa_graph::generate::{layered_dag, LayeredParams};
 use hsa_graph::{
@@ -890,38 +892,81 @@ fn run_service_stream(
             .open_tenant(TenantId(i as u64), &sc.tree, &sc.costs)
             .expect("stream tenants open");
     }
+    // A real hot client cannot know an instance id before its first answer:
+    // the first contact per instance goes by value (and is waited inline to
+    // learn the id from the reply); every later solve/frontier on that
+    // instance is id-addressed, skipping hashing and the first-contact
+    // equality check entirely. `Answer` carries either the outstanding
+    // ticket or the already-waited first-contact reply, so the drain loop
+    // below checks every answer exactly once either way.
+    enum Answer {
+        Pending(Ticket),
+        Done(Box<Reply>),
+    }
+    let mut learned: Vec<Option<InstanceId>> = vec![None; stream.instances.len()];
+    let first_contact = |req: Request, instance: usize| -> Reply {
+        service
+            .submit(req)
+            .wait()
+            .unwrap_or_else(|e| panic!("request on instance {instance} failed: {e}"))
+    };
     let t0 = std::time::Instant::now();
-    let tickets: Vec<_> = stream
+    let answers: Vec<Answer> = stream
         .requests
         .iter()
         .map(|r| {
             let (tree, costs) = &arcs[r.instance];
             match &r.op {
-                StreamOp::Solve { lambda } => service.submit(Request::Solve {
-                    tree: Arc::clone(tree),
-                    costs: Arc::clone(costs),
-                    lambda: *lambda,
-                }),
-                StreamOp::Frontier => service.submit(Request::Frontier {
-                    tree: Arc::clone(tree),
-                    costs: Arc::clone(costs),
-                }),
-                StreamOp::Delta { delta, lambda } => service.submit(Request::Delta {
-                    tenant: TenantId(r.instance as u64),
-                    delta: Arc::new(delta.clone()),
-                    lambda: *lambda,
-                }),
+                StreamOp::Solve { lambda } => match learned[r.instance] {
+                    Some(id) => Answer::Pending(service.submit(Request::solve_by_id(id, *lambda))),
+                    None => {
+                        let reply = first_contact(
+                            Request::Solve {
+                                tree: Arc::clone(tree),
+                                costs: Arc::clone(costs),
+                                lambda: *lambda,
+                            },
+                            r.instance,
+                        );
+                        learned[r.instance] = reply.instance_id();
+                        Answer::Done(Box::new(reply))
+                    }
+                },
+                StreamOp::Frontier => match learned[r.instance] {
+                    Some(id) => Answer::Pending(service.submit(Request::frontier_by_id(id))),
+                    None => {
+                        let reply = first_contact(
+                            Request::Frontier {
+                                tree: Arc::clone(tree),
+                                costs: Arc::clone(costs),
+                            },
+                            r.instance,
+                        );
+                        learned[r.instance] = reply.instance_id();
+                        Answer::Done(Box::new(reply))
+                    }
+                },
+                StreamOp::Delta { delta, lambda } => {
+                    Answer::Pending(service.submit(Request::Delta {
+                        tenant: TenantId(r.instance as u64),
+                        delta: Arc::new(delta.clone()),
+                        lambda: *lambda,
+                    }))
+                }
             }
         })
         .collect();
-    for (ticket, r) in tickets.into_iter().zip(&stream.requests) {
-        let reply = ticket
-            .wait()
-            .unwrap_or_else(|e| panic!("request on instance {} failed: {e}", r.instance));
+    for (answer, r) in answers.into_iter().zip(&stream.requests) {
+        let reply = match answer {
+            Answer::Done(reply) => *reply,
+            Answer::Pending(ticket) => ticket
+                .wait()
+                .unwrap_or_else(|e| panic!("request on instance {} failed: {e}", r.instance)),
+        };
         // The reply kind must match the request kind, always.
         match (&r.op, &reply) {
-            (StreamOp::Solve { .. }, Reply::Solution(_))
-            | (StreamOp::Frontier, Reply::Frontier(_))
+            (StreamOp::Solve { .. }, Reply::Solution { .. })
+            | (StreamOp::Frontier, Reply::Frontier { .. })
             | (StreamOp::Delta { .. }, Reply::Applied { .. }) => {}
             _ => panic!("reply kind does not match request kind"),
         }
@@ -1017,6 +1062,62 @@ pub(super) fn t12(ctx: &ExpCtx) {
         .collect();
     report.param("requests", stream.requests.len() as f64);
     report.param("zipf_milli", stream_cfg.zipf_milli as f64);
+
+    // Per-stage breakdown of the id-addressed hot path on the stream's
+    // hottest instance against a warm cache: where each answered request's
+    // nanoseconds go once the first contact is paid. Each stage is timed
+    // tight-looped (median of `stage_reps` loops) and emitted as
+    // ops × total-ns, so the gate reads a per-op mean per stage.
+    {
+        let hot = &stream.instances[0];
+        let engine = Engine::new(EngineConfig {
+            threads: 1,
+            ..EngineConfig::default()
+        });
+        let id = engine
+            .prepare(&hot.tree, &hot.costs)
+            .expect("hot instance prepares");
+        let cached = engine.instance(id).expect("just prepared");
+        let lambda = Lambda::HALF;
+        let cut = solve_with_frontiers(&cached.prepared, &cached.frontiers, lambda)
+            .expect("hot instance solves")
+            .cut;
+        let mut scratch = EvalScratch::new();
+        let iters: u64 = ctx.profile.pick(4096, 512);
+        let stage_reps = ctx.profile.pick(9, 5);
+        let mut stage = |name: &str, f: &mut dyn FnMut()| {
+            let ns = time_median_ns(stage_reps, || {
+                for _ in 0..iters {
+                    f();
+                }
+            });
+            report.metric(format!("hot_stage_{name}"), iters, ns.max(1));
+        };
+        // Stage 1: instance identity — two cached content hashes mixed.
+        stage("hash", &mut || {
+            let mut h = hsa_tree::Fnv1a::new();
+            h.write_u64(hot.tree.content_hash());
+            h.write_u64(hot.costs.content_hash());
+            std::hint::black_box(h.finish());
+        });
+        // Stage 2: sharded cache lookup by id (lock + Arc clone).
+        stage("cache_lookup", &mut || {
+            std::hint::black_box(engine.instance(id).is_some());
+        });
+        // Stage 3: the λ-sweep over the cached per-colour frontiers,
+        // including the single winning-cut evaluation it ends with.
+        stage("sweep", &mut || {
+            let s = solve_with_frontiers(&cached.prepared, &cached.frontiers, lambda).unwrap();
+            std::hint::black_box(s.objective);
+        });
+        // Stage 4: one walk-free cut evaluation in reused scratch — the
+        // allocation-free tail every answer pays.
+        stage("evaluate", &mut || {
+            let out = evaluate_cut_in(&cached.prepared, &cut, &mut scratch).unwrap();
+            std::hint::black_box(&out);
+        });
+    }
+
     for &w in &worker_counts {
         let mut samples = Vec::with_capacity(reps);
         let mut last = None;
@@ -1075,9 +1176,12 @@ pub(super) fn t12(ctx: &ExpCtx) {
     println!("shape check: the p50/p99 columns are accepted→answered request latency");
     println!("(a delta's wait in its tenant FIFO included) — the tail the perf gate");
     println!("defends via the lat_*_w* metrics' percentile columns.");
-    println!("shape check: the hit rate is high and worker-count-independent (the Zipf");
-    println!("stream hammers a few hot keys in the sharded cache); requests/sec should");
-    println!("grow with workers on multi-core machines and at worst plateau on one core.");
+    println!("shape check: the stream is a hot client — every instance is addressed by");
+    println!("id after its first answer, so prepares (and hence the hit rate) count only");
+    println!("first contacts and post-delta re-prepares, not the Zipf hot keys; the");
+    println!("hot_stage_* metrics break the id-addressed floor into hash / cache lookup /");
+    println!("sweep / evaluate ns. Requests/sec should grow with workers on multi-core");
+    println!("machines and at worst plateau on one core.");
     println!("Every answer of the verification pass was asserted byte-identical to a");
     println!("from-scratch solve before timing anything (DESIGN.md §10).");
     table.write_csv(ctx.out_dir).unwrap();

@@ -108,6 +108,14 @@ impl InstanceId {
     pub fn raw(self) -> u64 {
         self.0
     }
+
+    /// Rebuilds an id from its raw hash — e.g. one a client persisted
+    /// across reconnects. Presenting an id the engine does not know is
+    /// answered with [`EngineError::UnknownInstance`], never aliased, so
+    /// this cannot forge access to a different instance.
+    pub fn from_raw(raw: u64) -> InstanceId {
+        InstanceId(raw)
+    }
 }
 
 impl fmt::Display for InstanceId {
@@ -481,32 +489,18 @@ impl Engine {
     }
 }
 
-/// A keyless FNV-1a [`std::hash::Hasher`]: unlike the std `DefaultHasher`
-/// it has no per-process random state, so instance ids are reproducible
-/// run to run (for a given build).
-struct Fnv1a(u64);
-
-impl std::hash::Hasher for Fnv1a {
-    fn finish(&self) -> u64 {
-        self.0
-    }
-
-    fn write(&mut self, bytes: &[u8]) {
-        for b in bytes {
-            self.0 ^= *b as u64;
-            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-    }
-}
-
-/// Structural FNV-1a content hash of `(tree, costs)`: one allocation-free
-/// traversal, no serialization.
+/// Structural FNV-1a content hash of `(tree, costs)`.
+///
+/// Both structures carry a lazily-computed, mutation-invalidated content
+/// hash ([`hsa_tree::HashCache`]), so after the first contact this is two
+/// relaxed atomic loads mixed through the word-wise [`hsa_tree::Fnv1a`] —
+/// not a traversal. Keyless, so instance ids are reproducible run to run
+/// (for a given build).
 fn instance_hash(tree: &CruTree, costs: &CostModel) -> u64 {
-    use std::hash::Hash as _;
-    let mut h = Fnv1a(0xcbf2_9ce4_8422_2325);
-    tree.hash(&mut h);
-    costs.hash(&mut h);
-    std::hash::Hasher::finish(&h)
+    let mut h = hsa_tree::Fnv1a::new();
+    h.write_u64(tree.content_hash());
+    h.write_u64(costs.content_hash());
+    h.finish()
 }
 
 /// Commonly used items, for glob import in examples and tests.

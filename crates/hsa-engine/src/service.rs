@@ -38,9 +38,14 @@
 //! let engine = Arc::new(Engine::new(EngineConfig::default()));
 //! let service = Service::new(Arc::clone(&engine), ServiceConfig::default());
 //!
-//! // A stateless solve against the shared cache…
+//! // A stateless solve against the shared cache. The reply carries the
+//! // instance id: a hot client keeps it and switches to id-addressed
+//! // requests, skipping the per-request hash + equality check entirely.
 //! let ticket = service.submit(Request::solve(&sc.tree, &sc.costs, Lambda::HALF));
-//! let Reply::Solution(sol) = ticket.wait().unwrap() else { panic!() };
+//! let Reply::Solution { id, solution: sol } = ticket.wait().unwrap() else { panic!() };
+//! let ticket = service.submit(Request::solve_by_id(id, Lambda::HALF));
+//! let Reply::Solution { solution: again, .. } = ticket.wait().unwrap() else { panic!() };
+//! assert_eq!(again.objective, sol.objective);
 //!
 //! // …and a tenant applying a delta stream to its own session.
 //! let tenant = TenantId(7);
@@ -55,10 +60,9 @@ use crate::hist::{LatencyHistogram, LatencyStats};
 use crate::pad::CachePadded;
 use crate::pool::WorkerPool;
 use crate::session::{ApplyOutcome, Session, SessionConfig, SessionStats};
-use crate::{Engine, EngineError};
+use crate::{Engine, EngineError, InstanceId};
 use hsa_assign::{
-    lambda_frontier_with, AssignError, Expanded, FrontierSet, LambdaFrontier, Prepared, Solution,
-    Solver,
+    lambda_frontier_with, AssignError, Expanded, LambdaFrontier, Prepared, Solution, Solver,
 };
 use hsa_graph::Lambda;
 use hsa_tree::{CostModel, CruTree, Delta};
@@ -174,12 +178,28 @@ pub enum Request {
         /// The per-request objective weighting.
         lambda: Lambda,
     },
+    /// Solve an already-prepared instance, addressed by id — the hot-client
+    /// path: no tree/costs travel with the request, so the worker skips
+    /// both the structural hash and the deep equality check of first
+    /// contact. An id the engine does not know answers
+    /// [`EngineError::UnknownInstance`].
+    SolveById {
+        /// The id a previous [`Reply`] carried back.
+        id: InstanceId,
+        /// The per-request objective weighting.
+        lambda: Lambda,
+    },
     /// The full λ-frontier of one instance.
     Frontier {
         /// The instance's tree.
         tree: Arc<CruTree>,
         /// Its cost model.
         costs: Arc<CostModel>,
+    },
+    /// The λ-frontier of an already-prepared instance, addressed by id.
+    FrontierById {
+        /// The id a previous [`Reply`] carried back.
+        id: InstanceId,
     },
     /// Apply a delta to a tenant's session, then solve at λ.
     Delta {
@@ -203,12 +223,25 @@ impl Request {
         }
     }
 
+    /// A solve request addressed by instance id (see
+    /// [`Request::SolveById`]): the pattern for hot clients is one
+    /// instance-carrying [`Request::solve`] whose [`Reply`] returns the
+    /// id, then `solve_by_id` for every re-query.
+    pub fn solve_by_id(id: InstanceId, lambda: Lambda) -> Request {
+        Request::SolveById { id, lambda }
+    }
+
     /// A frontier request.
     pub fn frontier(tree: &CruTree, costs: &CostModel) -> Request {
         Request::Frontier {
             tree: Arc::new(tree.clone()),
             costs: Arc::new(costs.clone()),
         }
+    }
+
+    /// A frontier request addressed by instance id.
+    pub fn frontier_by_id(id: InstanceId) -> Request {
+        Request::FrontierById { id }
     }
 
     /// A delta request against an open tenant.
@@ -225,9 +258,21 @@ impl Request {
 #[derive(Clone, Debug)]
 pub enum Reply {
     /// The solve answer (byte-identical to a fresh `Expanded::solve`).
-    Solution(Solution),
-    /// The λ-frontier.
-    Frontier(LambdaFrontier),
+    /// Carries the instance id so a first-contact client can switch to
+    /// [`Request::solve_by_id`] for every subsequent query.
+    Solution {
+        /// The solved instance's id in the engine cache.
+        id: InstanceId,
+        /// The solution.
+        solution: Solution,
+    },
+    /// The λ-frontier, with the instance id for id-addressed re-queries.
+    Frontier {
+        /// The instance's id in the engine cache.
+        id: InstanceId,
+        /// The λ-frontier.
+        frontier: LambdaFrontier,
+    },
     /// A delta landed on its tenant; the post-apply solve rides along.
     Applied {
         /// What the apply did (dirty colours, fallback or not).
@@ -241,9 +286,20 @@ impl Reply {
     /// The solution carried by this reply, if it is one.
     pub fn solution(&self) -> Option<&Solution> {
         match self {
-            Reply::Solution(s) => Some(s),
+            Reply::Solution { solution, .. } => Some(solution),
             Reply::Applied { solution, .. } => Some(solution),
-            Reply::Frontier(_) => None,
+            Reply::Frontier { .. } => None,
+        }
+    }
+
+    /// The instance id this reply reports, for stateless requests — what a
+    /// hot client feeds back into [`Request::solve_by_id`] /
+    /// [`Request::frontier_by_id`]. Tenant (delta) replies address their
+    /// session, not the shared cache, so they carry no id.
+    pub fn instance_id(&self) -> Option<InstanceId> {
+        match self {
+            Reply::Solution { id, .. } | Reply::Frontier { id, .. } => Some(*id),
+            Reply::Applied { .. } => None,
         }
     }
 }
@@ -651,10 +707,24 @@ impl Service {
                     finish(&shared, ReqKind::Solve, accepted, &slot, result);
                 });
             }
+            Request::SolveById { id, lambda } => {
+                let shared = Arc::clone(shared);
+                self.pool.submit(move || {
+                    let result = handle_solve_by_id(&shared, id, lambda);
+                    finish(&shared, ReqKind::Solve, accepted, &slot, result);
+                });
+            }
             Request::Frontier { tree, costs } => {
                 let shared = Arc::clone(shared);
                 self.pool.submit(move || {
                     let result = handle_frontier(&shared, &tree, &costs);
+                    finish(&shared, ReqKind::Frontier, accepted, &slot, result);
+                });
+            }
+            Request::FrontierById { id } => {
+                let shared = Arc::clone(shared);
+                self.pool.submit(move || {
+                    let result = handle_frontier_by_id(&shared, id);
                     finish(&shared, ReqKind::Frontier, accepted, &slot, result);
                 });
             }
@@ -742,15 +812,55 @@ fn handle_solve(
         .pop()
         .expect("one query, one answer")?;
     if shared.verify {
-        let prep = Prepared::new(tree, costs).map_err(EngineError::from)?;
-        let want = Expanded::default()
-            .solve(&prep, lambda)
-            .map_err(EngineError::from)?;
-        if want.objective != solution.objective || want.cut != solution.cut {
-            return Err(ServiceError::VerifyFailed { what: "solve" });
-        }
+        verify_solve(tree, costs, lambda, &solution)?;
     }
-    Ok(Reply::Solution(solution))
+    Ok(Reply::Solution { id, solution })
+}
+
+fn handle_solve_by_id(
+    shared: &Shared,
+    id: InstanceId,
+    lambda: Lambda,
+) -> Result<Reply, ServiceError> {
+    let solution = shared
+        .engine
+        .solve_batch(&[(id, lambda)])
+        .pop()
+        .expect("one query, one answer")?;
+    if shared.verify {
+        // The id proves prior contact (the first-contact equality check
+        // already ran), so the cached instance *is* the instance to
+        // re-derive from scratch.
+        let cached = shared
+            .engine
+            .instance(id)
+            .ok_or(EngineError::UnknownInstance { id })?;
+        verify_solve(
+            &cached.prepared.tree,
+            &cached.prepared.costs,
+            lambda,
+            &solution,
+        )?;
+    }
+    Ok(Reply::Solution { id, solution })
+}
+
+/// Verify-mode cross-check: a from-scratch preparation and `Expanded`
+/// solve of the same instance state must agree byte-for-byte.
+fn verify_solve(
+    tree: &CruTree,
+    costs: &CostModel,
+    lambda: Lambda,
+    solution: &Solution,
+) -> Result<(), ServiceError> {
+    let prep = Prepared::new(tree, costs).map_err(EngineError::from)?;
+    let want = Expanded::default()
+        .solve(&prep, lambda)
+        .map_err(EngineError::from)?;
+    if want.objective != solution.objective || want.cut != solution.cut {
+        return Err(ServiceError::VerifyFailed { what: "solve" });
+    }
+    Ok(())
 }
 
 fn handle_frontier(
@@ -761,19 +871,46 @@ fn handle_frontier(
     let id = shared.engine.prepare(tree, costs)?;
     let frontier = shared.engine.frontier(id)?;
     if shared.verify {
-        let prep = Prepared::new(tree, costs).map_err(EngineError::from)?;
-        let frontiers = FrontierSet::prepare(&prep, &shared.engine.config().expanded)
-            .map_err(EngineError::from)?;
-        let want = lambda_frontier_with(&prep, &frontiers).map_err(EngineError::from)?;
-        let agrees = want.breakpoints() == frontier.breakpoints()
-            && [Lambda::ZERO, Lambda::HALF, Lambda::ONE]
-                .iter()
-                .all(|&l| want.objective_at(l) == frontier.objective_at(l));
-        if !agrees {
-            return Err(ServiceError::VerifyFailed { what: "frontier" });
-        }
+        verify_frontier(shared, id, &frontier)?;
     }
-    Ok(Reply::Frontier(frontier))
+    Ok(Reply::Frontier { id, frontier })
+}
+
+fn handle_frontier_by_id(shared: &Shared, id: InstanceId) -> Result<Reply, ServiceError> {
+    let frontier = shared.engine.frontier(id)?;
+    if shared.verify {
+        verify_frontier(shared, id, &frontier)?;
+    }
+    Ok(Reply::Frontier { id, frontier })
+}
+
+/// Verify-mode cross-check for frontiers: re-derives the instance's
+/// `Prepared` from scratch and rebuilds the envelope over the *cached*
+/// per-colour frontiers. The λ-independent frontier DP is content-hash
+/// keyed and immutable once cached, so re-running `FrontierSet::prepare`
+/// per verified request (as this path used to) re-checked nothing the
+/// equality check had not already pinned — it only put an O(instance)
+/// rebuild on every request.
+fn verify_frontier(
+    shared: &Shared,
+    id: InstanceId,
+    frontier: &LambdaFrontier,
+) -> Result<(), ServiceError> {
+    let cached = shared
+        .engine
+        .instance(id)
+        .ok_or(EngineError::UnknownInstance { id })?;
+    let prep =
+        Prepared::new(&cached.prepared.tree, &cached.prepared.costs).map_err(EngineError::from)?;
+    let want = lambda_frontier_with(&prep, &cached.frontiers).map_err(EngineError::from)?;
+    let agrees = want.breakpoints() == frontier.breakpoints()
+        && [Lambda::ZERO, Lambda::HALF, Lambda::ONE]
+            .iter()
+            .all(|&l| want.objective_at(l) == frontier.objective_at(l));
+    if !agrees {
+        return Err(ServiceError::VerifyFailed { what: "frontier" });
+    }
+    Ok(())
 }
 
 /// The single-drainer loop: pops this tenant's pending deltas in
@@ -849,17 +986,75 @@ mod tests {
         });
         let solve = svc.submit(Request::solve(&sc.tree, &sc.costs, Lambda::HALF));
         let frontier = svc.submit(Request::frontier(&sc.tree, &sc.costs));
-        let Reply::Solution(sol) = solve.wait().unwrap() else {
+        let Reply::Solution { id, solution: sol } = solve.wait().unwrap() else {
             panic!("expected a solution");
         };
-        let Reply::Frontier(fr) = frontier.wait().unwrap() else {
+        let Reply::Frontier {
+            id: fid,
+            frontier: fr,
+        } = frontier.wait().unwrap()
+        else {
             panic!("expected a frontier");
         };
+        assert_eq!(id, fid, "one instance, one id");
         assert_eq!(fr.objective_at(Lambda::HALF), sol.objective);
         let stats = svc.stats();
         assert_eq!(stats.submitted, 2);
         assert_eq!(stats.completed, 2);
         assert_eq!((stats.solves, stats.frontiers, stats.failed), (1, 1, 0));
+    }
+
+    #[test]
+    fn id_addressed_requests_round_trip_under_verify() {
+        let sc = paper_scenario();
+        let svc = service(ServiceConfig {
+            verify: true,
+            workers: 2,
+            ..ServiceConfig::default()
+        });
+        let first = svc
+            .submit(Request::solve(&sc.tree, &sc.costs, Lambda::HALF))
+            .wait()
+            .unwrap();
+        let id = first.instance_id().unwrap();
+        let sol = first.solution().unwrap();
+        // Re-query by id at several λ: byte-identical to instance-carrying
+        // requests, without shipping the instance again.
+        for n in 0..=4u32 {
+            let lambda = Lambda::new(n, 4).unwrap();
+            let by_id = svc.submit(Request::solve_by_id(id, lambda)).wait().unwrap();
+            let by_value = svc
+                .submit(Request::solve(&sc.tree, &sc.costs, lambda))
+                .wait()
+                .unwrap();
+            assert_eq!(by_id.instance_id(), Some(id));
+            let (a, b) = (by_id.solution().unwrap(), by_value.solution().unwrap());
+            assert_eq!(a.objective, b.objective);
+            assert_eq!(a.cut, b.cut);
+        }
+        let Reply::Frontier { id: fid, frontier } =
+            svc.submit(Request::frontier_by_id(id)).wait().unwrap()
+        else {
+            panic!("expected a frontier");
+        };
+        assert_eq!(fid, id);
+        assert_eq!(frontier.objective_at(Lambda::HALF), sol.objective);
+    }
+
+    #[test]
+    fn unknown_instance_id_is_an_error() {
+        let svc = service(ServiceConfig::default());
+        let bogus = crate::InstanceId::from_raw(0xdead_beef);
+        let t = svc.submit(Request::solve_by_id(bogus, Lambda::HALF));
+        assert!(matches!(
+            t.wait(),
+            Err(ServiceError::Engine(EngineError::UnknownInstance { id })) if id == bogus
+        ));
+        let t = svc.submit(Request::frontier_by_id(bogus));
+        assert!(matches!(
+            t.wait(),
+            Err(ServiceError::Engine(EngineError::UnknownInstance { .. }))
+        ));
     }
 
     #[test]

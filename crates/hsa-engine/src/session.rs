@@ -363,7 +363,7 @@ mod tests {
         let sc = paper_scenario();
         let mut session = Session::new(&sc.tree, &sc.costs, SessionConfig::default()).unwrap();
         let leaves = sc.tree.leaves_in_order();
-        let n_sats = sc.costs.n_satellites;
+        let n_sats = sc.costs.n_satellites();
         for (i, &leaf) in leaves.iter().take(4).enumerate() {
             let to = hsa_tree::SatelliteId((i as u32 + 1) % n_sats);
             session.apply(&Delta::new().repin(leaf, to)).unwrap();

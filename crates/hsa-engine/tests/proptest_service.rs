@@ -70,7 +70,7 @@ fn materialise_delta(raw: &RawReq, tree: &CruTree, costs: &CostModel) -> Delta {
         _ => {
             let leaves = tree.leaves_in_order();
             let leaf = leaves[raw.node as usize % leaves.len()];
-            let sat = SatelliteId(raw.sat as u32 % costs.n_satellites.max(1));
+            let sat = SatelliteId(raw.sat as u32 % costs.n_satellites().max(1));
             Delta::new().repin(leaf, sat)
         }
     }
@@ -174,7 +174,7 @@ fn script(
 
 fn check_reply(i: usize, reply: &Reply, expected: &Expected) -> Result<(), TestCaseError> {
     match (reply, expected) {
-        (Reply::Solution(sol), Expected::Solution { objective, cut })
+        (Reply::Solution { solution: sol, .. }, Expected::Solution { objective, cut })
         | (Reply::Applied { solution: sol, .. }, Expected::Solution { objective, cut }) => {
             prop_assert_eq!(
                 &sol.objective,
@@ -185,7 +185,7 @@ fn check_reply(i: usize, reply: &Reply, expected: &Expected) -> Result<(), TestC
             prop_assert_eq!(&sol.cut, cut, "request {}: cut diverged", i);
         }
         (
-            Reply::Frontier(fr),
+            Reply::Frontier { frontier: fr, .. },
             Expected::Frontier {
                 breakpoints,
                 objective_at_half,

@@ -56,7 +56,7 @@ fn materialise(op: &RawOp, tree: &CruTree, costs: &CostModel) -> Delta {
     let node = hsa_tree::CruId((op.node as usize % n) as u32);
     let leaves = tree.leaves_in_order();
     let leaf = leaves[op.node as usize % leaves.len()];
-    let sat = SatelliteId(op.sat as u32 % costs.n_satellites.max(1));
+    let sat = SatelliteId(op.sat as u32 % costs.n_satellites().max(1));
     let value = Cost::new(op.value as u64);
     match op.kind {
         0 => Delta::new().set_host_time(node, value),

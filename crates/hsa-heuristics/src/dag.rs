@@ -178,7 +178,7 @@ impl TaskDag {
         TaskDag {
             tasks,
             edges,
-            n_satellites: costs.n_satellites,
+            n_satellites: costs.n_satellites(),
         }
     }
 

@@ -74,7 +74,7 @@ pub fn satellite_loads_of_cut(
     colour_of: impl Fn(TreeEdge) -> Option<SatelliteId>,
     cut: &[TreeEdge],
 ) -> Vec<Cost> {
-    let mut loads = vec![Cost::ZERO; costs.n_satellites as usize];
+    let mut loads = vec![Cost::ZERO; costs.n_satellites() as usize];
     for &e in cut {
         let Some(sat) = colour_of(e) else { continue };
         let slot = &mut loads[sat.index()];

@@ -103,7 +103,7 @@ impl Colouring {
             .collect();
 
         let bands = bands_of(&leaf_colours);
-        let mut band_count = vec![0u32; costs.n_satellites as usize];
+        let mut band_count = vec![0u32; costs.n_satellites() as usize];
         for b in &bands {
             band_count[b.satellite.index()] += 1;
         }
@@ -310,7 +310,7 @@ mod tests {
     #[test]
     fn unpinned_leaf_fails() {
         let (t, mut m) = two_sat_tree();
-        m.pinning[2] = None;
+        m.set_pinning(CruId(2), None);
         assert!(Colouring::compute(&t, &m).is_err());
     }
 }

@@ -17,6 +17,7 @@
 //! and the *pinning* of every leaf's sensors to a satellite, which the
 //! colouring scheme (§5.1) propagates rootwards.
 
+use crate::hash::{Fnv1a, HashCache};
 use crate::{CruId, CruTree, SatelliteId, TreeError};
 use hsa_graph::Cost;
 use serde::{Deserialize, Serialize};
@@ -25,23 +26,72 @@ use serde::{Deserialize, Serialize};
 ///
 /// Invariants (enforced by [`CostModel::validate`]): one entry per CRU in
 /// each cost table, and a satellite pinning for exactly the leaves.
-#[derive(Clone, Debug, Serialize, Deserialize, PartialEq, Eq, Hash)]
+///
+/// The cost tables are private so that **every** mutation funnels through
+/// a setter — that is what lets the lazily-computed
+/// [`content_hash`](CostModel::content_hash) cache invalidate itself
+/// exactly when the value changes and never serve a stale hash.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct CostModel {
     /// `h_i` per CRU: host processing time.
-    pub host_time: Vec<Cost>,
+    host_time: Vec<Cost>,
     /// `s_i` per CRU: satellite processing time.
-    pub satellite_time: Vec<Cost>,
+    satellite_time: Vec<Cost>,
     /// `c_up(i)` per CRU: time to transmit `i`'s output to the host
     /// (meaningless for the root, which must keep `Cost::ZERO`).
-    pub comm_up: Vec<Cost>,
+    comm_up: Vec<Cost>,
     /// For each leaf (by CRU id): pinned satellite, or `None` for internal
     /// nodes.
-    pub pinning: Vec<Option<SatelliteId>>,
+    pinning: Vec<Option<SatelliteId>>,
     /// `c_raw(l)` per CRU: raw sensor transmission time (zero for internal
     /// nodes).
-    pub comm_raw: Vec<Cost>,
+    comm_raw: Vec<Cost>,
     /// Number of satellites in the platform (ids `0..n_satellites`).
-    pub n_satellites: u32,
+    n_satellites: u32,
+    /// Lazily-computed content hash; reset by every setter.
+    cache: HashCache,
+}
+
+// The hash cache is not part of the value: serialise exactly the fields
+// the derive would have emitted before the cache existed, so the wire
+// format is unchanged. (The vendored derive has no `#[serde(skip)]`.)
+impl Serialize for CostModel {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            (
+                "host_time".to_string(),
+                Serialize::to_value(&self.host_time),
+            ),
+            (
+                "satellite_time".to_string(),
+                Serialize::to_value(&self.satellite_time),
+            ),
+            ("comm_up".to_string(), Serialize::to_value(&self.comm_up)),
+            ("pinning".to_string(), Serialize::to_value(&self.pinning)),
+            ("comm_raw".to_string(), Serialize::to_value(&self.comm_raw)),
+            (
+                "n_satellites".to_string(),
+                Serialize::to_value(&self.n_satellites),
+            ),
+        ])
+    }
+}
+
+impl Deserialize for CostModel {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let m = v
+            .as_map()
+            .ok_or_else(|| serde::DeError::custom("expected map for struct CostModel"))?;
+        Ok(CostModel {
+            host_time: Deserialize::from_value(serde::value::field(m, "host_time")?)?,
+            satellite_time: Deserialize::from_value(serde::value::field(m, "satellite_time")?)?,
+            comm_up: Deserialize::from_value(serde::value::field(m, "comm_up")?)?,
+            pinning: Deserialize::from_value(serde::value::field(m, "pinning")?)?,
+            comm_raw: Deserialize::from_value(serde::value::field(m, "comm_raw")?)?,
+            n_satellites: Deserialize::from_value(serde::value::field(m, "n_satellites")?)?,
+            cache: HashCache::default(),
+        })
+    }
 }
 
 impl CostModel {
@@ -56,32 +106,127 @@ impl CostModel {
             pinning: vec![None; n],
             comm_raw: vec![Cost::ZERO; n],
             n_satellites,
+            cache: HashCache::default(),
         }
+    }
+
+    /// The FNV-1a content hash of every cost table and the platform size.
+    /// Computed lazily and cached; every setter invalidates the cache, so
+    /// a warm model answers in one atomic load.
+    pub fn content_hash(&self) -> u64 {
+        self.cache.get_or_compute(|| {
+            let mut h = Fnv1a::new();
+            h.write_u32(self.n_satellites);
+            h.write_u64(self.host_time.len() as u64);
+            for &c in &self.host_time {
+                h.write_u64(c.ticks());
+            }
+            for &c in &self.satellite_time {
+                h.write_u64(c.ticks());
+            }
+            for &c in &self.comm_up {
+                h.write_u64(c.ticks());
+            }
+            for &c in &self.comm_raw {
+                h.write_u64(c.ticks());
+            }
+            for &p in &self.pinning {
+                // `sat + 1` with 0 for "unpinned" keeps the stream dense.
+                h.write_u32(p.map_or(0, |s| s.0 + 1));
+            }
+            h.finish()
+        })
     }
 
     /// Sets `h_i`.
     pub fn set_host_time(&mut self, c: CruId, v: Cost) -> &mut Self {
+        self.cache.invalidate();
         self.host_time[c.index()] = v;
         self
     }
 
     /// Sets `s_i`.
     pub fn set_satellite_time(&mut self, c: CruId, v: Cost) -> &mut Self {
+        self.cache.invalidate();
         self.satellite_time[c.index()] = v;
         self
     }
 
     /// Sets `c_up(i)`.
     pub fn set_comm_up(&mut self, c: CruId, v: Cost) -> &mut Self {
+        self.cache.invalidate();
         self.comm_up[c.index()] = v;
+        self
+    }
+
+    /// Sets `c_raw(l)` alone (pinning untouched).
+    pub fn set_comm_raw(&mut self, c: CruId, v: Cost) -> &mut Self {
+        self.cache.invalidate();
+        self.comm_raw[c.index()] = v;
+        self
+    }
+
+    /// Sets or clears a node's sensor pinning directly. Prefer
+    /// [`CostModel::pin_leaf`] when also setting the raw-transfer cost;
+    /// this is the escape hatch for perturbations (sensor churn, pin
+    /// migration) and deliberately-invalid test fixtures.
+    pub fn set_pinning(&mut self, c: CruId, sat: Option<SatelliteId>) -> &mut Self {
+        self.cache.invalidate();
+        self.pinning[c.index()] = sat;
+        self
+    }
+
+    /// Resizes the platform (satellite ids become `0..n`). Existing
+    /// pinnings are left untouched; [`CostModel::validate`] will reject
+    /// the model if any leaf now points past the platform.
+    pub fn set_n_satellites(&mut self, n: u32) -> &mut Self {
+        self.cache.invalidate();
+        self.n_satellites = n;
         self
     }
 
     /// Pins a leaf's sensors to a satellite and sets its raw-transfer cost.
     pub fn pin_leaf(&mut self, leaf: CruId, sat: SatelliteId, c_raw: Cost) -> &mut Self {
+        self.cache.invalidate();
         self.pinning[leaf.index()] = Some(sat);
         self.comm_raw[leaf.index()] = c_raw;
         self
+    }
+
+    /// Number of satellites in the platform (ids `0..n_satellites`).
+    #[inline]
+    pub fn n_satellites(&self) -> u32 {
+        self.n_satellites
+    }
+
+    /// All `h_i`, indexed by CRU id.
+    #[inline]
+    pub fn host_times(&self) -> &[Cost] {
+        &self.host_time
+    }
+
+    /// All `s_i`, indexed by CRU id.
+    #[inline]
+    pub fn satellite_times(&self) -> &[Cost] {
+        &self.satellite_time
+    }
+
+    /// All `c_up(i)`, indexed by CRU id.
+    #[inline]
+    pub fn comm_ups(&self) -> &[Cost] {
+        &self.comm_up
+    }
+
+    /// All `c_raw(l)`, indexed by CRU id.
+    #[inline]
+    pub fn comm_raws(&self) -> &[Cost] {
+        &self.comm_raw
+    }
+
+    /// All pinnings, indexed by CRU id (`None` for internal nodes).
+    #[inline]
+    pub fn pinnings(&self) -> &[Option<SatelliteId>] {
+        &self.pinning
     }
 
     /// `h_i` accessor.
@@ -223,29 +368,85 @@ mod tests {
     #[test]
     fn unpinned_leaf_is_rejected() {
         let (t, mut m) = tree_and_costs();
-        m.pinning[2] = None;
+        m.set_pinning(CruId(2), None);
         assert_eq!(m.validate(&t), Err(TreeError::UnpinnedLeaf(CruId(2))));
     }
 
     #[test]
     fn pinned_internal_node_is_rejected() {
         let (t, mut m) = tree_and_costs();
-        m.pinning[1] = Some(SatelliteId(0));
+        m.set_pinning(CruId(1), Some(SatelliteId(0)));
         assert!(m.validate(&t).is_err());
     }
 
     #[test]
     fn pinning_to_missing_satellite_is_rejected() {
         let (t, mut m) = tree_and_costs();
-        m.pinning[2] = Some(SatelliteId(99));
+        m.set_pinning(CruId(2), Some(SatelliteId(99)));
         assert!(m.validate(&t).is_err());
     }
 
     #[test]
     fn nonzero_root_uplink_is_rejected() {
         let (t, mut m) = tree_and_costs();
-        m.comm_up[0] = c(1);
+        m.set_comm_up(CruId(0), c(1));
         assert!(m.validate(&t).is_err());
+    }
+
+    #[test]
+    fn content_hash_is_cached_and_invalidated_by_every_setter() {
+        type Mutation = Box<dyn Fn(&mut CostModel)>;
+        let (_t, m) = tree_and_costs();
+        let h0 = m.content_hash();
+        assert_eq!(m.content_hash(), h0, "cached hash must be stable");
+        // Each setter must change the hash (values chosen to differ).
+        let mutations: Vec<Mutation> = vec![
+            Box::new(|m| {
+                m.set_host_time(CruId(2), c(99));
+            }),
+            Box::new(|m| {
+                m.set_satellite_time(CruId(2), c(99));
+            }),
+            Box::new(|m| {
+                m.set_comm_up(CruId(2), c(99));
+            }),
+            Box::new(|m| {
+                m.set_comm_raw(CruId(2), c(99));
+            }),
+            Box::new(|m| {
+                m.set_pinning(CruId(2), Some(SatelliteId(1)));
+            }),
+            Box::new(|m| {
+                m.set_n_satellites(7);
+            }),
+            Box::new(|m| {
+                m.pin_leaf(CruId(3), SatelliteId(0), c(42));
+            }),
+        ];
+        for (i, mutate) in mutations.iter().enumerate() {
+            let (_t, mut fresh) = tree_and_costs();
+            let before = fresh.content_hash();
+            mutate(&mut fresh);
+            assert_ne!(
+                fresh.content_hash(),
+                before,
+                "setter #{i} must invalidate and change the hash"
+            );
+        }
+        // Equal content always re-hashes equal, cached or not.
+        let (_t, other) = tree_and_costs();
+        assert_eq!(other.content_hash(), h0);
+    }
+
+    #[test]
+    fn cost_fields_do_not_alias_across_tables() {
+        // host_time[i] and satellite_time[i] feed distinct hash positions:
+        // swapping a value between tables must change the hash.
+        let (_t, mut a) = tree_and_costs();
+        let (_t, mut b) = tree_and_costs();
+        a.set_host_time(CruId(3), c(77));
+        b.set_satellite_time(CruId(3), c(77));
+        assert_ne!(a.content_hash(), b.content_hash());
     }
 
     #[test]

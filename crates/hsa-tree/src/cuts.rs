@@ -28,9 +28,12 @@ impl Cut {
         Ok(cut)
     }
 
-    /// Builds a cut that is known-valid by construction (enumeration);
-    /// debug-asserts validity.
-    pub(crate) fn trusted(tree: &CruTree, mut edges: Vec<TreeEdge>) -> Cut {
+    /// Builds a cut that is known-valid by construction — frontier
+    /// assembly, enumeration and the other walk-free producers whose edge
+    /// sets satisfy the antichain property structurally. Skips the O(n)
+    /// validation of [`Cut::new`] (debug builds still assert it), which is
+    /// what keeps the steady-state answer path free of tree walks.
+    pub fn trusted(tree: &CruTree, mut edges: Vec<TreeEdge>) -> Cut {
         edges.sort();
         let cut = Cut { edges };
         debug_assert!(cut.validate(tree).is_ok());

@@ -259,10 +259,10 @@ fn check_node(tree: &CruTree, c: CruId) -> Result<(), TreeError> {
 }
 
 fn check_satellite(costs: &CostModel, s: SatelliteId) -> Result<(), TreeError> {
-    if s.0 >= costs.n_satellites {
+    if s.0 >= costs.n_satellites() {
         return Err(TreeError::CostModelMismatch(format!(
             "{s} outside the platform (only {} satellites exist)",
-            costs.n_satellites
+            costs.n_satellites()
         )));
     }
     Ok(())
@@ -325,19 +325,18 @@ fn apply_op(op: &DeltaOp, tree: &CruTree, costs: &mut CostModel) -> Result<(), T
             if !tree.is_leaf(leaf) {
                 return Err(TreeError::NotALeaf(leaf));
             }
-            costs.comm_raw[leaf.index()] = value;
+            costs.set_comm_raw(leaf, value);
         }
         DeltaOp::ScaleSubtree { root, num, den } => {
             check_node(tree, root)?;
             check_den(den)?;
             for c in tree.subtree(root) {
-                let i = c.index();
-                costs.host_time[i] = scale(costs.host_time[i], num, den);
-                costs.satellite_time[i] = scale(costs.satellite_time[i], num, den);
+                costs.set_host_time(c, scale(costs.h(c), num, den));
+                costs.set_satellite_time(c, scale(costs.s(c), num, den));
                 // The tree root's uplink is zero and scaling keeps it zero,
                 // so the validation invariant survives unconditionally.
-                costs.comm_up[i] = scale(costs.comm_up[i], num, den);
-                costs.comm_raw[i] = scale(costs.comm_raw[i], num, den);
+                costs.set_comm_up(c, scale(costs.c_up(c), num, den));
+                costs.set_comm_raw(c, scale(costs.c_raw(c), num, den));
             }
         }
         DeltaOp::ScaleSatellite {
@@ -349,8 +348,7 @@ fn apply_op(op: &DeltaOp, tree: &CruTree, costs: &mut CostModel) -> Result<(), T
             check_den(den)?;
             for (c, sat) in uniform_satellites(tree, costs) {
                 if sat == Some(satellite) {
-                    let i = c.index();
-                    costs.satellite_time[i] = scale(costs.satellite_time[i], num, den);
+                    costs.set_satellite_time(c, scale(costs.s(c), num, den));
                 }
             }
         }
@@ -360,7 +358,7 @@ fn apply_op(op: &DeltaOp, tree: &CruTree, costs: &mut CostModel) -> Result<(), T
                 return Err(TreeError::NotALeaf(leaf));
             }
             check_satellite(costs, satellite)?;
-            costs.pinning[leaf.index()] = Some(satellite);
+            costs.set_pinning(leaf, Some(satellite));
         }
     }
     Ok(())
@@ -455,7 +453,7 @@ mod tests {
         let (t, mut m) = fig2_tree();
         let leaf = *t.leaves_in_order().first().unwrap();
         let old_raw = m.c_raw(leaf);
-        let new_sat = SatelliteId((m.pinned_satellite(leaf).unwrap().0 + 1) % m.n_satellites);
+        let new_sat = SatelliteId((m.pinned_satellite(leaf).unwrap().0 + 1) % m.n_satellites());
         Delta::new().repin(leaf, new_sat).apply(&t, &mut m).unwrap();
         assert_eq!(m.pinned_satellite(leaf), Some(new_sat));
         assert_eq!(m.c_raw(leaf), old_raw);

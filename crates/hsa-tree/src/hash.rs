@@ -1,0 +1,215 @@
+//! Word-wise FNV-1a hashing and the lazily-computed content-hash cache
+//! behind [`CruTree::content_hash`](crate::CruTree::content_hash) and
+//! [`CostModel::content_hash`](crate::CostModel::content_hash).
+//!
+//! The engine keys its instance cache by a structural hash of the tree and
+//! cost model. Recomputing that hash on every request is O(instance) work
+//! that dominates the per-request floor once the solve itself is cached, so
+//! each structure carries a [`HashCache`]: a single atomic word that is
+//! empty until the first [`HashCache::get_or_compute`] and is reset by
+//! every mutating accessor. Hot requests then pay two relaxed atomic loads
+//! instead of two full traversals.
+//!
+//! [`Fnv1a`] is the same FNV-1a the engine used per byte, widened to fold
+//! one `u64` word per multiply. For the word streams the content hashes
+//! feed it (ids, counts, packed name bytes) this is 8× fewer multiplies for
+//! the same diffusion guarantees FNV gives: every input word still passes
+//! through the full xor-multiply pipeline.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// FNV-1a over `u64` words (little-endian packing for byte input).
+///
+/// The classic byte-wise FNV-1a constants are kept — `offset` as the seed,
+/// the 64-bit FNV prime as the multiplier — but the xor step folds in a
+/// whole word at a time. Byte strings enter via [`Fnv1a::write_bytes`],
+/// which length-prefixes and packs them into words, so distinct byte
+/// streams remain distinct word streams.
+#[derive(Clone, Copy, Debug)]
+pub struct Fnv1a(u64);
+
+impl Fnv1a {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// A fresh hasher at the FNV offset basis.
+    #[inline]
+    pub fn new() -> Fnv1a {
+        Fnv1a(Self::OFFSET)
+    }
+
+    /// Folds one word into the state.
+    #[inline]
+    pub fn write_u64(&mut self, word: u64) -> &mut Self {
+        self.0 = (self.0 ^ word).wrapping_mul(Self::PRIME);
+        self
+    }
+
+    /// Folds a `u32` (zero-extended to a word).
+    #[inline]
+    pub fn write_u32(&mut self, word: u32) -> &mut Self {
+        self.write_u64(word as u64)
+    }
+
+    /// Folds a byte string: length prefix, then the bytes packed
+    /// little-endian into words (final partial word zero-padded). The
+    /// prefix makes `("ab", "c")` and `("a", "bc")` hash differently when
+    /// written in sequence.
+    pub fn write_bytes(&mut self, bytes: &[u8]) -> &mut Self {
+        self.write_u64(bytes.len() as u64);
+        for chunk in bytes.chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            self.write_u64(u64::from_le_bytes(word));
+        }
+        self
+    }
+
+    /// The current state.
+    #[inline]
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a::new()
+    }
+}
+
+/// A lazily-computed, mutation-invalidated cache for a structure's content
+/// hash.
+///
+/// Semantically this field is **not part of the value**: two structures
+/// with equal content are equal whatever their caches hold, and the cache
+/// never travels over the wire. The trait impls below encode exactly that —
+/// [`PartialEq`] always matches, [`Hash`](std::hash::Hash) writes nothing —
+/// so containing types keep their derived `PartialEq`/`Eq`/`Hash`
+/// behaviour bit-for-bit.
+///
+/// Concurrency: reads race benignly. `0` is the "unset" sentinel; if two
+/// threads compute simultaneously they store the same deterministic value.
+/// Invalidation takes `&mut self`, which the borrow checker already
+/// requires for any content mutation, so a shared reference can never
+/// observe a stale hash.
+#[derive(Default)]
+pub struct HashCache(AtomicU64);
+
+/// Stand-in stored when a content hash happens to be `0` (the unset
+/// sentinel). One fixed non-zero constant keeps the cache lossless: the
+/// swap is applied symmetrically on store and load.
+const ZERO_STANDIN: u64 = Fnv1a::OFFSET;
+
+impl HashCache {
+    /// Returns the cached hash, computing and caching it via `f` if unset.
+    #[inline]
+    pub fn get_or_compute(&self, f: impl FnOnce() -> u64) -> u64 {
+        match self.0.load(Ordering::Relaxed) {
+            0 => {
+                let h = f();
+                self.0
+                    .store(if h == 0 { ZERO_STANDIN } else { h }, Ordering::Relaxed);
+                h
+            }
+            h if h == ZERO_STANDIN => 0,
+            h => h,
+        }
+    }
+
+    /// Clears the cache; the next [`HashCache::get_or_compute`] recomputes.
+    /// Requires `&mut self` — exactly the access any content mutation
+    /// already holds.
+    #[inline]
+    pub fn invalidate(&mut self) {
+        *self.0.get_mut() = 0;
+    }
+}
+
+impl Clone for HashCache {
+    /// Clones carry the cached value: all mutation funnels through
+    /// invalidating setters, so a clone's content matches its cache.
+    fn clone(&self) -> Self {
+        HashCache(AtomicU64::new(self.0.load(Ordering::Relaxed)))
+    }
+}
+
+impl std::fmt::Debug for HashCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.0.load(Ordering::Relaxed) {
+            0 => write!(f, "HashCache(unset)"),
+            h => write!(f, "HashCache({h:#018x})"),
+        }
+    }
+}
+
+impl PartialEq for HashCache {
+    /// Caches never affect value equality.
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
+}
+
+impl Eq for HashCache {}
+
+impl std::hash::Hash for HashCache {
+    /// Caches never affect the (std) hash of the containing value.
+    fn hash<H: std::hash::Hasher>(&self, _: &mut H) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn words_feed_the_fnv_pipeline() {
+        let mut a = Fnv1a::new();
+        a.write_u64(1).write_u64(2);
+        let mut b = Fnv1a::new();
+        b.write_u64(2).write_u64(1);
+        assert_ne!(a.finish(), b.finish(), "order must matter");
+        assert_ne!(Fnv1a::new().finish(), 0);
+    }
+
+    #[test]
+    fn byte_packing_is_prefix_free() {
+        let mut a = Fnv1a::new();
+        a.write_bytes(b"ab").write_bytes(b"c");
+        let mut b = Fnv1a::new();
+        b.write_bytes(b"a").write_bytes(b"bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn cache_computes_once_and_invalidates() {
+        let mut cache = HashCache::default();
+        let mut calls = 0;
+        let h = cache.get_or_compute(|| {
+            calls += 1;
+            42
+        });
+        assert_eq!(h, 42);
+        let h2 = cache.get_or_compute(|| unreachable!("must be cached"));
+        assert_eq!(h2, 42);
+        assert_eq!(calls, 1);
+        cache.invalidate();
+        assert_eq!(cache.get_or_compute(|| 7), 7);
+    }
+
+    #[test]
+    fn zero_hash_round_trips() {
+        let cache = HashCache::default();
+        assert_eq!(cache.get_or_compute(|| 0), 0);
+        assert_eq!(cache.get_or_compute(|| unreachable!("cached")), 0);
+    }
+
+    #[test]
+    fn cache_is_value_transparent() {
+        let a = HashCache::default();
+        a.get_or_compute(|| 5);
+        let b = HashCache::default();
+        assert_eq!(a, b, "cache state must not affect equality");
+        let cloned = a.clone();
+        assert_eq!(cloned.get_or_compute(|| unreachable!("carried")), 5);
+    }
+}

@@ -35,6 +35,7 @@ mod costs;
 mod cuts;
 mod delta;
 mod error;
+mod hash;
 mod ids;
 mod sigma;
 mod tree;
@@ -48,6 +49,7 @@ pub use costs::CostModel;
 pub use cuts::{count_cuts, for_each_cut, Cut};
 pub use delta::{Delta, DeltaOp};
 pub use error::TreeError;
+pub use hash::{Fnv1a, HashCache};
 pub use ids::{CruId, SatelliteId, TreeEdge};
 pub use sigma::{host_time_of_cut, SigmaLabels};
 pub use tree::{CruNode, CruTree, TreeBuilder};

@@ -7,6 +7,7 @@
 //! indexes its faces with, and "leftmost child" drives the σ labelling of
 //! Figure 8.
 
+use crate::hash::{Fnv1a, HashCache};
 use crate::{CruId, TreeError};
 use serde::{Deserialize, Serialize};
 
@@ -25,13 +26,65 @@ pub struct CruNode {
 ///
 /// Construct with [`TreeBuilder`] (which can only build well-formed trees)
 /// or deserialise and [`CruTree::validate`].
-#[derive(Clone, Debug, Serialize, Deserialize, PartialEq, Eq, Hash)]
+///
+/// Carries a lazily-computed [`content_hash`](CruTree::content_hash):
+/// trees are immutable after construction (no `&mut` accessor exists), so
+/// the cache is filled at most once per tree and shared by every
+/// subsequent identity check.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct CruTree {
     nodes: Vec<CruNode>,
     root: CruId,
+    cache: HashCache,
+}
+
+// The hash cache is not part of the value: serialise exactly the fields
+// the derive would have emitted before the cache existed, so the wire
+// format is unchanged. (The vendored derive has no `#[serde(skip)]`.)
+impl Serialize for CruTree {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            ("nodes".to_string(), Serialize::to_value(&self.nodes)),
+            ("root".to_string(), Serialize::to_value(&self.root)),
+        ])
+    }
+}
+
+impl Deserialize for CruTree {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let m = v
+            .as_map()
+            .ok_or_else(|| serde::DeError::custom("expected map for struct CruTree"))?;
+        Ok(CruTree {
+            nodes: Deserialize::from_value(serde::value::field(m, "nodes")?)?,
+            root: Deserialize::from_value(serde::value::field(m, "root")?)?,
+            cache: HashCache::default(),
+        })
+    }
 }
 
 impl CruTree {
+    /// The FNV-1a content hash of the tree's structure: node count, root,
+    /// and per node its parent, ordered children and name. Computed once
+    /// and cached ([`HashCache`]); subsequent calls are one atomic load.
+    pub fn content_hash(&self) -> u64 {
+        self.cache.get_or_compute(|| {
+            let mut h = Fnv1a::new();
+            h.write_u64(self.nodes.len() as u64);
+            h.write_u32(self.root.0);
+            for n in &self.nodes {
+                // `parent + 1` with 0 for "none" keeps the stream dense.
+                h.write_u32(n.parent.map_or(0, |p| p.0 + 1));
+                h.write_u64(n.children.len() as u64);
+                for &c in &n.children {
+                    h.write_u32(c.0);
+                }
+                h.write_bytes(n.name.as_bytes());
+            }
+            h.finish()
+        })
+    }
+
     /// The root CRU (the ultimate reasoning step, consumed by the
     /// application on the host).
     #[inline]
@@ -237,7 +290,11 @@ impl CruTree {
     /// Creates a tree directly from arena parts. Prefer [`TreeBuilder`];
     /// this is the deserialisation/interop entry point and validates.
     pub fn from_parts(nodes: Vec<CruNode>, root: CruId) -> Result<Self, TreeError> {
-        let t = CruTree { nodes, root };
+        let t = CruTree {
+            nodes,
+            root,
+            cache: HashCache::default(),
+        };
         t.validate()?;
         Ok(t)
     }
@@ -319,6 +376,7 @@ impl TreeBuilder {
         let t = CruTree {
             nodes: self.nodes,
             root: CruId(0),
+            cache: HashCache::default(),
         };
         debug_assert!(t.validate().is_ok());
         t

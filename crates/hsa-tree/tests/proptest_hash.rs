@@ -1,0 +1,175 @@
+//! Property tests for the cached structural hashes: after *any* sequence of
+//! delta mutations — and after rolling the mutations back — the cached
+//! [`CostModel::content_hash`] / [`CruTree::content_hash`] must equal a
+//! from-scratch recomputation on a cache-free twin. A stale cache here would
+//! silently alias distinct instances in the engine's identity cache, so this
+//! suite is the coherence contract behind `instance_hash`.
+//!
+//! Green under `PROPTEST_SEED` 1–3 (and the default stream).
+
+use hsa_graph::Cost;
+use hsa_tree::{CostModel, CruId, CruNode, CruTree, Delta, SatelliteId};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+struct Instance {
+    tree: CruTree,
+    costs: CostModel,
+}
+
+/// Strategy: random ordered tree of `n` nodes, `k` satellites, random small
+/// costs — the same shape as `proptest_labels.rs`.
+fn arb_instance(max_nodes: usize, max_sats: u32) -> impl Strategy<Value = Instance> {
+    (2usize..=max_nodes, 1u32..=max_sats).prop_flat_map(move |(n, k)| {
+        let parents = proptest::collection::vec(0usize..n, n - 1);
+        let costs = proptest::collection::vec((0u64..40, 0u64..40, 0u64..20, 0u64..20), n);
+        let sats = proptest::collection::vec(0u32..k, n);
+        (parents, costs, sats).prop_map(move |(parents, costvec, sats)| {
+            let mut nodes: Vec<CruNode> = (0..n)
+                .map(|i| CruNode {
+                    parent: None,
+                    children: Vec::new(),
+                    name: format!("n{i}"),
+                })
+                .collect();
+            for i in 1..n {
+                let p = parents[i - 1] % i;
+                nodes[i].parent = Some(CruId(p as u32));
+                nodes[p].children.push(CruId(i as u32));
+            }
+            let tree = CruTree::from_parts(nodes, CruId(0)).expect("construction is valid");
+            let mut m = CostModel::zeroed(&tree, k);
+            for i in 0..n {
+                let id = CruId(i as u32);
+                let (h, s, cu, cr) = costvec[i];
+                m.set_host_time(id, Cost::new(h));
+                m.set_satellite_time(id, Cost::new(s));
+                if i != 0 {
+                    m.set_comm_up(id, Cost::new(cu));
+                }
+                if tree.is_leaf(id) {
+                    m.pin_leaf(id, SatelliteId(sats[i] % k), Cost::new(cr));
+                }
+            }
+            Instance { tree, costs: m }
+        })
+    })
+}
+
+/// One abstract mutation: `(kind, index, value, num, den)`, mapped onto a
+/// concrete [`hsa_tree::DeltaOp`] in the test body (indices are taken modulo
+/// the node/leaf counts so every op is applicable).
+type OpSpec = (usize, usize, u64, u32, u32);
+
+fn arb_ops(ops: usize) -> impl Strategy<Value = Vec<OpSpec>> {
+    proptest::collection::vec((0usize..7, 0usize..64, 0u64..60, 1u32..4, 1u32..4), ops)
+}
+
+/// From-scratch recomputation oracle: a serde round trip rebuilds the value
+/// with an *empty* hash cache, so its `content_hash` cannot be a stale read.
+fn fresh_costs_hash(m: &CostModel) -> u64 {
+    let json = serde_json::to_string(m).unwrap();
+    let twin: CostModel = serde_json::from_str(&json).unwrap();
+    twin.content_hash()
+}
+
+fn fresh_tree_hash(t: &CruTree) -> u64 {
+    let json = serde_json::to_string(t).unwrap();
+    let twin: CruTree = serde_json::from_str(&json).unwrap();
+    twin.content_hash()
+}
+
+/// Builds the concrete delta for a spec sequence against this instance.
+fn build_delta(inst: &Instance, ops: &[OpSpec]) -> Delta {
+    let n = inst.tree.len();
+    let k = inst.costs.n_satellites();
+    let leaves: Vec<CruId> = (0..n)
+        .map(|i| CruId(i as u32))
+        .filter(|&c| inst.tree.is_leaf(c))
+        .collect();
+    let node = |i: usize| CruId((i % n) as u32);
+    let leaf = |i: usize| leaves[i % leaves.len()];
+    let mut d = Delta::new();
+    for &(kind, i, v, num, den) in ops {
+        d = match kind {
+            0 => d.set_host_time(node(i), Cost::new(v)),
+            1 => d.set_satellite_time(node(i), Cost::new(v)),
+            // comm_up must stay zero on the root — pick a non-root node.
+            2 => d.set_comm_up(CruId((i % (n - 1) + 1) as u32), Cost::new(v)),
+            3 => d.set_comm_raw(leaf(i), Cost::new(v)),
+            4 => d.scale_subtree(node(i), num, den),
+            5 => d.scale_satellite(SatelliteId(v as u32 % k), num, den),
+            _ => d.repin(leaf(i), SatelliteId(v as u32 % k)),
+        };
+    }
+    d
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(120))]
+
+    /// The cached cost hash stays coherent through every prefix of an
+    /// arbitrary delta sequence: cached == from-scratch after each apply.
+    #[test]
+    fn cost_hash_coherent_under_deltas(inst in arb_instance(10, 4), ops in arb_ops(8)) {
+        let mut m = inst.costs.clone();
+        prop_assert_eq!(m.content_hash(), fresh_costs_hash(&m));
+        for op in &ops {
+            let d = build_delta(&inst, std::slice::from_ref(op));
+            d.apply(&inst.tree, &mut m).unwrap();
+            prop_assert_eq!(m.content_hash(), fresh_costs_hash(&m), "stale cache after {:?}", op);
+        }
+    }
+
+    /// Rolling mutations back (a `restore`-style rollback: rewriting every
+    /// table entry from a pristine copy) lands on the original hash again,
+    /// and the rolled-back cache is coherent.
+    #[test]
+    fn cost_hash_coherent_after_rollback(inst in arb_instance(10, 4), ops in arb_ops(8)) {
+        let orig = inst.costs.clone();
+        let orig_hash = orig.content_hash();
+        let mut m = inst.costs.clone();
+        build_delta(&inst, &ops).apply(&inst.tree, &mut m).unwrap();
+        // Roll back through the invalidating setters, as the engine's
+        // `restore` path does when a speculative delta is rejected.
+        for i in 0..inst.tree.len() {
+            let c = CruId(i as u32);
+            m.set_host_time(c, orig.h(c));
+            m.set_satellite_time(c, orig.s(c));
+            m.set_comm_up(c, orig.c_up(c));
+            if inst.tree.is_leaf(c) {
+                m.set_comm_raw(c, orig.c_raw(c));
+            }
+            m.set_pinning(c, orig.pinnings()[i]);
+        }
+        prop_assert_eq!(&m, &orig, "rollback must restore the model exactly");
+        prop_assert_eq!(m.content_hash(), orig_hash, "rollback must restore the hash");
+        prop_assert_eq!(m.content_hash(), fresh_costs_hash(&m));
+    }
+
+    /// Structurally equal models hash equally regardless of cache state;
+    /// a delta that changes the model changes the hash (FNV collisions over
+    /// these tiny tables would be a generator bug, not a tolerated event).
+    #[test]
+    fn cost_hash_is_value_determined(inst in arb_instance(10, 4), ops in arb_ops(4)) {
+        let mut m = inst.costs.clone();
+        build_delta(&inst, &ops).apply(&inst.tree, &mut m).unwrap();
+        if m == inst.costs {
+            prop_assert_eq!(m.content_hash(), inst.costs.content_hash());
+        } else {
+            prop_assert_ne!(m.content_hash(), inst.costs.content_hash());
+        }
+    }
+
+    /// The tree hash is cached, serde-stable, and distinguishes the trees
+    /// this generator produces from a one-node re-rooting.
+    #[test]
+    fn tree_hash_is_coherent_and_discriminating(inst in arb_instance(10, 4)) {
+        prop_assert_eq!(inst.tree.content_hash(), fresh_tree_hash(&inst.tree));
+        prop_assert_eq!(inst.tree.content_hash(), inst.tree.clone().content_hash());
+        // Renaming one node must change the structural hash.
+        let json = serde_json::to_string(&inst.tree).unwrap();
+        let renamed: CruTree = serde_json::from_str(&json.replacen("n0", "m0", 1)).unwrap();
+        prop_assert_ne!(inst.tree.content_hash(), renamed.content_hash());
+    }
+}

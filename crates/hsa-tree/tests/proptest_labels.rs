@@ -82,7 +82,7 @@ proptest! {
         let colour_of = |e: TreeEdge| col.edge_colour(e).satellite();
         for_each_cut(&inst.tree, &|e| col.cuttable(e), &mut |cut| {
             // Labelled per-colour sums.
-            let mut labelled = vec![Cost::ZERO; inst.costs.n_satellites as usize];
+            let mut labelled = vec![Cost::ZERO; inst.costs.n_satellites() as usize];
             for &e in cut.edges() {
                 let sat = colour_of(e).expect("cuttable edges have a colour");
                 labelled[sat.index()] += bet.beta(e);

@@ -9,14 +9,20 @@
 
 use crate::Scenario;
 use hsa_graph::Cost;
+use hsa_tree::CruId;
+
+fn scaled(v: Cost, num: u64, den: u64) -> Cost {
+    Cost::new(v.ticks().saturating_mul(num) / den)
+}
 
 /// Multiplies every *host* processing time by `num/den` (exact, rounding
 /// down, minimum preserved at zero).
 pub fn scale_host_times(sc: &Scenario, num: u64, den: u64) -> Scenario {
     assert!(den > 0, "zero denominator");
     let mut out = sc.clone();
-    for v in &mut out.costs.host_time {
-        *v = Cost::new(v.ticks().saturating_mul(num) / den);
+    for i in 0..out.tree.len() {
+        let c = CruId(i as u32);
+        out.costs.set_host_time(c, scaled(out.costs.h(c), num, den));
     }
     out.name = format!("{}-host×{num}/{den}", sc.name);
     out
@@ -26,8 +32,10 @@ pub fn scale_host_times(sc: &Scenario, num: u64, den: u64) -> Scenario {
 pub fn scale_satellite_times(sc: &Scenario, num: u64, den: u64) -> Scenario {
     assert!(den > 0, "zero denominator");
     let mut out = sc.clone();
-    for v in &mut out.costs.satellite_time {
-        *v = Cost::new(v.ticks().saturating_mul(num) / den);
+    for i in 0..out.tree.len() {
+        let c = CruId(i as u32);
+        out.costs
+            .set_satellite_time(c, scaled(out.costs.s(c), num, den));
     }
     out.name = format!("{}-sat×{num}/{den}", sc.name);
     out
@@ -38,13 +46,12 @@ pub fn scale_satellite_times(sc: &Scenario, num: u64, den: u64) -> Scenario {
 pub fn scale_comm_times(sc: &Scenario, num: u64, den: u64) -> Scenario {
     assert!(den > 0, "zero denominator");
     let mut out = sc.clone();
-    for v in out
-        .costs
-        .comm_up
-        .iter_mut()
-        .chain(out.costs.comm_raw.iter_mut())
-    {
-        *v = Cost::new(v.ticks().saturating_mul(num) / den);
+    for i in 0..out.tree.len() {
+        let c = CruId(i as u32);
+        out.costs
+            .set_comm_up(c, scaled(out.costs.c_up(c), num, den));
+        out.costs
+            .set_comm_raw(c, scaled(out.costs.c_raw(c), num, den));
     }
     out.name = format!("{}-comm×{num}/{den}", sc.name);
     out
@@ -71,11 +78,11 @@ mod tests {
         let sc = epilepsy_scenario(&EpilepsyParams::default());
         let half = scale_host_times(&sc, 1, 2);
         half.validate().unwrap();
-        for (a, b) in sc.costs.host_time.iter().zip(&half.costs.host_time) {
+        for (a, b) in sc.costs.host_times().iter().zip(half.costs.host_times()) {
             assert_eq!(b.ticks(), a.ticks() / 2);
         }
         let double = scale_comm_times(&sc, 2, 1);
-        for (a, b) in sc.costs.comm_raw.iter().zip(&double.costs.comm_raw) {
+        for (a, b) in sc.costs.comm_raws().iter().zip(double.costs.comm_raws()) {
             assert_eq!(b.ticks(), a.ticks() * 2);
         }
     }

@@ -106,9 +106,9 @@ pub fn drift_trace(base: &Scenario, cfg: &DriftConfig) -> DriftTrace {
                 }
             }
         }
-        if costs.n_satellites > 1 && rng.random_range(0..1000u32) < cfg.churn_permille {
+        if costs.n_satellites() > 1 && rng.random_range(0..1000u32) < cfg.churn_permille {
             let leaf = leaves[rng.random_range(0..leaves.len())];
-            let sat = SatelliteId(rng.random_range(0..costs.n_satellites));
+            let sat = SatelliteId(rng.random_range(0..costs.n_satellites()));
             delta = delta.repin(leaf, sat);
         }
         delta

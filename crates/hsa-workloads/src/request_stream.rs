@@ -184,10 +184,10 @@ fn drift_delta(
     if tree.is_leaf(node) {
         delta = delta.set_comm_raw(node, scaled(costs.c_raw(node), permille));
     }
-    if costs.n_satellites > 1 && rng.random_range(0..1000u32) < churn_permille {
+    if costs.n_satellites() > 1 && rng.random_range(0..1000u32) < churn_permille {
         let leaves = tree.leaves_in_order();
         let leaf = leaves[rng.random_range(0..leaves.len())];
-        let sat = SatelliteId(rng.random_range(0..costs.n_satellites));
+        let sat = SatelliteId(rng.random_range(0..costs.n_satellites()));
         delta = delta.repin(leaf, sat);
     }
     delta

@@ -83,7 +83,7 @@ mod tests {
         assert!(Scenario::from_json("{}").is_err());
         // Valid JSON, broken instance: unpinned leaf.
         let mut sc = paper_scenario();
-        sc.costs.pinning[8] = None; // CRU9 (a leaf)
+        sc.costs.set_pinning(hsa_tree::CruId(8), None); // CRU9 (a leaf)
         let s = sc.to_json();
         assert!(Scenario::from_json(&s).is_err());
     }
