@@ -6,10 +6,10 @@
 use crate::{AssignError, Prepared};
 use hsa_graph::{Cost, Lambda, ScaledSsb};
 use hsa_tree::{host_time_of_cut, satellite_loads_of_cut, CruId, Cut, SatelliteId, TreeEdge};
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 /// Where each CRU runs.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Assignment {
     /// CRUs on the host, in pre-order.
     pub host: Vec<CruId>,
@@ -18,7 +18,7 @@ pub struct Assignment {
 }
 
 /// Per-satellite share of the bottleneck weight.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SatelliteLoad {
     /// The satellite.
     pub satellite: SatelliteId,
@@ -27,7 +27,7 @@ pub struct SatelliteLoad {
 }
 
 /// Full delay breakdown of an assignment (paper §3's objective).
-#[derive(Clone, Debug, PartialEq, Eq, Serialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct DelayReport {
     /// S — host processing time (Σ h over host CRUs).
     pub host_time: Cost,

@@ -22,6 +22,7 @@ use crate::{
 use hsa_graph::envelope::{lower_envelope, EnvelopeSegment, LambdaEnvelope, LambdaQ};
 use hsa_graph::{Cost, Lambda, ScaledSsb};
 use hsa_tree::{Cut, TreeEdge};
+use serde::{value, DeError, Deserialize, Serialize, Value};
 
 /// The piecewise-linear lower envelope of optimal cuts over λ ∈ [0, 1].
 #[derive(Clone, Debug)]
@@ -76,6 +77,27 @@ impl LambdaFrontier {
     ) -> Result<Solution, AssignError> {
         EvalScratch::with_thread_local(|es| {
             Solution::from_cut_in(prep, self.cut_at(lambda).clone(), lambda, self.stats, es)
+        })
+    }
+}
+
+impl Serialize for LambdaFrontier {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("envelope".to_string(), self.envelope.to_value()),
+            ("stats".to_string(), self.stats.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for LambdaFrontier {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let m = v
+            .as_map()
+            .ok_or_else(|| DeError::custom(format!("expected LambdaFrontier map, got {v:?}")))?;
+        Ok(LambdaFrontier {
+            envelope: LambdaEnvelope::from_value(value::field(m, "envelope")?)?,
+            stats: SolveStats::from_value(value::field(m, "stats")?)?,
         })
     }
 }

@@ -5,13 +5,14 @@ use crate::{
 };
 use hsa_graph::{Cost, Lambda, ScaledSsb, SolveScratch};
 use hsa_tree::Cut;
+use serde::{Deserialize, Serialize};
 
 /// Search statistics, for the complexity experiments (T1/T2/T5).
 ///
 /// All counters are `u64` so they aggregate portably across queries and
 /// platforms — the batch engine sums millions of per-query stats via
 /// [`SolveStats::merge`].
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SolveStats {
     /// Iterations of the candidate/eliminate loop (0 for non-iterative
     /// solvers).
@@ -42,7 +43,7 @@ impl SolveStats {
 }
 
 /// A solved assignment with its objective breakdown.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct Solution {
     /// The optimal (or heuristic) cut.
     pub cut: Cut,

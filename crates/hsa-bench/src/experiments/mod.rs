@@ -81,7 +81,7 @@ impl<'a> ExpCtx<'a> {
 
 /// One registered experiment.
 pub struct Experiment {
-    /// Stable id (`f2`…`f9`, `t1`…`t12`, `a1`).
+    /// Stable id (`f2`…`f9`, `t1`…`t13`, `a1`).
     pub id: &'static str,
     /// Human-readable one-line title.
     pub title: &'static str,
@@ -261,6 +261,15 @@ pub static REGISTRY: &[Experiment] = &[
         bench_artefact: Some("BENCH_service.json"),
         run: studies::t12,
         criterion: Some(crit::prepare_hot),
+    },
+    Experiment {
+        id: "t13",
+        title: "T13 — loopback TCP service: wire overhead & throughput vs workers",
+        paper_ref: "DESIGN.md §13",
+        artefacts: &["t13_net_stream.csv", "BENCH_net.json"],
+        bench_artefact: Some("BENCH_net.json"),
+        run: studies::t13,
+        criterion: None,
     },
     Experiment {
         id: "a1",

@@ -1,4 +1,4 @@
-//! Quantitative studies (`t1`–`t11`, `a1`): the measured experiments.
+//! Quantitative studies (`t1`–`t13`, `a1`): the measured experiments.
 //! Each prints a human-readable table, writes it as CSV, and — where the
 //! experiment is perf-tracked — emits a schema-versioned `BENCH_*.json`
 //! via [`crate::report`] for the trajectory and the CI perf gate.
@@ -16,6 +16,7 @@ use hsa_assign::{
     solve_with_frontiers, AllOnHost, BruteForce, EvalScratch, Expanded, ExpandedConfig,
     FrontierSet, MaxOffload, PaperSsb, Prepared, SbObjective, Solver,
 };
+use hsa_engine::net::{wire, Client, NetConfig, NetServer};
 use hsa_engine::{
     Engine, EngineConfig, InstanceId, Reply, Request, Service, ServiceConfig, Session,
     SessionConfig, TenantId, Ticket,
@@ -921,11 +922,7 @@ fn run_service_stream(
                     Some(id) => Answer::Pending(service.submit(Request::solve_by_id(id, *lambda))),
                     None => {
                         let reply = first_contact(
-                            Request::Solve {
-                                tree: Arc::clone(tree),
-                                costs: Arc::clone(costs),
-                                lambda: *lambda,
-                            },
+                            Request::solve_arc(Arc::clone(tree), Arc::clone(costs), *lambda),
                             r.instance,
                         );
                         learned[r.instance] = reply.instance_id();
@@ -936,23 +933,16 @@ fn run_service_stream(
                     Some(id) => Answer::Pending(service.submit(Request::frontier_by_id(id))),
                     None => {
                         let reply = first_contact(
-                            Request::Frontier {
-                                tree: Arc::clone(tree),
-                                costs: Arc::clone(costs),
-                            },
+                            Request::frontier_arc(Arc::clone(tree), Arc::clone(costs)),
                             r.instance,
                         );
                         learned[r.instance] = reply.instance_id();
                         Answer::Done(Box::new(reply))
                     }
                 },
-                StreamOp::Delta { delta, lambda } => {
-                    Answer::Pending(service.submit(Request::Delta {
-                        tenant: TenantId(r.instance as u64),
-                        delta: Arc::new(delta.clone()),
-                        lambda: *lambda,
-                    }))
-                }
+                StreamOp::Delta { delta, lambda } => Answer::Pending(service.submit(
+                    Request::delta(TenantId(r.instance as u64), delta.clone(), *lambda),
+                )),
             }
         })
         .collect();
@@ -1003,11 +993,7 @@ pub(super) fn t12(ctx: &ExpCtx) {
         ..StreamConfig::default()
     };
     let stream = request_stream(&stream_cfg);
-    let arcs: Vec<(Arc<hsa_tree::CruTree>, Arc<hsa_tree::CostModel>)> = stream
-        .instances
-        .iter()
-        .map(|sc| (Arc::new(sc.tree.clone()), Arc::new(sc.costs.clone())))
-        .collect();
+    let arcs = stream.arc_instances();
     let reps = ctx.profile.pick(5, 3);
 
     // Correctness gate before any timing.
@@ -1184,6 +1170,305 @@ pub(super) fn t12(ctx: &ExpCtx) {
     println!("machines and at worst plateau on one core.");
     println!("Every answer of the verification pass was asserted byte-identical to a");
     println!("from-scratch solve before timing anything (DESIGN.md §10).");
+    table.write_csv(ctx.out_dir).unwrap();
+    ctx.emit(&report);
+}
+
+/// Waits (pipelined) until the answer for `corr` arrives, discarding —
+/// after checking — any other answers that land first. Returns the reply
+/// and how many *other* outstanding answers were drained along the way.
+fn recv_until(client: &mut Client, corr: u64) -> (Reply, usize) {
+    let mut drained = 0usize;
+    loop {
+        let (got, outcome) = client.recv_any().expect("loopback stream answers");
+        let reply = outcome.expect("stream requests succeed");
+        if got == corr {
+            return (reply, drained);
+        }
+        drained += 1;
+    }
+}
+
+/// One pass of a request stream over loopback TCP: a fresh engine +
+/// service + [`NetServer`], one pipelined [`Client`] connection. Same
+/// shape as [`run_service_stream`] — tenants open outside the clock, the
+/// first contact per instance goes by value and is waited inline to
+/// learn its id, everything else pipelines on the socket — but every
+/// request and answer crosses the wire codec and the reader/waiter/
+/// writer crew. With `verify` the server cross-checks every answer
+/// against a from-scratch solve *and* this driver asserts each loopback
+/// reply byte-identical (canonical wire JSON) to the in-process answer
+/// for the same request sequence. Returns wall time and the server-side
+/// service counters (whose latency histograms are accepted→answered).
+fn run_net_stream(
+    stream: &RequestStream,
+    arcs: &[(Arc<hsa_tree::CruTree>, Arc<hsa_tree::CostModel>)],
+    workers: usize,
+    verify: bool,
+) -> (u64, hsa_engine::ServiceStats) {
+    let engine = Arc::new(Engine::new(EngineConfig {
+        threads: 1,
+        ..EngineConfig::default()
+    }));
+    let service = Arc::new(Service::new(
+        Arc::clone(&engine),
+        ServiceConfig {
+            workers,
+            verify,
+            ..ServiceConfig::default()
+        },
+    ));
+    let server = NetServer::bind("127.0.0.1:0", Arc::clone(&service), NetConfig::default())
+        .expect("loopback bind");
+    let mut client = Client::connect(server.local_addr()).expect("loopback connect");
+    for (i, sc) in stream.instances.iter().enumerate() {
+        client
+            .open_tenant(TenantId(i as u64), &sc.tree, &sc.costs)
+            .expect("stream tenants open over the wire");
+    }
+    // The in-process reference for the byte-identity assertion: a second
+    // service over its own engine, fed the identical request sequence.
+    let reference = verify.then(|| {
+        let engine = Arc::new(Engine::new(EngineConfig {
+            threads: 1,
+            ..EngineConfig::default()
+        }));
+        let service = Service::new(
+            Arc::clone(&engine),
+            ServiceConfig {
+                workers: 1,
+                verify: false,
+                ..ServiceConfig::default()
+            },
+        );
+        for (i, sc) in stream.instances.iter().enumerate() {
+            service
+                .open_tenant(TenantId(i as u64), &sc.tree, &sc.costs)
+                .expect("reference tenants open");
+        }
+        service
+    });
+    let check = |net_reply: &Reply, request: Request| {
+        if let Some(local) = &reference {
+            let local_reply = local.submit(request).wait().expect("reference answers");
+            assert_eq!(
+                wire::reply_json(net_reply),
+                wire::reply_json(&local_reply),
+                "loopback answer differs from the in-process answer"
+            );
+        }
+    };
+    let mut learned: Vec<Option<InstanceId>> = vec![None; stream.instances.len()];
+    let mut outstanding = 0usize;
+    let t0 = std::time::Instant::now();
+    for r in &stream.requests {
+        let (tree, costs) = &arcs[r.instance];
+        match &r.op {
+            StreamOp::Solve { lambda } => match learned[r.instance] {
+                Some(id) => {
+                    let req = Request::solve_by_id(id, *lambda);
+                    if verify {
+                        let reply = client.solve_by_id(id, *lambda).expect("remote solve");
+                        check(&reply, req);
+                    } else {
+                        client.send(&req).expect("send solve");
+                        outstanding += 1;
+                    }
+                }
+                None => {
+                    let req = Request::solve_arc(Arc::clone(tree), Arc::clone(costs), *lambda);
+                    let corr = client.send(&req).expect("send first-contact solve");
+                    let (reply, drained) = recv_until(&mut client, corr);
+                    outstanding -= drained;
+                    learned[r.instance] = reply.instance_id();
+                    check(&reply, req);
+                }
+            },
+            StreamOp::Frontier => match learned[r.instance] {
+                Some(id) => {
+                    let req = Request::frontier_by_id(id);
+                    if verify {
+                        let reply = client.frontier_by_id(id).expect("remote frontier");
+                        check(&reply, req);
+                    } else {
+                        client.send(&req).expect("send frontier");
+                        outstanding += 1;
+                    }
+                }
+                None => {
+                    let req = Request::frontier_arc(Arc::clone(tree), Arc::clone(costs));
+                    let corr = client.send(&req).expect("send first-contact frontier");
+                    let (reply, drained) = recv_until(&mut client, corr);
+                    outstanding -= drained;
+                    learned[r.instance] = reply.instance_id();
+                    check(&reply, req);
+                }
+            },
+            StreamOp::Delta { delta, lambda } => {
+                let req = Request::delta(TenantId(r.instance as u64), delta.clone(), *lambda);
+                if verify {
+                    let reply = client
+                        .delta(TenantId(r.instance as u64), delta.clone(), *lambda)
+                        .expect("remote delta");
+                    check(&reply, req);
+                } else {
+                    client.send(&req).expect("send delta");
+                    outstanding += 1;
+                }
+            }
+        }
+    }
+    while outstanding > 0 {
+        let (_, outcome) = client.recv_any().expect("loopback stream answers");
+        outcome.expect("stream requests succeed");
+        outstanding -= 1;
+    }
+    let elapsed = t0.elapsed().as_nanos() as u64;
+    // Same exactness check as the in-process stream: every tenant drifted
+    // into exactly the generated final cost model — FIFO held across the
+    // socket, the reader, and the service queue.
+    for (i, want) in stream.final_costs.iter().enumerate() {
+        let got = service
+            .tenant_costs(TenantId(i as u64))
+            .expect("tenant still open");
+        assert_eq!(
+            &got, want,
+            "tenant {i} did not drift into the generated final costs over the wire"
+        );
+    }
+    let stats = service.stats();
+    drop(client);
+    server.shutdown();
+    (elapsed, stats)
+}
+
+pub(super) fn t13(ctx: &ExpCtx) {
+    const SEED: u64 = 1300;
+    // The service behind the TCP front door: the t12 Zipf stream driven
+    // through the wire codec and a loopback socket by one pipelined
+    // client connection. Phase 1 replays the whole stream in lockstep
+    // against an in-process service and asserts every loopback answer
+    // byte-identical (canonical wire JSON) while the server cross-checks
+    // each answer against a from-scratch solve — only then is anything
+    // timed. The req/s delta against t12's BENCH_service.json is the
+    // measured cost of the framing + socket hop.
+    let stream_cfg = StreamConfig {
+        requests: ctx.profile.pick(384, 48),
+        extra_instances: ctx.profile.pick(5, 2),
+        n_crus: ctx.profile.pick(26, 12),
+        seed: SEED,
+        ..StreamConfig::default()
+    };
+    let stream = request_stream(&stream_cfg);
+    let arcs = stream.arc_instances();
+    let reps = ctx.profile.pick(5, 3);
+
+    // Correctness gate before any timing.
+    let (_, vstats) = run_net_stream(&stream, &arcs, 2, true);
+    assert_eq!(vstats.failed, 0, "verified stream must answer everything");
+    assert_eq!(vstats.completed, stream.requests.len() as u64);
+
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut worker_counts = vec![1usize, 2, 4];
+    if cores > 4 {
+        worker_counts.push(cores);
+    }
+    worker_counts.dedup();
+
+    let mut table = CsvTable::new(
+        "t13_net_stream",
+        &[
+            "workers",
+            "requests",
+            "total_ns",
+            "req_per_sec",
+            "backpressure_waits",
+            "solves",
+            "frontiers",
+            "deltas",
+            "solve_p50_us",
+            "solve_p99_us",
+            "frontier_p99_us",
+            "delta_p99_us",
+        ],
+    );
+    let mut report = BenchReport::new(
+        "net",
+        "t13",
+        "loopback TCP service throughput vs worker count under a Zipf request stream",
+        ctx.profile.name(),
+        SEED,
+    );
+    report.instance_sizes = stream
+        .instances
+        .iter()
+        .map(|sc| sc.tree.len() as u64)
+        .collect();
+    report.param("requests", stream.requests.len() as f64);
+    report.param("zipf_milli", stream_cfg.zipf_milli as f64);
+
+    for &w in &worker_counts {
+        let mut samples = Vec::with_capacity(reps);
+        let mut last = None;
+        for _ in 0..reps {
+            let (ns, sstats) = run_net_stream(&stream, &arcs, w, false);
+            samples.push(ns);
+            last = Some(sstats);
+        }
+        samples.sort_unstable();
+        let ns = samples[samples.len() / 2];
+        let sstats = last.expect("reps >= 1");
+        let per_sec = stream.requests.len() as f64 * 1e9 / ns.max(1) as f64;
+        let lat = sstats.latency;
+        let us = |ns: u64| format!("{:.1}", ns as f64 / 1e3);
+        table.row(&[
+            w.to_string(),
+            stream.requests.len().to_string(),
+            ns.to_string(),
+            format!("{per_sec:.1}"),
+            sstats.backpressure_waits.to_string(),
+            sstats.solves.to_string(),
+            sstats.frontiers.to_string(),
+            sstats.deltas.to_string(),
+            us(lat.solve.p50_ns),
+            us(lat.solve.p99_ns),
+            us(lat.frontier.p99_ns),
+            us(lat.delta.p99_ns),
+        ]);
+        report.metric(format!("stream_w{w}"), stream.requests.len() as u64, ns);
+        // Per-kind accepted→answered latency, server side — the socket
+        // and codec are outside these histograms, so a tail regression
+        // here is the service's, while stream_w* absorbs the wire cost.
+        for (kind, l) in [
+            ("solve", lat.solve),
+            ("frontier", lat.frontier),
+            ("delta", lat.delta),
+        ] {
+            if l.count > 0 {
+                report.metric_with_percentiles(
+                    format!("lat_{kind}_w{w}"),
+                    l.count,
+                    l.sum_ns.max(1),
+                    l.p50_ns,
+                    l.p99_ns,
+                );
+            }
+        }
+        report.param(
+            format!("backpressure_waits_w{w}"),
+            sstats.backpressure_waits as f64,
+        );
+    }
+    report.threads = *worker_counts.last().unwrap();
+    println!("{}", table.render_text());
+    println!("shape check: one pipelined connection drives the whole stream, so req/s");
+    println!("includes framing, the loopback socket, and the reader/waiter/writer crew;");
+    println!("the lat_*_w* histograms are the same accepted→answered clock as t12's, so");
+    println!("t13 minus t12 at equal workers reads as the wire overhead per request.");
+    println!("Every answer of the verification pass was byte-identical to the in-process");
+    println!("service's answer for the identical request sequence (DESIGN.md §13).");
     table.write_csv(ctx.out_dir).unwrap();
     ctx.emit(&report);
 }

@@ -82,6 +82,7 @@ use std::sync::Arc;
 
 mod cache;
 mod hist;
+pub mod net;
 mod pad;
 mod pool;
 mod service;
@@ -92,8 +93,8 @@ pub use hist::{HistogramSnapshot, LatencyHistogram, LatencyStats, NUM_BUCKETS};
 pub use pad::CachePadded;
 pub use pool::{parallel_map, WorkerPool};
 pub use service::{
-    Reply, Request, RequestLatency, Service, ServiceConfig, ServiceError, ServiceStats, TenantId,
-    Ticket,
+    AnswerExt, Reply, Request, RequestLatency, Service, ServiceConfig, ServiceError, ServiceStats,
+    TenantId, Ticket,
 };
 pub use session::{ApplyOutcome, Session, SessionConfig, SessionStats};
 
@@ -362,13 +363,6 @@ impl Engine {
         self.cache.get(id.0)
     }
 
-    /// Compat wrapper over [`Engine::instance`] for the pre-sharding API,
-    /// which exposed the cached [`Prepared`] directly. The entry is now
-    /// shared, so the handle owns it instead of borrowing it.
-    pub fn prepared(&self, id: InstanceId) -> Option<Arc<CachedInstance>> {
-        self.instance(id)
-    }
-
     /// Number of cached instances.
     pub fn len(&self) -> usize {
         self.cache.len()
@@ -506,9 +500,9 @@ fn instance_hash(tree: &CruTree, costs: &CostModel) -> u64 {
 /// Commonly used items, for glob import in examples and tests.
 pub mod prelude {
     pub use crate::{
-        parallel_map, ApplyOutcome, Engine, EngineConfig, EngineError, EngineStats, InstanceId,
-        Reply, Request, Service, ServiceConfig, ServiceError, ServiceStats, Session, SessionConfig,
-        SessionStats, TenantId, Ticket, WorkerPool,
+        parallel_map, AnswerExt, ApplyOutcome, Engine, EngineConfig, EngineError, EngineStats,
+        InstanceId, Reply, Request, Service, ServiceConfig, ServiceError, ServiceStats, Session,
+        SessionConfig, SessionStats, TenantId, Ticket, WorkerPool,
     };
 }
 

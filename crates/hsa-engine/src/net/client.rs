@@ -1,0 +1,277 @@
+//! The blocking client: typed request methods mirroring the `Request::*`
+//! constructors, plus a pipelined send/recv pair for throughput drivers.
+
+use super::wire::{self, NetReply, ReadFrame, WireError};
+use crate::service::{Reply, Request, TenantId};
+use crate::session::SessionStats;
+use crate::InstanceId;
+use hsa_graph::Lambda;
+use hsa_tree::{CostModel, CruTree, Delta};
+use std::fmt;
+use std::io::{self, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// What a remote call can fail with.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure (includes disconnects and truncated frames).
+    Io(io::Error),
+    /// The peer violated the protocol (bad frame, wrong answer kind).
+    Protocol(String),
+    /// The server answered an explicit error frame. Service-level errors
+    /// arrive as [`WireError::Service`] with their stable code (the
+    /// verify-mode passthrough: a remote `verify_failed` surfaces here
+    /// exactly like [`crate::ServiceError::VerifyFailed`] does in
+    /// process).
+    Remote(WireError),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol violation: {m}"),
+            ClientError::Remote(e) => write!(f, "server: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
+/// A blocking connection to a [`super::NetServer`].
+///
+/// The typed methods ([`Client::solve`], [`Client::frontier`],
+/// [`Client::delta`], …) mirror the [`Request`] constructors one-to-one
+/// and wait for their answer. The lower-level [`Client::send`] /
+/// [`Client::recv_any`] pair pipelines: many requests in flight on one
+/// connection, answers matched back by correlation id.
+///
+/// A client that learned an [`InstanceId`] from a first-contact reply can
+/// reconnect after a drop and resume id-addressed requests immediately —
+/// ids are structural content hashes, stable across connections as long
+/// as the server process (and its engine cache) lives; persist the raw
+/// id ([`InstanceId::raw`]) and rebuild it with [`InstanceId::from_raw`].
+pub struct Client {
+    reader: TcpStream,
+    writer: BufWriter<TcpStream>,
+    max_frame_len: usize,
+    next_corr: u64,
+}
+
+impl Client {
+    /// Connects and completes the handshake (the server answers with its
+    /// frame cap, which this client then enforces on its own frames).
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        let reader = stream.try_clone()?;
+        let mut client = Client {
+            reader,
+            writer: BufWriter::new(stream),
+            max_frame_len: wire::DEFAULT_MAX_FRAME_LEN,
+            next_corr: 1,
+        };
+        let corr = client.next_corr();
+        client.write_frame(&wire::hello_frame(corr))?;
+        match client.recv_matching(corr)? {
+            NetReply::HelloAck(cap) => {
+                client.max_frame_len = cap.min(wire::DEFAULT_MAX_FRAME_LEN as u64) as usize;
+                Ok(client)
+            }
+            other => Err(ClientError::Protocol(format!(
+                "handshake answered {other:?}"
+            ))),
+        }
+    }
+
+    fn next_corr(&mut self) -> u64 {
+        let corr = self.next_corr;
+        self.next_corr += 1;
+        corr
+    }
+
+    fn write_frame(&mut self, frame: &wire::Frame) -> Result<(), ClientError> {
+        self.writer.write_all(&frame.encode())?;
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    /// Sends `request` without waiting; returns the correlation id its
+    /// answer will carry. Pair with [`Client::recv_any`] to pipeline.
+    pub fn send(&mut self, request: &Request) -> Result<u64, ClientError> {
+        let corr = self.next_corr();
+        self.write_frame(&wire::request_frame(corr, request))?;
+        Ok(corr)
+    }
+
+    /// Receives the next answer frame, whatever its correlation id:
+    /// `(corr, outcome)`. Error frames resolve to `Err(Remote)` — they
+    /// answer *that* correlation id, the connection stays usable.
+    pub fn recv_any(&mut self) -> Result<(u64, Result<Reply, ClientError>), ClientError> {
+        let frame = match wire::read_frame(&mut self.reader, self.max_frame_len)? {
+            ReadFrame::Frame(frame) => frame,
+            ReadFrame::Eof => {
+                return Err(ClientError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                )))
+            }
+            ReadFrame::Oversized(len, max) => {
+                return Err(ClientError::Protocol(format!(
+                    "server announced a {len}-byte frame (cap {max})"
+                )))
+            }
+            ReadFrame::Undersized(len) => {
+                return Err(ClientError::Protocol(format!(
+                    "server announced a {len}-byte frame, shorter than the header"
+                )))
+            }
+        };
+        if frame.version != wire::PROTOCOL_VERSION {
+            return Err(ClientError::Protocol(format!(
+                "server answered protocol version {}",
+                frame.version
+            )));
+        }
+        let corr = frame.corr;
+        match wire::decode_server_frame(&frame) {
+            Ok(NetReply::Reply(reply)) => Ok((corr, Ok(reply))),
+            Ok(NetReply::Error(err)) => Ok((corr, Err(ClientError::Remote(err)))),
+            Ok(other) => Err(ClientError::Protocol(format!(
+                "unexpected control frame {other:?}"
+            ))),
+            Err(err) => Err(ClientError::Protocol(err.to_string())),
+        }
+    }
+
+    /// Receives until the frame answering `corr` arrives. Used by the
+    /// sequential typed methods; strict because they never pipeline.
+    fn recv_matching(&mut self, corr: u64) -> Result<NetReply, ClientError> {
+        let frame = match wire::read_frame(&mut self.reader, self.max_frame_len)? {
+            ReadFrame::Frame(frame) => frame,
+            _ => {
+                return Err(ClientError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                )))
+            }
+        };
+        if frame.corr != corr {
+            return Err(ClientError::Protocol(format!(
+                "answer for correlation id {} while waiting on {corr}",
+                frame.corr
+            )));
+        }
+        wire::decode_server_frame(&frame).map_err(|e| ClientError::Protocol(e.to_string()))
+    }
+
+    fn call(&mut self, request: &Request) -> Result<Reply, ClientError> {
+        let corr = self.send(request)?;
+        match self.recv_matching(corr)? {
+            NetReply::Reply(reply) => Ok(reply),
+            NetReply::Error(err) => Err(ClientError::Remote(err)),
+            other => Err(ClientError::Protocol(format!(
+                "request answered with control frame {other:?}"
+            ))),
+        }
+    }
+
+    /// Remote [`Request::solve`]. The reply carries the [`InstanceId`] —
+    /// keep it and switch to [`Client::solve_by_id`].
+    pub fn solve(
+        &mut self,
+        tree: &CruTree,
+        costs: &CostModel,
+        lambda: Lambda,
+    ) -> Result<Reply, ClientError> {
+        self.call(&Request::solve(tree, costs, lambda))
+    }
+
+    /// Remote [`Request::solve_by_id`].
+    pub fn solve_by_id(&mut self, id: InstanceId, lambda: Lambda) -> Result<Reply, ClientError> {
+        self.call(&Request::solve_by_id(id, lambda))
+    }
+
+    /// Remote [`Request::frontier`].
+    pub fn frontier(&mut self, tree: &CruTree, costs: &CostModel) -> Result<Reply, ClientError> {
+        self.call(&Request::frontier(tree, costs))
+    }
+
+    /// Remote [`Request::frontier_by_id`].
+    pub fn frontier_by_id(&mut self, id: InstanceId) -> Result<Reply, ClientError> {
+        self.call(&Request::frontier_by_id(id))
+    }
+
+    /// Remote [`Request::delta`] against an open tenant.
+    pub fn delta(
+        &mut self,
+        tenant: TenantId,
+        delta: Delta,
+        lambda: Lambda,
+    ) -> Result<Reply, ClientError> {
+        self.call(&Request::delta(tenant, delta, lambda))
+    }
+
+    /// Remote [`crate::Service::open_tenant`].
+    pub fn open_tenant(
+        &mut self,
+        tenant: TenantId,
+        tree: &CruTree,
+        costs: &CostModel,
+    ) -> Result<(), ClientError> {
+        let corr = self.next_corr();
+        self.write_frame(&wire::open_tenant_frame(corr, tenant, tree, costs))?;
+        match self.recv_matching(corr)? {
+            NetReply::TenantOpened => Ok(()),
+            NetReply::Error(err) => Err(ClientError::Remote(err)),
+            other => Err(ClientError::Protocol(format!(
+                "open-tenant answered {other:?}"
+            ))),
+        }
+    }
+
+    /// Remote [`crate::Service::close_tenant`].
+    pub fn close_tenant(&mut self, tenant: TenantId) -> Result<SessionStats, ClientError> {
+        let corr = self.next_corr();
+        self.write_frame(&wire::close_tenant_frame(corr, tenant))?;
+        match self.recv_matching(corr)? {
+            NetReply::TenantClosed(stats) => Ok(stats),
+            NetReply::Error(err) => Err(ClientError::Remote(err)),
+            other => Err(ClientError::Protocol(format!(
+                "close-tenant answered {other:?}"
+            ))),
+        }
+    }
+
+    /// Sends raw pre-encoded bytes — the malformed-frame tests' hook; a
+    /// well-behaved client never needs it.
+    pub fn send_raw(&mut self, bytes: &[u8]) -> Result<(), ClientError> {
+        self.writer.write_all(bytes)?;
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    /// Reads the next raw frame off the stream (pairing with
+    /// [`Client::send_raw`] in protocol tests).
+    pub fn recv_raw(&mut self) -> Result<wire::Frame, ClientError> {
+        match wire::read_frame(&mut self.reader, self.max_frame_len)? {
+            ReadFrame::Frame(frame) => Ok(frame),
+            other => Err(ClientError::Protocol(format!(
+                "no frame available: {other:?}"
+            ))),
+        }
+    }
+}

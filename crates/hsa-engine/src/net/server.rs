@@ -1,0 +1,380 @@
+//! The TCP front door: accept loop, per-connection reader/waiter/writer
+//! crew, per-tenant admission quotas, graceful shutdown.
+
+use super::wire::{self, Frame, NetRequest, ReadFrame, WireError};
+use crate::service::{Service, Ticket};
+use std::collections::BTreeMap;
+use std::io::{self, BufWriter, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// Network-layer configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct NetConfig {
+    /// Cap on the length prefix a peer may announce. A frame above it is
+    /// answered with [`WireError::Oversized`] and the connection closed
+    /// (the stream cannot be re-synchronised past unread bytes).
+    pub max_frame_len: usize,
+    /// Per-tenant admission quota: in-flight requests per header tenant
+    /// id, across all connections, **before** they reach the service's
+    /// global backpressure gate. Refusals answer [`WireError::Quota`]
+    /// without blocking the reader. 0 means no per-tenant cap.
+    pub per_tenant_inflight: usize,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            max_frame_len: wire::DEFAULT_MAX_FRAME_LEN,
+            per_tenant_inflight: 0,
+        }
+    }
+}
+
+/// What the waiter forwards to the writer: either a fulfilled ticket's
+/// frame-to-be or an already-encoded control/error frame.
+enum Outbound {
+    Frame(Frame),
+    /// Flush and close the write half (end of connection).
+    Close,
+}
+
+struct ConnHandle {
+    stream: TcpStream,
+    reader: JoinHandle<()>,
+    waiter: JoinHandle<()>,
+    writer: JoinHandle<()>,
+}
+
+struct Inner {
+    service: Arc<Service>,
+    cfg: NetConfig,
+    shutting_down: AtomicBool,
+    /// In-flight requests per header tenant id (the admission quota).
+    inflight: Mutex<BTreeMap<u64, usize>>,
+    /// Live connections, for shutdown to unblock and join.
+    conns: Mutex<Vec<ConnHandle>>,
+}
+
+impl Inner {
+    /// Tries to take one quota slot for `tenant`; false means refuse.
+    fn admit(&self, tenant: u64) -> bool {
+        if self.cfg.per_tenant_inflight == 0 {
+            return true;
+        }
+        let mut map = self.inflight.lock().expect("quota map poisoned");
+        let slot = map.entry(tenant).or_insert(0);
+        if *slot >= self.cfg.per_tenant_inflight {
+            return false;
+        }
+        *slot += 1;
+        true
+    }
+
+    fn release(&self, tenant: u64) {
+        if self.cfg.per_tenant_inflight == 0 {
+            return;
+        }
+        let mut map = self.inflight.lock().expect("quota map poisoned");
+        match map.get_mut(&tenant) {
+            Some(slot) if *slot > 1 => *slot -= 1,
+            _ => {
+                map.remove(&tenant);
+            }
+        }
+    }
+}
+
+/// A blocking TCP server over a [`Service`].
+///
+/// Each accepted connection runs a three-thread crew:
+///
+/// * the **reader** decodes frames, answers protocol errors, checks the
+///   per-tenant quota and hands admitted requests to [`Service::submit`]
+///   — which blocks at the global backpressure gate, so a saturated
+///   service propagates backpressure onto the TCP stream instead of
+///   buffering unboundedly;
+/// * the **waiter** resolves tickets in submission order and encodes each
+///   answer under its original correlation id;
+/// * the **writer** streams the encoded frames back and flushes.
+///
+/// [`NetServer::shutdown`] is graceful: stop accepting, unblock the
+/// readers (no new submissions), let the waiters drain every accepted
+/// ticket, flush the writers, then close. Dropping the server shuts it
+/// down the same way.
+pub struct NetServer {
+    inner: Arc<Inner>,
+    local_addr: SocketAddr,
+    accept: Mutex<Option<JoinHandle<()>>>,
+    down: AtomicBool,
+}
+
+impl NetServer {
+    /// Binds `addr` (use port 0 for an ephemeral port — see
+    /// [`NetServer::local_addr`]) and starts accepting.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        service: Arc<Service>,
+        cfg: NetConfig,
+    ) -> io::Result<NetServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let inner = Arc::new(Inner {
+            service,
+            cfg,
+            shutting_down: AtomicBool::new(false),
+            inflight: Mutex::new(BTreeMap::new()),
+            conns: Mutex::new(Vec::new()),
+        });
+        let accept_inner = Arc::clone(&inner);
+        let accept = std::thread::Builder::new()
+            .name("hsa-net-accept".to_string())
+            .spawn(move || accept_loop(listener, accept_inner))
+            .expect("spawning the accept thread");
+        Ok(NetServer {
+            inner,
+            local_addr,
+            accept: Mutex::new(Some(accept)),
+            down: AtomicBool::new(false),
+        })
+    }
+
+    /// The bound address (the actual port when bound to port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The service this server fronts.
+    pub fn service(&self) -> &Arc<Service> {
+        &self.inner.service
+    }
+
+    /// Graceful shutdown: stop accepting, unblock every connection's
+    /// reader, drain all accepted tickets through the waiters, flush the
+    /// writers, close. Idempotent; returns once everything is joined.
+    pub fn shutdown(&self) {
+        if self.down.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        self.inner.shutting_down.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection to ourselves.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(accept) = self.accept.lock().expect("accept handle poisoned").take() {
+            let _ = accept.join();
+        }
+        // Stop the readers: no more frames will be accepted. In-flight
+        // tickets keep their gate slots and resolve below.
+        let conns = std::mem::take(&mut *self.inner.conns.lock().expect("conn list poisoned"));
+        for conn in &conns {
+            let _ = conn.stream.shutdown(Shutdown::Read);
+        }
+        for conn in conns {
+            // Reader exit drops the ticket channel; the waiter then drains
+            // every accepted ticket and closes the writer, which flushes.
+            let _ = conn.reader.join();
+            let _ = conn.waiter.join();
+            let _ = conn.writer.join();
+            let _ = conn.stream.shutdown(Shutdown::Both);
+        }
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: TcpListener, inner: Arc<Inner>) {
+    for stream in listener.incoming() {
+        if inner.shutting_down.load(Ordering::SeqCst) {
+            // The wake-up connection (or a raced client) is dropped
+            // unanswered; accepted work is already owned by its crew.
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let _ = stream.set_nodelay(true);
+        spawn_connection(stream, &inner);
+    }
+}
+
+fn spawn_connection(stream: TcpStream, inner: &Arc<Inner>) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    // reader -> waiter: accepted tickets, in submission order.
+    let (ticket_tx, ticket_rx) = channel::<(u64, u64, Ticket)>();
+    // reader/waiter -> writer: encoded frames.
+    let (out_tx, out_rx) = channel::<Outbound>();
+
+    let reader_inner = Arc::clone(inner);
+    let reader_out = out_tx.clone();
+    let reader = std::thread::Builder::new()
+        .name("hsa-net-reader".to_string())
+        .spawn(move || reader_loop(read_half, reader_inner, ticket_tx, reader_out))
+        .expect("spawning a reader thread");
+
+    let waiter_inner = Arc::clone(inner);
+    let waiter = std::thread::Builder::new()
+        .name("hsa-net-waiter".to_string())
+        .spawn(move || waiter_loop(ticket_rx, waiter_inner, out_tx))
+        .expect("spawning a waiter thread");
+
+    let writer = std::thread::Builder::new()
+        .name("hsa-net-writer".to_string())
+        .spawn(move || writer_loop(write_half, out_rx))
+        .expect("spawning a writer thread");
+
+    let mut conns = inner.conns.lock().expect("conn list poisoned");
+    // Reap connections whose crews already exited (dropping their handles
+    // detaches nothing live and closes the retained fd).
+    conns.retain(|c| !(c.reader.is_finished() && c.waiter.is_finished() && c.writer.is_finished()));
+    conns.push(ConnHandle {
+        stream,
+        reader,
+        waiter,
+        writer,
+    });
+}
+
+fn reader_loop(
+    mut stream: TcpStream,
+    inner: Arc<Inner>,
+    tickets: Sender<(u64, u64, Ticket)>,
+    out: Sender<Outbound>,
+) {
+    loop {
+        let frame = match wire::read_frame(&mut stream, inner.cfg.max_frame_len) {
+            // Disconnect, truncated frame, or the shutdown unblock: the
+            // connection is over either way.
+            Err(_) | Ok(ReadFrame::Eof) => break,
+            Ok(ReadFrame::Oversized(len, max)) => {
+                // The announced bytes are unread, so the stream is
+                // desynchronised: answer (corr 0 — the header is part of
+                // the unread region) and close.
+                let err = WireError::Oversized(len as u64, max as u64);
+                let _ = out.send(Outbound::Frame(wire::error_frame(0, 0, &err)));
+                break;
+            }
+            Ok(ReadFrame::Undersized(len)) => {
+                let err = WireError::Malformed(format!(
+                    "length prefix {len} is shorter than the {}-byte header",
+                    wire::HEADER_LEN
+                ));
+                let _ = out.send(Outbound::Frame(wire::error_frame(0, 0, &err)));
+                break;
+            }
+            Ok(ReadFrame::Frame(frame)) => frame,
+        };
+        // The header layout is version-stable, so a version we don't
+        // speak can still be refused under its own correlation id; the
+        // frame boundary is intact and the connection stays up.
+        if frame.version != wire::PROTOCOL_VERSION {
+            let err = WireError::UnsupportedVersion(frame.version, wire::PROTOCOL_VERSION);
+            let _ = out.send(Outbound::Frame(wire::error_frame(
+                frame.corr,
+                frame.tenant,
+                &err,
+            )));
+            continue;
+        }
+        match wire::decode_request(&frame) {
+            Err(err) => {
+                let _ = out.send(Outbound::Frame(wire::error_frame(
+                    frame.corr,
+                    frame.tenant,
+                    &err,
+                )));
+            }
+            Ok(NetRequest::Hello) => {
+                let _ = out.send(Outbound::Frame(wire::hello_ack_frame(
+                    frame.corr,
+                    inner.cfg.max_frame_len,
+                )));
+            }
+            Ok(NetRequest::OpenTenant(tenant, tree, costs)) => {
+                let reply = match inner.service.open_tenant(tenant, &tree, &costs) {
+                    Ok(()) => wire::tenant_opened_frame(frame.corr, tenant),
+                    Err(e) => wire::error_frame(frame.corr, tenant.0, &WireError::from(&e)),
+                };
+                let _ = out.send(Outbound::Frame(reply));
+            }
+            Ok(NetRequest::CloseTenant(tenant)) => {
+                let reply = match inner.service.close_tenant(tenant) {
+                    Ok(stats) => wire::tenant_closed_frame(frame.corr, tenant, &stats),
+                    Err(e) => wire::error_frame(frame.corr, tenant.0, &WireError::from(&e)),
+                };
+                let _ = out.send(Outbound::Frame(reply));
+            }
+            Ok(NetRequest::Submit(request)) => {
+                if !inner.admit(frame.tenant) {
+                    let err = WireError::Quota(frame.tenant);
+                    let _ = out.send(Outbound::Frame(wire::error_frame(
+                        frame.corr,
+                        frame.tenant,
+                        &err,
+                    )));
+                    continue;
+                }
+                // Blocking submit: the global gate's backpressure stalls
+                // this reader, which stalls the TCP stream — bounded
+                // memory end to end.
+                let ticket = inner.service.submit(request);
+                if tickets.send((frame.corr, frame.tenant, ticket)).is_err() {
+                    inner.release(frame.tenant);
+                    break;
+                }
+            }
+        }
+    }
+    // Dropping `tickets` ends the waiter once it has drained every
+    // accepted ticket; the waiter's drop of `out` then ends the writer.
+}
+
+fn waiter_loop(tickets: Receiver<(u64, u64, Ticket)>, inner: Arc<Inner>, out: Sender<Outbound>) {
+    // Submission order; each answer still travels under its own
+    // correlation id. Draining runs to completion on shutdown because the
+    // service workers stay up until the server (and its tickets) are gone.
+    while let Ok((corr, tenant, ticket)) = tickets.recv() {
+        let frame = match ticket.wait() {
+            Ok(reply) => wire::reply_frame(corr, tenant, &reply),
+            Err(e) => wire::error_frame(corr, tenant, &WireError::from(&e)),
+        };
+        inner.release(tenant);
+        if out.send(Outbound::Frame(frame)).is_err() {
+            break;
+        }
+    }
+    let _ = out.send(Outbound::Close);
+}
+
+fn writer_loop(stream: TcpStream, frames: Receiver<Outbound>) {
+    let mut w = BufWriter::new(stream);
+    while let Ok(outbound) = frames.recv() {
+        match outbound {
+            Outbound::Frame(frame) => {
+                if w.write_all(&frame.encode()).is_err() {
+                    break;
+                }
+                // One flush per queue drain would be friendlier to
+                // batching; per-frame flush keeps loopback latency honest
+                // and the protocol simple.
+                if w.flush().is_err() {
+                    break;
+                }
+            }
+            Outbound::Close => break,
+        }
+    }
+    let _ = w.flush();
+    // Send FIN ourselves: the server retains one more clone of this
+    // socket (the shutdown handle in `conns`), so merely dropping the
+    // write half would leave the peer blocked waiting for EOF.
+    let _ = w.get_ref().shutdown(Shutdown::Write);
+}

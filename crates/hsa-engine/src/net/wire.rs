@@ -1,0 +1,556 @@
+//! The framed wire schema (DESIGN.md §13).
+//!
+//! Every frame is a big-endian length prefix followed by a fixed header
+//! and a JSON payload:
+//!
+//! ```text
+//! u32  len       bytes after this field (HEADER_LEN + payload length)
+//! u8   version   PROTOCOL_VERSION
+//! u8   kind      one of the `kind::*` bytes
+//! u64  tenant    TenantId for tenant-scoped kinds, 0 otherwise
+//! u64  corr      correlation id, echoed verbatim on the answer frame
+//! [u8] payload   compact JSON of the kind-specific body
+//! ```
+//!
+//! The header layout (version first, then kind/tenant/corr) is **frozen
+//! across protocol versions**: a server that rejects `version` can still
+//! read the correlation id and answer a well-addressed
+//! [`WireError::UnsupportedVersion`] frame instead of dropping the
+//! connection. Everything behind the header — the kind table and the
+//! payload bodies — is owned by the version byte and free to evolve.
+//!
+//! Payload bodies are derived from the service's own [`Request`] /
+//! [`Reply`] / [`ServiceError`] enums (the single source of truth for the
+//! schema); this module only maps between those enums and frames. Unknown
+//! kind bytes and undecodable payloads answer explicit error frames
+//! ([`WireError`]), never a panic or a silent drop.
+
+use crate::service::{Reply, Request, ServiceError, TenantId};
+use crate::session::SessionStats;
+use crate::{EngineError, InstanceId};
+use bytes::{BufMut, Bytes, BytesMut};
+use hsa_graph::Lambda;
+use hsa_tree::{CostModel, CruTree, Delta};
+use serde::{value, DeError, Deserialize, Serialize, Value};
+use std::fmt;
+use std::io::{self, Read};
+use std::sync::Arc;
+
+/// The protocol version this build speaks.
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Header bytes after the length prefix: version, kind, tenant, corr.
+pub const HEADER_LEN: usize = 1 + 1 + 8 + 8;
+
+/// Default cap on `len` (a 60-second Zipf stream's largest tree payload is
+/// well under 1 MiB; the cap only exists to bound a hostile prefix).
+pub const DEFAULT_MAX_FRAME_LEN: usize = 64 << 20;
+
+/// Frame kind bytes. Client→server kinds have the high bit clear,
+/// server→client kinds have it set; [`kind::ERROR`] is reserved at `0xFF`.
+pub mod kind {
+    /// Client handshake; answered by [`HELLO_ACK`].
+    pub const HELLO: u8 = 0x01;
+    /// [`crate::Request::Solve`].
+    pub const SOLVE: u8 = 0x02;
+    /// [`crate::Request::SolveById`].
+    pub const SOLVE_BY_ID: u8 = 0x03;
+    /// [`crate::Request::Frontier`].
+    pub const FRONTIER: u8 = 0x04;
+    /// [`crate::Request::FrontierById`].
+    pub const FRONTIER_BY_ID: u8 = 0x05;
+    /// [`crate::Request::Delta`] (tenant travels in the header).
+    pub const DELTA: u8 = 0x06;
+    /// Open a tenant session (tenant in the header, instance in the body).
+    pub const OPEN_TENANT: u8 = 0x07;
+    /// Close a tenant session (tenant in the header, empty body).
+    pub const CLOSE_TENANT: u8 = 0x08;
+    /// Handshake answer, carrying the server's frame cap.
+    pub const HELLO_ACK: u8 = 0x81;
+    /// [`crate::Reply::Solution`].
+    pub const SOLUTION: u8 = 0x82;
+    /// [`crate::Reply::Frontier`].
+    pub const FRONTIER_REPLY: u8 = 0x83;
+    /// [`crate::Reply::Applied`].
+    pub const APPLIED: u8 = 0x84;
+    /// A tenant session opened (empty body).
+    pub const TENANT_OPENED: u8 = 0x85;
+    /// A tenant session closed, with its final counters.
+    pub const TENANT_CLOSED: u8 = 0x86;
+    /// A [`super::WireError`] body.
+    pub const ERROR: u8 = 0xFF;
+}
+
+/// One decoded frame: the fixed header plus the raw payload bytes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Frame {
+    /// Protocol version byte.
+    pub version: u8,
+    /// Kind byte (`kind::*`).
+    pub kind: u8,
+    /// Tenant id for tenant-scoped kinds, 0 otherwise.
+    pub tenant: u64,
+    /// Correlation id, echoed on the answer.
+    pub corr: u64,
+    /// Kind-specific JSON body (may be empty).
+    pub payload: Vec<u8>,
+}
+
+impl Frame {
+    fn new(kind: u8, tenant: u64, corr: u64, payload: Vec<u8>) -> Frame {
+        Frame {
+            version: PROTOCOL_VERSION,
+            kind,
+            tenant,
+            corr,
+            payload,
+        }
+    }
+
+    /// Appends this frame (length prefix + header + payload) to `out`.
+    pub fn put(&self, out: &mut BytesMut) {
+        out.put_u32((HEADER_LEN + self.payload.len()) as u32);
+        out.put_u8(self.version);
+        out.put_u8(self.kind);
+        out.put_u64(self.tenant);
+        out.put_u64(self.corr);
+        out.put_slice(&self.payload);
+    }
+
+    /// This frame as freshly-encoded wire bytes.
+    pub fn encode(&self) -> Bytes {
+        let mut out = BytesMut::with_capacity(4 + HEADER_LEN + self.payload.len());
+        self.put(&mut out);
+        out.freeze()
+    }
+}
+
+/// The outcome of reading one frame off a blocking stream.
+#[derive(Debug)]
+pub enum ReadFrame {
+    /// A complete frame (its version/kind/payload still unvalidated).
+    Frame(Frame),
+    /// Clean end-of-stream at a frame boundary.
+    Eof,
+    /// The length prefix itself is unusable; the stream cannot be
+    /// re-synchronised. Carries `(len, max)`.
+    Oversized(u32, usize),
+    /// The length prefix is shorter than the fixed header.
+    Undersized(u32),
+}
+
+/// Reads exactly one length-prefixed frame. Truncation mid-frame surfaces
+/// as the underlying [`io::ErrorKind::UnexpectedEof`]; EOF *between*
+/// frames is the clean [`ReadFrame::Eof`].
+pub fn read_frame(r: &mut impl Read, max_frame_len: usize) -> io::Result<ReadFrame> {
+    let mut len_buf = [0u8; 4];
+    // A clean EOF before the first length byte ends the stream; anything
+    // shorter than the full prefix is a truncated frame.
+    match r.read(&mut len_buf)? {
+        0 => return Ok(ReadFrame::Eof),
+        n => r.read_exact(&mut len_buf[n..])?,
+    }
+    let len = u32::from_be_bytes(len_buf);
+    if (len as usize) < HEADER_LEN {
+        return Ok(ReadFrame::Undersized(len));
+    }
+    if len as usize > max_frame_len {
+        return Ok(ReadFrame::Oversized(len, max_frame_len));
+    }
+    let mut header = [0u8; HEADER_LEN];
+    r.read_exact(&mut header)?;
+    let mut payload = vec![0u8; len as usize - HEADER_LEN];
+    r.read_exact(&mut payload)?;
+    Ok(ReadFrame::Frame(Frame {
+        version: header[0],
+        kind: header[1],
+        tenant: u64::from_be_bytes(header[2..10].try_into().expect("8 bytes")),
+        corr: u64::from_be_bytes(header[10..18].try_into().expect("8 bytes")),
+        payload,
+    }))
+}
+
+/// A protocol-level error, carried in an [`kind::ERROR`] frame. The
+/// explicit variants let a client react (back off on [`Quota`], renegotiate
+/// on [`UnsupportedVersion`]) without parsing message strings.
+///
+/// [`Quota`]: WireError::Quota
+/// [`UnsupportedVersion`]: WireError::UnsupportedVersion
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum WireError {
+    /// The frame's version byte is not spoken here: `(got, want)`.
+    UnsupportedVersion(u8, u8),
+    /// The kind byte is not in this version's table.
+    UnknownKind(u8),
+    /// A length prefix exceeded the receiver's cap: `(len, max)`. The
+    /// stream cannot be re-synchronised, so the sender of this error
+    /// closes the connection right after it.
+    Oversized(u64, u64),
+    /// The payload failed to decode (detail message).
+    Malformed(String),
+    /// The per-tenant admission quota refused the request (tenant id) —
+    /// the wire-level sibling of [`ServiceError::Saturated`].
+    Quota(u64),
+    /// The service answered an error: `(stable code, display message)`.
+    Service(String, String),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::UnsupportedVersion(got, want) => {
+                write!(
+                    f,
+                    "unsupported protocol version {got} (this side speaks {want})"
+                )
+            }
+            WireError::UnknownKind(k) => write!(f, "unknown frame kind {k:#04x}"),
+            WireError::Oversized(len, max) => {
+                write!(f, "frame length {len} exceeds the cap {max}")
+            }
+            WireError::Malformed(detail) => write!(f, "malformed payload: {detail}"),
+            WireError::Quota(tenant) => {
+                write!(f, "tenant-{tenant} admission quota exceeded")
+            }
+            WireError::Service(code, msg) => write!(f, "service error [{code}]: {msg}"),
+        }
+    }
+}
+
+/// The stable machine-readable code a [`ServiceError`] travels under.
+pub fn service_error_code(e: &ServiceError) -> &'static str {
+    match e {
+        ServiceError::Engine(EngineError::UnknownInstance { .. }) => "engine.unknown_instance",
+        ServiceError::Engine(EngineError::HashCollision { .. }) => "engine.hash_collision",
+        ServiceError::Engine(_) => "engine.assign",
+        ServiceError::Apply(_) => "apply",
+        ServiceError::UnknownTenant(_) => "unknown_tenant",
+        ServiceError::TenantExists(_) => "tenant_exists",
+        ServiceError::VerifyFailed { .. } => "verify_failed",
+        ServiceError::Saturated => "saturated",
+    }
+}
+
+impl From<&ServiceError> for WireError {
+    fn from(e: &ServiceError) -> WireError {
+        WireError::Service(service_error_code(e).to_string(), e.to_string())
+    }
+}
+
+/// A client→server frame, decoded: either a request for the service or a
+/// connection-level action the server handles itself.
+#[derive(Debug)]
+pub enum NetRequest {
+    /// Handshake.
+    Hello,
+    /// Submit to [`crate::Service::submit`].
+    Submit(Request),
+    /// Open a tenant session on the carried instance.
+    OpenTenant(TenantId, CruTree, CostModel),
+    /// Close a tenant session.
+    CloseTenant(TenantId),
+}
+
+/// A server→client frame, decoded.
+#[derive(Debug)]
+pub enum NetReply {
+    /// Handshake answer: the server's frame cap.
+    HelloAck(u64),
+    /// A fulfilled request.
+    Reply(Reply),
+    /// A tenant session opened.
+    TenantOpened,
+    /// A tenant session closed, with its final counters.
+    TenantClosed(SessionStats),
+    /// An error frame.
+    Error(WireError),
+}
+
+fn obj(entries: Vec<(&str, Value)>) -> Vec<u8> {
+    let v = Value::Map(
+        entries
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    );
+    serde_json::to_string(&v)
+        .expect("value-tree JSON printing is infallible")
+        .into_bytes()
+}
+
+fn body(payload: &[u8]) -> Result<Value, WireError> {
+    let text = std::str::from_utf8(payload)
+        .map_err(|e| WireError::Malformed(format!("payload is not UTF-8: {e}")))?;
+    serde_json::from_str::<Value>(text).map_err(|e| WireError::Malformed(e.to_string()))
+}
+
+fn field<T: Deserialize>(m: &[(String, Value)], name: &str) -> Result<T, WireError> {
+    let v = value::field(m, name).map_err(|e| WireError::Malformed(e.to_string()))?;
+    T::from_value(v).map_err(|e: DeError| WireError::Malformed(format!("{name}: {e}")))
+}
+
+fn as_map(v: &Value) -> Result<&[(String, Value)], WireError> {
+    v.as_map()
+        .ok_or_else(|| WireError::Malformed("body is not a JSON object".to_string()))
+}
+
+/// Encodes a request into its frame. The tenant header field is taken
+/// from the request itself ([`Request::Delta`]); other kinds travel with
+/// tenant 0.
+pub fn request_frame(corr: u64, req: &Request) -> Frame {
+    match req {
+        Request::Solve {
+            tree,
+            costs,
+            lambda,
+        } => Frame::new(
+            kind::SOLVE,
+            0,
+            corr,
+            obj(vec![
+                ("tree", tree.to_value()),
+                ("costs", costs.to_value()),
+                ("lambda", lambda.to_value()),
+            ]),
+        ),
+        Request::SolveById { id, lambda } => Frame::new(
+            kind::SOLVE_BY_ID,
+            0,
+            corr,
+            obj(vec![
+                ("id", id.raw().to_value()),
+                ("lambda", lambda.to_value()),
+            ]),
+        ),
+        Request::Frontier { tree, costs } => Frame::new(
+            kind::FRONTIER,
+            0,
+            corr,
+            obj(vec![("tree", tree.to_value()), ("costs", costs.to_value())]),
+        ),
+        Request::FrontierById { id } => Frame::new(
+            kind::FRONTIER_BY_ID,
+            0,
+            corr,
+            obj(vec![("id", id.raw().to_value())]),
+        ),
+        Request::Delta {
+            tenant,
+            delta,
+            lambda,
+        } => Frame::new(
+            kind::DELTA,
+            tenant.0,
+            corr,
+            obj(vec![
+                ("delta", delta.to_value()),
+                ("lambda", lambda.to_value()),
+            ]),
+        ),
+    }
+}
+
+/// The handshake frame.
+pub fn hello_frame(corr: u64) -> Frame {
+    Frame::new(kind::HELLO, 0, corr, Vec::new())
+}
+
+/// The handshake answer.
+pub fn hello_ack_frame(corr: u64, max_frame_len: usize) -> Frame {
+    Frame::new(
+        kind::HELLO_ACK,
+        0,
+        corr,
+        obj(vec![("max_frame_len", (max_frame_len as u64).to_value())]),
+    )
+}
+
+/// An open-tenant frame (instance in the body, tenant in the header).
+pub fn open_tenant_frame(corr: u64, tenant: TenantId, tree: &CruTree, costs: &CostModel) -> Frame {
+    Frame::new(
+        kind::OPEN_TENANT,
+        tenant.0,
+        corr,
+        obj(vec![("tree", tree.to_value()), ("costs", costs.to_value())]),
+    )
+}
+
+/// A close-tenant frame.
+pub fn close_tenant_frame(corr: u64, tenant: TenantId) -> Frame {
+    Frame::new(kind::CLOSE_TENANT, tenant.0, corr, Vec::new())
+}
+
+/// The tenant-opened acknowledgement.
+pub fn tenant_opened_frame(corr: u64, tenant: TenantId) -> Frame {
+    Frame::new(kind::TENANT_OPENED, tenant.0, corr, Vec::new())
+}
+
+/// The tenant-closed acknowledgement, carrying the session's counters.
+pub fn tenant_closed_frame(corr: u64, tenant: TenantId, stats: &SessionStats) -> Frame {
+    Frame::new(
+        kind::TENANT_CLOSED,
+        tenant.0,
+        corr,
+        obj(vec![("stats", stats.to_value())]),
+    )
+}
+
+/// Encodes a reply into its frame.
+pub fn reply_frame(corr: u64, tenant: u64, reply: &Reply) -> Frame {
+    match reply {
+        Reply::Solution { id, solution } => Frame::new(
+            kind::SOLUTION,
+            tenant,
+            corr,
+            obj(vec![
+                ("id", id.raw().to_value()),
+                ("solution", solution.to_value()),
+            ]),
+        ),
+        Reply::Frontier { id, frontier } => Frame::new(
+            kind::FRONTIER_REPLY,
+            tenant,
+            corr,
+            obj(vec![
+                ("id", id.raw().to_value()),
+                ("frontier", frontier.to_value()),
+            ]),
+        ),
+        Reply::Applied { outcome, solution } => Frame::new(
+            kind::APPLIED,
+            tenant,
+            corr,
+            obj(vec![
+                ("outcome", outcome.to_value()),
+                ("solution", solution.to_value()),
+            ]),
+        ),
+    }
+}
+
+/// Encodes an error frame.
+pub fn error_frame(corr: u64, tenant: u64, err: &WireError) -> Frame {
+    Frame::new(
+        kind::ERROR,
+        tenant,
+        corr,
+        serde_json::to_string(err)
+            .expect("value-tree JSON printing is infallible")
+            .into_bytes(),
+    )
+}
+
+/// The canonical wire JSON of a reply — what t13's byte-identity check
+/// compares between a loopback answer and an in-process one.
+pub fn reply_json(reply: &Reply) -> String {
+    String::from_utf8(reply_frame(0, 0, reply).payload).expect("wire JSON is UTF-8")
+}
+
+/// Decodes a client→server frame. The version byte must already have been
+/// checked by the caller (so a version mismatch can echo the correlation
+/// id without attempting to parse a future payload layout).
+pub fn decode_request(frame: &Frame) -> Result<NetRequest, WireError> {
+    match frame.kind {
+        kind::HELLO => Ok(NetRequest::Hello),
+        kind::SOLVE => {
+            let v = body(&frame.payload)?;
+            let m = as_map(&v)?;
+            Ok(NetRequest::Submit(Request::solve_arc(
+                Arc::new(field::<CruTree>(m, "tree")?),
+                Arc::new(field::<CostModel>(m, "costs")?),
+                field::<Lambda>(m, "lambda")?,
+            )))
+        }
+        kind::SOLVE_BY_ID => {
+            let v = body(&frame.payload)?;
+            let m = as_map(&v)?;
+            Ok(NetRequest::Submit(Request::solve_by_id(
+                InstanceId::from_raw(field::<u64>(m, "id")?),
+                field::<Lambda>(m, "lambda")?,
+            )))
+        }
+        kind::FRONTIER => {
+            let v = body(&frame.payload)?;
+            let m = as_map(&v)?;
+            Ok(NetRequest::Submit(Request::frontier_arc(
+                Arc::new(field::<CruTree>(m, "tree")?),
+                Arc::new(field::<CostModel>(m, "costs")?),
+            )))
+        }
+        kind::FRONTIER_BY_ID => {
+            let v = body(&frame.payload)?;
+            let m = as_map(&v)?;
+            Ok(NetRequest::Submit(Request::frontier_by_id(
+                InstanceId::from_raw(field::<u64>(m, "id")?),
+            )))
+        }
+        kind::DELTA => {
+            let v = body(&frame.payload)?;
+            let m = as_map(&v)?;
+            Ok(NetRequest::Submit(Request::delta_arc(
+                TenantId(frame.tenant),
+                Arc::new(field::<Delta>(m, "delta")?),
+                field::<Lambda>(m, "lambda")?,
+            )))
+        }
+        kind::OPEN_TENANT => {
+            let v = body(&frame.payload)?;
+            let m = as_map(&v)?;
+            Ok(NetRequest::OpenTenant(
+                TenantId(frame.tenant),
+                field::<CruTree>(m, "tree")?,
+                field::<CostModel>(m, "costs")?,
+            ))
+        }
+        kind::CLOSE_TENANT => Ok(NetRequest::CloseTenant(TenantId(frame.tenant))),
+        k => Err(WireError::UnknownKind(k)),
+    }
+}
+
+/// Decodes a server→client frame.
+pub fn decode_server_frame(frame: &Frame) -> Result<NetReply, WireError> {
+    match frame.kind {
+        kind::HELLO_ACK => {
+            let v = body(&frame.payload)?;
+            let m = as_map(&v)?;
+            Ok(NetReply::HelloAck(field::<u64>(m, "max_frame_len")?))
+        }
+        kind::SOLUTION => {
+            let v = body(&frame.payload)?;
+            let m = as_map(&v)?;
+            Ok(NetReply::Reply(Reply::Solution {
+                id: InstanceId::from_raw(field::<u64>(m, "id")?),
+                solution: field(m, "solution")?,
+            }))
+        }
+        kind::FRONTIER_REPLY => {
+            let v = body(&frame.payload)?;
+            let m = as_map(&v)?;
+            Ok(NetReply::Reply(Reply::Frontier {
+                id: InstanceId::from_raw(field::<u64>(m, "id")?),
+                frontier: field(m, "frontier")?,
+            }))
+        }
+        kind::APPLIED => {
+            let v = body(&frame.payload)?;
+            let m = as_map(&v)?;
+            Ok(NetReply::Reply(Reply::Applied {
+                outcome: field(m, "outcome")?,
+                solution: field(m, "solution")?,
+            }))
+        }
+        kind::TENANT_OPENED => Ok(NetReply::TenantOpened),
+        kind::TENANT_CLOSED => {
+            let v = body(&frame.payload)?;
+            let m = as_map(&v)?;
+            Ok(NetReply::TenantClosed(field(m, "stats")?))
+        }
+        kind::ERROR => {
+            let v = body(&frame.payload)?;
+            let err = WireError::from_value(&v).map_err(|e| WireError::Malformed(e.to_string()))?;
+            Ok(NetReply::Error(err))
+        }
+        k => Err(WireError::UnknownKind(k)),
+    }
+}

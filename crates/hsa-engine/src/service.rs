@@ -114,7 +114,11 @@ impl Default for ServiceConfig {
 }
 
 /// Errors a request can come back with.
+///
+/// Non-exhaustive: the wire protocol ([`crate::net`]) versions this enum,
+/// and future schema revisions may add kinds — match with a wildcard arm.
 #[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum ServiceError {
     /// The shared engine rejected the query.
     Engine(EngineError),
@@ -167,7 +171,14 @@ impl From<EngineError> for ServiceError {
 
 /// One request of the stream. Instances travel as `Arc`s so a hot key in
 /// a Zipf-skewed stream costs reference bumps, not tree clones.
+///
+/// `Request` is the single source of truth for the wire protocol
+/// ([`crate::net`] frames carry exactly these payloads), so it is
+/// non-exhaustive and all construction goes through the `Request::*`
+/// constructors — new request kinds then extend the schema without
+/// breaking downstream crates.
 #[derive(Clone, Debug)]
+#[non_exhaustive]
 pub enum Request {
     /// Solve one instance at one λ through the shared engine cache.
     Solve {
@@ -252,10 +263,42 @@ impl Request {
             lambda,
         }
     }
+
+    /// [`Request::solve`] for callers that already hold the instance in
+    /// `Arc`s — re-presenting a hot instance costs two reference bumps.
+    pub fn solve_arc(tree: Arc<CruTree>, costs: Arc<CostModel>, lambda: Lambda) -> Request {
+        Request::Solve {
+            tree,
+            costs,
+            lambda,
+        }
+    }
+
+    /// [`Request::frontier`] from pre-shared `Arc`s.
+    pub fn frontier_arc(tree: Arc<CruTree>, costs: Arc<CostModel>) -> Request {
+        Request::Frontier { tree, costs }
+    }
+
+    /// [`Request::delta`] from a pre-shared `Arc` (a delta replayed to
+    /// many tenants travels without cloning its op list).
+    pub fn delta_arc(tenant: TenantId, delta: Arc<Delta>, lambda: Lambda) -> Request {
+        Request::Delta {
+            tenant,
+            delta,
+            lambda,
+        }
+    }
 }
 
 /// A fulfilled request.
+///
+/// Non-exhaustive for the same reason as [`Request`]: replies are wire
+/// frames, and the schema may grow. Prefer the uniform accessors
+/// ([`Reply::solution`], [`Reply::frontier`], [`Reply::outcome`],
+/// [`Reply::instance_id`] — and [`AnswerExt`] on the `Result` a
+/// [`Ticket::wait`] returns) over exhaustive matching.
 #[derive(Clone, Debug)]
+#[non_exhaustive]
 pub enum Reply {
     /// The solve answer (byte-identical to a fresh `Expanded::solve`).
     /// Carries the instance id so a first-contact client can switch to
@@ -288,7 +331,7 @@ impl Reply {
         match self {
             Reply::Solution { solution, .. } => Some(solution),
             Reply::Applied { solution, .. } => Some(solution),
-            Reply::Frontier { .. } => None,
+            _ => None,
         }
     }
 
@@ -299,8 +342,77 @@ impl Reply {
     pub fn instance_id(&self) -> Option<InstanceId> {
         match self {
             Reply::Solution { id, .. } | Reply::Frontier { id, .. } => Some(*id),
-            Reply::Applied { .. } => None,
+            _ => None,
         }
+    }
+
+    /// The λ-frontier carried by this reply, if it is one.
+    pub fn frontier(&self) -> Option<&LambdaFrontier> {
+        match self {
+            Reply::Frontier { frontier, .. } => Some(frontier),
+            _ => None,
+        }
+    }
+
+    /// What a delta apply did, if this reply answers one.
+    pub fn outcome(&self) -> Option<&ApplyOutcome> {
+        match self {
+            Reply::Applied { outcome, .. } => Some(outcome),
+            _ => None,
+        }
+    }
+}
+
+/// Uniform accessors over a whole answer — the `Result<Reply,
+/// ServiceError>` a [`Ticket::wait`] (or a remote
+/// [`crate::net::Client`] call) hands back. Collapses the two-level
+/// `Result`/enum match into one `Option` probe per payload kind:
+///
+/// ```
+/// use hsa_engine::{AnswerExt, Engine, EngineConfig, Request, Service, ServiceConfig};
+/// use hsa_graph::Lambda;
+/// use std::sync::Arc;
+///
+/// let sc = hsa_workloads::paper_scenario();
+/// let engine = Arc::new(Engine::new(EngineConfig::default()));
+/// let service = Service::new(engine, ServiceConfig::default());
+/// let answer = service.submit(Request::solve(&sc.tree, &sc.costs, Lambda::HALF)).wait();
+/// assert!(answer.error().is_none());
+/// let objective = answer.solution().expect("solve answers a solution").objective;
+/// # let _ = objective;
+/// ```
+pub trait AnswerExt {
+    /// The solution, if the answer succeeded with one.
+    fn solution(&self) -> Option<&Solution>;
+    /// The λ-frontier, if the answer succeeded with one.
+    fn frontier(&self) -> Option<&LambdaFrontier>;
+    /// The apply outcome, if the answer is a fulfilled delta.
+    fn outcome(&self) -> Option<&ApplyOutcome>;
+    /// The instance id for id-addressed re-queries, if one was reported.
+    fn instance_id(&self) -> Option<InstanceId>;
+    /// The error, if the request failed.
+    fn error(&self) -> Option<&ServiceError>;
+}
+
+impl AnswerExt for Result<Reply, ServiceError> {
+    fn solution(&self) -> Option<&Solution> {
+        self.as_ref().ok().and_then(Reply::solution)
+    }
+
+    fn frontier(&self) -> Option<&LambdaFrontier> {
+        self.as_ref().ok().and_then(Reply::frontier)
+    }
+
+    fn outcome(&self) -> Option<&ApplyOutcome> {
+        self.as_ref().ok().and_then(Reply::outcome)
+    }
+
+    fn instance_id(&self) -> Option<InstanceId> {
+        self.as_ref().ok().and_then(Reply::instance_id)
+    }
+
+    fn error(&self) -> Option<&ServiceError> {
+        self.as_ref().err()
     }
 }
 

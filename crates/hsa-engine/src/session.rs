@@ -40,6 +40,7 @@ use hsa_assign::{
 };
 use hsa_graph::Lambda;
 use hsa_tree::{CostModel, CruTree, Delta};
+use serde::{Deserialize, Serialize};
 
 /// Configuration of an incremental [`Session`].
 #[derive(Clone, Copy, Debug)]
@@ -67,7 +68,7 @@ impl Default for SessionConfig {
 }
 
 /// Counters of a session's life so far (see [`Session::stats`]).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SessionStats {
     /// Successful [`Session::apply`] calls.
     pub applies: u64,
@@ -95,7 +96,7 @@ impl SessionStats {
 }
 
 /// What one [`Session::apply`] did.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ApplyOutcome {
     /// Colours whose frontier had to be rebuilt.
     pub dirty_colours: usize,

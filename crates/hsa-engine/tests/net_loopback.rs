@@ -1,0 +1,328 @@
+//! Integration coverage of the TCP front door over loopback: round
+//! trips, malformed frames answered with error frames, per-tenant
+//! quotas, graceful shutdown draining every accepted ticket, and
+//! reconnect resuming id-addressed requests via the raw instance id.
+
+use hsa_engine::net::wire::{self, WireError};
+use hsa_engine::net::{Client, ClientError, NetConfig, NetServer};
+use hsa_engine::{Engine, EngineConfig, Request, Service, ServiceConfig, TenantId};
+use hsa_graph::{Cost, Lambda};
+use hsa_tree::Delta;
+use hsa_workloads::{random_instance, Placement, RandomTreeParams};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn server(cfg: ServiceConfig, net: NetConfig) -> NetServer {
+    let engine = Arc::new(Engine::new(EngineConfig::default()));
+    let service = Arc::new(Service::new(engine, cfg));
+    NetServer::bind("127.0.0.1:0", service, net).expect("binding loopback")
+}
+
+fn verify_service() -> ServiceConfig {
+    ServiceConfig {
+        workers: 2,
+        verify: true,
+        ..ServiceConfig::default()
+    }
+}
+
+#[test]
+fn full_round_trip_over_loopback() {
+    let server = server(verify_service(), NetConfig::default());
+    let sc = hsa_workloads::paper_scenario();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    // First contact by value; every answer under verify mode.
+    let first = client.solve(&sc.tree, &sc.costs, Lambda::HALF).unwrap();
+    let id = first.instance_id().expect("first contact learns the id");
+    let sol = first.solution().expect("solve answers a solution").clone();
+
+    // Hot path by id: same answer, no tree on the wire.
+    let again = client.solve_by_id(id, Lambda::HALF).unwrap();
+    assert_eq!(
+        wire::reply_json(&again),
+        wire::reply_json(&first),
+        "id-addressed solve must answer byte-identically"
+    );
+
+    // Frontier, by value then by id.
+    let frontier = client.frontier(&sc.tree, &sc.costs).unwrap();
+    assert_eq!(frontier.instance_id(), Some(id));
+    let fr = frontier.frontier().expect("frontier reply");
+    assert_eq!(fr.objective_at(Lambda::HALF), sol.objective);
+    let frontier_by_id = client.frontier_by_id(id).unwrap();
+    assert_eq!(
+        wire::reply_json(&frontier_by_id),
+        wire::reply_json(&frontier)
+    );
+
+    // A tenant session over the wire: open, delta, close.
+    let tenant = TenantId(42);
+    client.open_tenant(tenant, &sc.tree, &sc.costs).unwrap();
+    let busier = Delta::new().scale_subtree(sc.tree.root(), 11, 10);
+    let applied = client.delta(tenant, busier, Lambda::HALF).unwrap();
+    let post = applied.solution().expect("delta answers a solution");
+    assert!(post.objective >= sol.objective);
+    let stats = client.close_tenant(tenant).unwrap();
+    assert_eq!(stats.applies, 1);
+
+    // Server-side counters saw exactly the submitted requests.
+    let svc = server.service().stats();
+    assert_eq!(svc.completed, 5);
+    assert_eq!(svc.failed, 0);
+    server.shutdown();
+}
+
+#[test]
+fn service_errors_travel_as_typed_frames() {
+    let server = server(verify_service(), NetConfig::default());
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    // Unknown instance id.
+    let unknown = hsa_engine::InstanceId::from_raw(0xDEAD_BEEF);
+    let err = client.solve_by_id(unknown, Lambda::HALF).unwrap_err();
+    match err {
+        ClientError::Remote(WireError::Service(code, _)) => {
+            assert_eq!(code, "engine.unknown_instance")
+        }
+        other => panic!("expected a service error frame, got {other}"),
+    }
+
+    // Unknown tenant.
+    let err = client
+        .delta(TenantId(7), Delta::new(), Lambda::HALF)
+        .unwrap_err();
+    match err {
+        ClientError::Remote(WireError::Service(code, _)) => assert_eq!(code, "unknown_tenant"),
+        other => panic!("expected a service error frame, got {other}"),
+    }
+
+    // The connection survives error frames.
+    let sc = hsa_workloads::paper_scenario();
+    assert!(client.solve(&sc.tree, &sc.costs, Lambda::HALF).is_ok());
+    server.shutdown();
+}
+
+#[test]
+fn malformed_frames_answer_error_frames_not_hangs() {
+    let server = server(verify_service(), NetConfig::default());
+    let sc = hsa_workloads::paper_scenario();
+
+    // Bad version byte: refused under its own correlation id, connection
+    // stays up (the header layout is version-stable).
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let mut bad_version = wire::request_frame(
+        99,
+        &Request::solve_by_id(hsa_engine::InstanceId::from_raw(1), Lambda::HALF),
+    );
+    bad_version.version = 77;
+    client.send_raw(&bad_version.encode()).unwrap();
+    let frame = client.recv_raw().unwrap();
+    assert_eq!(frame.kind, wire::kind::ERROR);
+    assert_eq!(frame.corr, 99, "version refusals echo the correlation id");
+    let wire::NetReply::Error(err) = wire::decode_server_frame(&frame).unwrap() else {
+        panic!("expected an error body");
+    };
+    assert_eq!(
+        err,
+        WireError::UnsupportedVersion(77, wire::PROTOCOL_VERSION)
+    );
+
+    // Unknown kind byte.
+    let unknown_kind = wire::Frame {
+        version: wire::PROTOCOL_VERSION,
+        kind: 0x6F,
+        tenant: 0,
+        corr: 123,
+        payload: b"{}".to_vec(),
+    };
+    client.send_raw(&unknown_kind.encode()).unwrap();
+    let frame = client.recv_raw().unwrap();
+    assert_eq!(frame.kind, wire::kind::ERROR);
+    assert_eq!(frame.corr, 123);
+    let wire::NetReply::Error(err) = wire::decode_server_frame(&frame).unwrap() else {
+        panic!("expected an error body");
+    };
+    assert_eq!(err, WireError::UnknownKind(0x6F));
+
+    // Garbage payload under a valid kind.
+    let garbage = wire::Frame {
+        version: wire::PROTOCOL_VERSION,
+        kind: wire::kind::SOLVE,
+        tenant: 0,
+        corr: 7,
+        payload: b"not json at all".to_vec(),
+    };
+    client.send_raw(&garbage.encode()).unwrap();
+    let frame = client.recv_raw().unwrap();
+    assert_eq!((frame.kind, frame.corr), (wire::kind::ERROR, 7));
+    assert!(matches!(
+        wire::decode_server_frame(&frame).unwrap(),
+        wire::NetReply::Error(WireError::Malformed(_))
+    ));
+
+    // The same connection still answers real requests after all three.
+    assert!(client.solve(&sc.tree, &sc.costs, Lambda::HALF).is_ok());
+
+    // Oversized length prefix: answered with an explicit error frame,
+    // then the connection closes (the stream cannot re-synchronise).
+    let mut oversized = Client::connect(server.local_addr()).unwrap();
+    oversized
+        .send_raw(&u32::MAX.to_be_bytes())
+        .expect("writing a hostile prefix");
+    let frame = oversized.recv_raw().unwrap();
+    assert_eq!(frame.kind, wire::kind::ERROR);
+    assert!(matches!(
+        wire::decode_server_frame(&frame).unwrap(),
+        wire::NetReply::Error(WireError::Oversized(..))
+    ));
+    assert!(oversized.recv_raw().is_err(), "connection must close");
+
+    // Undersized length prefix: same story.
+    let mut undersized = Client::connect(server.local_addr()).unwrap();
+    undersized.send_raw(&4u32.to_be_bytes()).unwrap();
+    undersized.send_raw(&[0u8; 4]).unwrap();
+    let frame = undersized.recv_raw().unwrap();
+    assert_eq!(frame.kind, wire::kind::ERROR);
+    assert!(matches!(
+        wire::decode_server_frame(&frame).unwrap(),
+        wire::NetReply::Error(WireError::Malformed(_))
+    ));
+    assert!(undersized.recv_raw().is_err(), "connection must close");
+
+    // A frame truncated mid-payload (client hangs up): the server drops
+    // the connection without wedging — new connections still answer.
+    let mut truncated = Client::connect(server.local_addr()).unwrap();
+    let frame = wire::request_frame(1, &Request::solve(&sc.tree, &sc.costs, Lambda::HALF));
+    let bytes = frame.encode();
+    truncated.send_raw(&bytes[..bytes.len() / 2]).unwrap();
+    drop(truncated);
+    let mut fresh = Client::connect(server.local_addr()).unwrap();
+    assert!(fresh.solve(&sc.tree, &sc.costs, Lambda::HALF).is_ok());
+    server.shutdown();
+}
+
+#[test]
+fn per_tenant_quota_refuses_with_typed_frames() {
+    let server = server(
+        ServiceConfig {
+            workers: 1,
+            ..ServiceConfig::default()
+        },
+        NetConfig {
+            per_tenant_inflight: 1,
+            ..NetConfig::default()
+        },
+    );
+    // A tree big enough that its frontier keeps the single worker busy
+    // while the follow-up burst arrives.
+    let (tree, costs) = random_instance(
+        &RandomTreeParams {
+            n_crus: 220,
+            n_satellites: 4,
+            placement: Placement::Random,
+            ..RandomTreeParams::default()
+        },
+        7,
+    );
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    const BURST: usize = 16;
+    let mut corrs = Vec::new();
+    corrs.push(client.send(&Request::frontier(&tree, &costs)).unwrap());
+    for _ in 1..BURST {
+        corrs.push(client.send(&Request::frontier(&tree, &costs)).unwrap());
+    }
+    let mut ok = 0usize;
+    let mut refused = 0usize;
+    for _ in 0..BURST {
+        let (corr, outcome) = client.recv_any().unwrap();
+        assert!(corrs.contains(&corr));
+        match outcome {
+            Ok(_) => ok += 1,
+            Err(ClientError::Remote(WireError::Quota(0))) => refused += 1,
+            Err(other) => panic!("unexpected failure: {other}"),
+        }
+    }
+    assert_eq!(ok + refused, BURST);
+    assert!(ok >= 1, "the first request must be admitted");
+    assert!(
+        refused >= 1,
+        "a 1-deep quota must refuse part of a {BURST}-burst"
+    );
+    // Quota slots are released: a fresh request sails through.
+    assert!(client.frontier(&tree, &costs).is_ok());
+    server.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_drains_every_accepted_ticket() {
+    let server = server(
+        ServiceConfig {
+            workers: 1,
+            ..ServiceConfig::default()
+        },
+        NetConfig::default(),
+    );
+    let sc = hsa_workloads::paper_scenario();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    // Pipeline a burst and wait until the service has *accepted* all of
+    // it (submitted counter), so shutdown finds real in-flight work.
+    const BURST: u64 = 24;
+    for i in 0..BURST {
+        let lambda = Lambda::new(u32::try_from(i % 9).unwrap(), 8).unwrap();
+        client
+            .send(&Request::solve(&sc.tree, &sc.costs, lambda))
+            .unwrap();
+    }
+    let service = Arc::clone(server.service());
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while service.stats().submitted < BURST {
+        assert!(Instant::now() < deadline, "submission stalled");
+        std::thread::yield_now();
+    }
+
+    // Shut down while the burst is (at least partly) in flight.
+    server.shutdown();
+
+    // Every accepted ticket was drained and its answer flushed before
+    // the connection closed.
+    let mut answered = 0u64;
+    while let Ok((_corr, outcome)) = client.recv_any() {
+        outcome.expect("drained answers are real answers");
+        answered += 1;
+    }
+    assert_eq!(answered, BURST, "shutdown must drain all accepted tickets");
+    assert_eq!(service.stats().completed, BURST);
+}
+
+#[test]
+fn reconnecting_client_resumes_by_raw_id() {
+    let server = server(verify_service(), NetConfig::default());
+    let sc = hsa_workloads::paper_scenario();
+
+    // First connection: learn the id, persist only its raw u64.
+    let raw = {
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        let reply = client.solve(&sc.tree, &sc.costs, Lambda::HALF).unwrap();
+        reply
+            .instance_id()
+            .expect("first contact learns the id")
+            .raw()
+    };
+
+    // Second connection: resume id-addressed requests without ever
+    // sending the tree again.
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let id = hsa_engine::InstanceId::from_raw(raw);
+    let reply = client.solve_by_id(id, Lambda::HALF).unwrap();
+    let sol = reply.solution().expect("id-addressed solve answers");
+    assert!(sol.objective > 0 || sol.report.end_to_end >= Cost::ZERO);
+    let frontier = client.frontier_by_id(id).unwrap();
+    assert_eq!(
+        frontier.frontier().unwrap().objective_at(Lambda::HALF),
+        sol.objective
+    );
+    server.shutdown();
+}

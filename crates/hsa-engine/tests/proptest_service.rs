@@ -118,11 +118,11 @@ fn script(
                 let prep = Prepared::new(tree, base).unwrap();
                 let want = Expanded::default().solve(&prep, lambda).unwrap();
                 Scripted {
-                    request: Request::Solve {
-                        tree: Arc::clone(tree_arc),
-                        costs: Arc::clone(costs_arc),
+                    request: Request::solve_arc(
+                        Arc::clone(tree_arc),
+                        Arc::clone(costs_arc),
                         lambda,
-                    },
+                    ),
                     tenant,
                     expected: Expected::Solution {
                         objective: want.objective,
@@ -136,10 +136,7 @@ fn script(
                 let frontiers = FrontierSet::prepare(&prep, &ExpandedConfig::default()).unwrap();
                 let want = hsa_assign::lambda_frontier_with(&prep, &frontiers).unwrap();
                 Scripted {
-                    request: Request::Frontier {
-                        tree: Arc::clone(tree_arc),
-                        costs: Arc::clone(costs_arc),
-                    },
+                    request: Request::frontier_arc(Arc::clone(tree_arc), Arc::clone(costs_arc)),
                     tenant,
                     expected: Expected::Frontier {
                         breakpoints: want.breakpoints().to_vec(),
@@ -154,11 +151,7 @@ fn script(
                 let prep = Prepared::new(tree, &mirrors[tenant]).unwrap();
                 let want = Expanded::default().solve(&prep, lambda).unwrap();
                 Scripted {
-                    request: Request::Delta {
-                        tenant: TenantId(tenant as u64),
-                        delta: Arc::new(delta),
-                        lambda,
-                    },
+                    request: Request::delta(TenantId(tenant as u64), delta, lambda),
                     tenant,
                     expected: Expected::Solution {
                         objective: want.objective,

@@ -23,6 +23,7 @@
 //! queries agree digit-for-digit with an independent solve at the same λ.
 
 use crate::{Cost, Lambda, ScaledSsb};
+use serde::{value, DeError, Deserialize, Serialize, Value};
 use std::cmp::Ordering;
 
 /// An exact rational λ ∈ [0, 1] with 64-bit numerator and denominator —
@@ -151,6 +152,29 @@ fn gcd(mut a: u128, mut b: u128) -> u128 {
     a
 }
 
+impl Serialize for LambdaQ {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("num".to_string(), self.num.to_value()),
+            ("den".to_string(), self.den.to_value()),
+        ])
+    }
+}
+
+// Deserialisation funnels through [`LambdaQ::new`], so incoming rationals
+// are re-reduced and clamped into [0, 1] — values we encoded ourselves are
+// already reduced and round-trip bit-for-bit.
+impl Deserialize for LambdaQ {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let m = v
+            .as_map()
+            .ok_or_else(|| DeError::custom(format!("expected LambdaQ map, got {v:?}")))?;
+        let num = u64::from_value(value::field(m, "num")?)?;
+        let den = u64::from_value(value::field(m, "den")?)?;
+        Ok(LambdaQ::new(num, den))
+    }
+}
+
 /// One maximal λ interval on which a single candidate is optimal.
 #[derive(Clone, Debug)]
 pub struct EnvelopeSegment<T> {
@@ -170,6 +194,33 @@ impl<T> EnvelopeSegment<T> {
     /// The segment's exact midpoint λ.
     pub fn midpoint(&self) -> LambdaQ {
         LambdaQ::midpoint(self.lo, self.hi)
+    }
+}
+
+impl<T: Serialize> Serialize for EnvelopeSegment<T> {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("lo".to_string(), self.lo.to_value()),
+            ("hi".to_string(), self.hi.to_value()),
+            ("s".to_string(), self.s.to_value()),
+            ("b".to_string(), self.b.to_value()),
+            ("payload".to_string(), self.payload.to_value()),
+        ])
+    }
+}
+
+impl<T: Deserialize> Deserialize for EnvelopeSegment<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let m = v
+            .as_map()
+            .ok_or_else(|| DeError::custom(format!("expected EnvelopeSegment map, got {v:?}")))?;
+        Ok(EnvelopeSegment {
+            lo: LambdaQ::from_value(value::field(m, "lo")?)?,
+            hi: LambdaQ::from_value(value::field(m, "hi")?)?,
+            s: Cost::from_value(value::field(m, "s")?)?,
+            b: Cost::from_value(value::field(m, "b")?)?,
+            payload: T::from_value(value::field(m, "payload")?)?,
+        })
     }
 }
 
@@ -244,6 +295,25 @@ impl<T> LambdaEnvelope<T> {
                 })
             })
             .collect::<Result<Vec<_>, E>>()?;
+        Ok(LambdaEnvelope { segments })
+    }
+}
+
+impl<T: Serialize> Serialize for LambdaEnvelope<T> {
+    fn to_value(&self) -> Value {
+        self.segments.to_value()
+    }
+}
+
+// The "never empty" invariant is checked on the way in; λ-ordering and
+// coverage of [0, 1] are taken on trust from the encoder (the query methods
+// degrade gracefully — `segment_at` falls back to the last segment).
+impl<T: Deserialize> Deserialize for LambdaEnvelope<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let segments = Vec::<EnvelopeSegment<T>>::from_value(v)?;
+        if segments.is_empty() {
+            return Err(DeError::custom("LambdaEnvelope must have ≥ 1 segment"));
+        }
         Ok(LambdaEnvelope { segments })
     }
 }

@@ -29,10 +29,11 @@
 
 use crate::{catalog, random_scenario, Placement, RandomTreeParams, Scenario};
 use hsa_graph::{Cost, Lambda};
-use hsa_tree::{CostModel, CruId, Delta, SatelliteId};
+use hsa_tree::{CostModel, CruId, CruTree, Delta, SatelliteId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Shape of a request stream.
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]
@@ -131,6 +132,17 @@ pub struct RequestStream {
 }
 
 impl RequestStream {
+    /// The catalog as shared `(tree, costs)` pairs, ready for the
+    /// by-value service constructors (`Request::solve_arc` and friends)
+    /// — one allocation per instance, shared across every request and
+    /// worker that targets it.
+    pub fn arc_instances(&self) -> Vec<(Arc<CruTree>, Arc<CostModel>)> {
+        self.instances
+            .iter()
+            .map(|sc| (Arc::new(sc.tree.clone()), Arc::new(sc.costs.clone())))
+            .collect()
+    }
+
     /// How many requests target each instance (a Zipf shape check).
     pub fn per_instance_counts(&self) -> Vec<usize> {
         let mut counts = vec![0usize; self.instances.len()];

@@ -182,6 +182,40 @@ macro_rules! impl_int {
 }
 impl_int!(i8, i16, i32, i64, isize);
 
+// 128-bit integers don't fit the `Value::UInt(u64)` / `Value::Int(i64)`
+// payloads, so they travel as decimal strings (lossless, JSON-safe). Small
+// values arriving as plain integers are also accepted on the way in.
+macro_rules! impl_int128 {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Str(self.to_string())
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Str(s) => s.parse::<$t>().map_err(|_| {
+                        DeError::custom(format!(
+                            concat!("invalid ", stringify!($t), " literal {:?}"), s))
+                    }),
+                    Value::UInt(u) => <$t>::try_from(*u).map_err(|_| {
+                        DeError::custom(format!(
+                            concat!("value {} out of range for ", stringify!($t)), u))
+                    }),
+                    Value::Int(i) => <$t>::try_from(*i).map_err(|_| {
+                        DeError::custom(format!(
+                            concat!("value {} out of range for ", stringify!($t)), i))
+                    }),
+                    other => Err(DeError::custom(format!(
+                        concat!("expected ", stringify!($t), ", got {:?}"), other))),
+                }
+            }
+        }
+    )*};
+}
+impl_int128!(u128, i128);
+
 macro_rules! impl_float {
     ($($t:ty),*) => {$(
         impl Serialize for $t {
