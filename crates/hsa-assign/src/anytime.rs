@@ -1,0 +1,257 @@
+//! Cancellation and gap certificates: the plumbing anytime solvers share.
+//!
+//! A racing portfolio (hsa-engine) runs several solver arms over one
+//! [`crate::Prepared`] instance and wants two things from this layer:
+//!
+//! * a **cooperative cancellation flag** every arm polls ([`CancelToken`]),
+//!   doubling as a soft deadline — heuristic arms answer with their best
+//!   incumbent when it fires, the exact arm aborts with
+//!   [`crate::AssignError::Cancelled`];
+//! * a **certified optimality gap** ([`GapCertificate`]) bracketing every
+//!   answer: `lower ≤ optimum ≤ upper` in the λ-scaled SSB objective, where
+//!   the upper bound is the reported cut's own objective and the lower
+//!   bound comes from an admissible relaxation (or the exact envelope once
+//!   it is known, collapsing the gap to zero).
+
+use crate::Prepared;
+use hsa_graph::{Cost, Lambda, ScaledSsb};
+use hsa_tree::TreeEdge;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A shared cooperative cancellation flag with an optional deadline.
+///
+/// Clones share the underlying flag: cancelling any clone cancels them
+/// all. Solvers poll [`CancelToken::is_cancelled`] at natural loop
+/// boundaries (per tree node in the frontier DP, per generation in the
+/// heuristics) — polling is one `Acquire` load plus, when a deadline is
+/// set, one monotonic clock read.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+    deadline: Option<Instant>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token with no deadline.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// A token that reports cancelled once `deadline` passes, in addition
+    /// to explicit [`CancelToken::cancel`] calls.
+    pub fn with_deadline(deadline: Instant) -> CancelToken {
+        CancelToken {
+            flag: Arc::new(AtomicBool::new(false)),
+            deadline: Some(deadline),
+        }
+    }
+
+    /// A clone sharing this token's flag that additionally fires once
+    /// `deadline` passes. The racing portfolio hands these to its
+    /// heuristic arms (soft budget: answer with the incumbent) while the
+    /// exact arm keeps the undated original and only stops when the race
+    /// is explicitly cancelled.
+    pub fn until(&self, deadline: Instant) -> CancelToken {
+        CancelToken {
+            flag: Arc::clone(&self.flag),
+            deadline: Some(deadline),
+        }
+    }
+
+    /// Requests cancellation: every clone observes it on its next poll.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// True once [`CancelToken::cancel`] was called on any clone, or the
+    /// deadline (if set) has passed.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire) || self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+}
+
+/// A certified bracket on the optimum of one λ query: the answer it
+/// accompanies costs `upper`, and no feasible cut can cost less than
+/// `lower` (both in the λ-scaled SSB objective, [`ScaledSsb`] units).
+///
+/// Soundness is by construction: `upper` is the objective of an actually
+/// evaluated feasible cut, and `lower` comes from either the structural
+/// relaxation ([`structural_lower_bound`], admissible by dropping the
+/// coupling between colours) or the exact λ-envelope (in which case
+/// `lower == upper` and the certificate is tight). Upgrades over an
+/// answer's lifetime only ever shrink the gap: `lower` is monotonically
+/// non-decreasing, `upper` monotonically non-increasing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GapCertificate {
+    /// Certified lower bound on the optimum (admissible, never above it).
+    pub lower: ScaledSsb,
+    /// The reported answer's own objective (a feasible upper bound).
+    pub upper: ScaledSsb,
+    /// The λ both bounds are scaled with.
+    pub lambda: Lambda,
+}
+
+impl GapCertificate {
+    /// Builds a certificate, clamping `lower` to `upper` so a conservative
+    /// bound can never produce a negative gap.
+    pub fn new(lower: ScaledSsb, upper: ScaledSsb, lambda: Lambda) -> GapCertificate {
+        GapCertificate {
+            lower: lower.min(upper),
+            upper,
+            lambda,
+        }
+    }
+
+    /// A zero-gap certificate for an exactly-solved answer.
+    pub fn tight(optimum: ScaledSsb, lambda: Lambda) -> GapCertificate {
+        GapCertificate {
+            lower: optimum,
+            upper: optimum,
+            lambda,
+        }
+    }
+
+    /// The absolute certified gap, `upper − lower`.
+    pub fn gap(&self) -> ScaledSsb {
+        self.upper - self.lower
+    }
+
+    /// True when the answer is certified optimal (`lower == upper`).
+    pub fn is_tight(&self) -> bool {
+        self.lower == self.upper
+    }
+
+    /// The relative gap `(upper − lower) / upper` (0 when tight; 1 when
+    /// the lower bound is vacuous or `upper` is zero-cost).
+    pub fn relative_gap(&self) -> f64 {
+        if self.upper == 0 {
+            return 0.0;
+        }
+        self.gap() as f64 / self.upper as f64
+    }
+
+    /// Merges a better answer into this certificate: the gap shrinks (or
+    /// stays) on both sides, never widens. Used by the racing portfolio
+    /// when a later arm improves the incumbent or tightens the bound.
+    pub fn tightened(&self, lower: ScaledSsb, upper: ScaledSsb) -> GapCertificate {
+        GapCertificate {
+            lower: self.lower.max(lower).min(self.upper.min(upper)),
+            upper: self.upper.min(upper),
+            lambda: self.lambda,
+        }
+    }
+}
+
+/// An admissible structural lower bound on the λ-scaled optimum, O(n) and
+/// λ-independent in its inputs — usable before any frontier exists.
+///
+/// Relaxation argument: any feasible cut covers every leaf's sensor path
+/// with exactly one edge, so per colour the host-time contribution is at
+/// least the colour's cheapest single-point cover... more precisely:
+///
+/// * **S side**: every leaf must be covered by some cut edge on its
+///   root path; charge each *colour* the cheapest σ over all edges in its
+///   region (a colour with any covered leaf contributes at least its
+///   region-wide minimum σ once). Summing those minima over colours that
+///   must appear (colours owning at least one leaf) never exceeds the true
+///   Σσ of a feasible cut.
+/// * **B side**: the bottleneck is the loaded satellite's Σβ; for each
+///   colour the load, if the colour appears, is at least the minimum β
+///   over its region's edges. The max over *forced* colours (colours
+///   owning a leaf reachable only through that colour's region) bounds B
+///   from below. We conservatively use the max over colours owning leaves
+///   of the per-colour minimum β — admissible because every leaf's cover
+///   edge lies inside its own colour's region.
+pub fn structural_lower_bound(prep: &Prepared<'_>, lambda: Lambda) -> ScaledSsb {
+    let n_colours = prep.n_satellites() as usize;
+    let mut min_sigma: Vec<Option<Cost>> = vec![None; n_colours];
+    let mut min_beta: Vec<Option<Cost>> = vec![None; n_colours];
+    let tree = prep.tree.as_ref();
+    let mut note = |s: usize, e: TreeEdge| {
+        let (sg, bt) = (prep.sigma.sigma(e), prep.beta.beta(e));
+        min_sigma[s] = Some(min_sigma[s].map_or(sg, |m: Cost| m.min(sg)));
+        min_beta[s] = Some(min_beta[s].map_or(bt, |m: Cost| m.min(bt)));
+    };
+    for s in 0..n_colours {
+        for &top in prep.tops.of(s) {
+            for c in tree.subtree(top) {
+                if c != tree.root() {
+                    let e = TreeEdge::Parent(c);
+                    if prep.colouring.cuttable(e) {
+                        note(s, e);
+                    }
+                }
+                if tree.is_leaf(c) {
+                    note(s, TreeEdge::Sensor(c));
+                }
+            }
+        }
+    }
+    let mut s_lb = Cost::ZERO;
+    let mut b_lb = Cost::ZERO;
+    for s in 0..n_colours {
+        if let (Some(sg), Some(bt)) = (min_sigma[s], min_beta[s]) {
+            s_lb += sg;
+            b_lb = b_lb.max(bt);
+        }
+    }
+    lambda.ssb_scaled(s_lb, b_lb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BruteForce, Solver};
+    use hsa_tree::figures::fig2_tree;
+    use std::time::Duration;
+
+    #[test]
+    fn cancel_token_shared_and_deadline() {
+        let t = CancelToken::new();
+        let clone = t.clone();
+        assert!(!clone.is_cancelled());
+        t.cancel();
+        assert!(clone.is_cancelled());
+        let past = CancelToken::with_deadline(Instant::now() - Duration::from_millis(1));
+        assert!(past.is_cancelled());
+        let future = CancelToken::with_deadline(Instant::now() + Duration::from_secs(3600));
+        assert!(!future.is_cancelled());
+    }
+
+    #[test]
+    fn certificate_gap_arithmetic_and_monotone_tightening() {
+        let c = GapCertificate::new(10, 30, Lambda::HALF);
+        assert_eq!(c.gap(), 20);
+        assert!(!c.is_tight());
+        assert!((c.relative_gap() - 20.0 / 30.0).abs() < 1e-12);
+        // Tightening never widens either side.
+        let t = c.tightened(15, 25);
+        assert_eq!((t.lower, t.upper), (15, 25));
+        let worse = t.tightened(5, 40);
+        assert_eq!((worse.lower, worse.upper), (15, 25));
+        // Collapse to tight.
+        let tight = t.tightened(25, 25);
+        assert!(tight.is_tight());
+        assert_eq!(GapCertificate::tight(7, Lambda::HALF).gap(), 0);
+        // A conservative lower above the upper clamps instead of crossing.
+        assert_eq!(GapCertificate::new(50, 30, Lambda::HALF).lower, 30);
+    }
+
+    #[test]
+    fn structural_bound_is_admissible_on_fig2() {
+        let (t, m) = fig2_tree();
+        let prep = Prepared::new(&t, &m).unwrap();
+        for lambda in [Lambda::ZERO, Lambda::HALF, Lambda::ONE] {
+            let opt = BruteForce::default().solve(&prep, lambda).unwrap();
+            let lb = structural_lower_bound(&prep, lambda);
+            assert!(
+                lb <= opt.objective,
+                "structural bound {lb} exceeds optimum {} at λ={lambda:?}",
+                opt.objective
+            );
+        }
+    }
+}

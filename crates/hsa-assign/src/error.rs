@@ -26,6 +26,9 @@ pub enum AssignError {
         /// The configured cut-count guard.
         cap: u64,
     },
+    /// The solve observed its [`crate::CancelToken`] and stopped early
+    /// without an answer (a losing portfolio arm draining, or a deadline).
+    Cancelled,
     /// An internal invariant failed; carries a diagnostic message.
     Internal(String),
 }
@@ -42,6 +45,7 @@ impl fmt::Display for AssignError {
             AssignError::BruteForceTooLarge { cap } => {
                 write!(f, "instance has more than {cap} cuts; brute force refused")
             }
+            AssignError::Cancelled => write!(f, "solve cancelled before completion"),
             AssignError::Internal(msg) => write!(f, "internal invariant violated: {msg}"),
         }
     }

@@ -29,7 +29,7 @@
 //! frontier size and fails loudly ([`AssignError::FrontierOverflow`])
 //! rather than degrade silently.
 
-use crate::{AssignError, EvalScratch, Prepared, Solution, SolveStats, Solver};
+use crate::{AssignError, CancelToken, EvalScratch, Prepared, Solution, SolveStats, Solver};
 use hsa_graph::{Cost, Lambda, SolveScratch};
 #[cfg(test)]
 use hsa_tree::SatelliteId;
@@ -114,8 +114,9 @@ fn cover_at_or_below(
     prep: &Prepared<'_>,
     c: CruId,
     cfg: &ExpandedConfig,
+    cancel: Option<&CancelToken>,
 ) -> Result<Frontier, AssignError> {
-    let mut pts_below = cover_below(prep, c, cfg)?;
+    let mut pts_below = cover_below(prep, c, cfg, cancel)?;
     if c != prep.tree.root() {
         let e = TreeEdge::Parent(c);
         pts_below.push(FrontierPoint {
@@ -129,11 +130,19 @@ fn cover_at_or_below(
 
 /// All ways to cover the leaves of `c`'s subtree with cuts strictly below
 /// `c` (sensor edge for leaves; child combinations otherwise).
+///
+/// Polls `cancel` once per visited node — the Minkowski fold between two
+/// polls is bounded by the frontier cap, so a cancelled prepare unwinds
+/// promptly instead of finishing a colour.
 fn cover_below(
     prep: &Prepared<'_>,
     c: CruId,
     cfg: &ExpandedConfig,
+    cancel: Option<&CancelToken>,
 ) -> Result<Frontier, AssignError> {
+    if cancel.is_some_and(CancelToken::is_cancelled) {
+        return Err(AssignError::Cancelled);
+    }
     if prep.tree.is_leaf(c) {
         let e = TreeEdge::Sensor(c);
         return Ok(vec![FrontierPoint {
@@ -144,7 +153,7 @@ fn cover_below(
     }
     let mut acc: Frontier = seed_frontier();
     for &ch in prep.tree.children(c) {
-        let child_frontier = cover_at_or_below(prep, ch, cfg)?;
+        let child_frontier = cover_at_or_below(prep, ch, cfg, cancel)?;
         acc = minkowski(&acc, &child_frontier, cfg.frontier_cap)?;
     }
     Ok(acc)
@@ -170,6 +179,7 @@ fn build_frontiers_into(
     cfg: &ExpandedConfig,
     frontiers: &mut [Frontier],
     rebuild: &[bool],
+    cancel: Option<&CancelToken>,
 ) -> Result<(), AssignError> {
     for s in 0..prep.n_satellites() as usize {
         if !rebuild[s] {
@@ -178,9 +188,9 @@ fn build_frontiers_into(
         for &c in prep.tops.of(s) {
             let f = if c == prep.tree.root() {
                 // Root cannot be cut above; cover strictly below.
-                cover_below(prep, c, cfg)?
+                cover_below(prep, c, cfg, cancel)?
             } else {
-                cover_at_or_below(prep, c, cfg)?
+                cover_at_or_below(prep, c, cfg, cancel)?
             };
             frontiers[s] = minkowski(&frontiers[s], &f, cfg.frontier_cap)?;
         }
@@ -196,7 +206,7 @@ pub fn colour_frontiers(
 ) -> Result<Vec<Frontier>, AssignError> {
     let n = prep.n_satellites() as usize;
     let mut frontiers: Vec<Frontier> = vec![seed_frontier(); n];
-    build_frontiers_into(prep, cfg, &mut frontiers, &vec![true; n])?;
+    build_frontiers_into(prep, cfg, &mut frontiers, &vec![true; n], None)?;
     Ok(frontiers)
 }
 
@@ -371,6 +381,22 @@ impl FrontierSet {
         Ok(FrontierSet::from_frontiers(frontiers))
     }
 
+    /// Like [`FrontierSet::prepare`], but polls `cancel` once per visited
+    /// tree node inside the cover DP and aborts with
+    /// [`AssignError::Cancelled`] when it fires. An uncancelled run is
+    /// byte-identical to [`FrontierSet::prepare`] — the polls change no
+    /// fold order. This is the exact arm of the racing portfolio.
+    pub fn prepare_cancellable(
+        prep: &Prepared<'_>,
+        cfg: &ExpandedConfig,
+        cancel: &CancelToken,
+    ) -> Result<FrontierSet, AssignError> {
+        let n = prep.n_satellites() as usize;
+        let mut frontiers: Vec<Frontier> = vec![seed_frontier(); n];
+        build_frontiers_into(prep, cfg, &mut frontiers, &vec![true; n], Some(cancel))?;
+        Ok(FrontierSet::from_frontiers(frontiers))
+    }
+
     /// Recomputes only the colours flagged `dirty`, reusing every clean
     /// colour's frontier from `old` verbatim; thresholds and the composite
     /// count are re-derived from the merged set.
@@ -419,7 +445,7 @@ impl FrontierSet {
             .iter()
             .map(|&d| if d { seed_frontier() } else { Frontier::new() })
             .collect();
-        build_frontiers_into(prep, cfg, &mut rebuilt, dirty)?;
+        build_frontiers_into(prep, cfg, &mut rebuilt, dirty, None)?;
         self.splice_arenas(&rebuilt, dirty);
         self.rederive();
         Ok(())
@@ -570,6 +596,17 @@ impl Solver for Expanded {
         _scratch: &mut SolveScratch,
     ) -> Result<Solution, AssignError> {
         let fs = FrontierSet::prepare(prep, &self.config)?;
+        solve_with_frontiers(prep, &fs, lambda)
+    }
+
+    fn solve_cancellable(
+        &self,
+        prep: &Prepared<'_>,
+        lambda: Lambda,
+        _scratch: &mut SolveScratch,
+        cancel: &CancelToken,
+    ) -> Result<Solution, AssignError> {
+        let fs = FrontierSet::prepare_cancellable(prep, &self.config, cancel)?;
         solve_with_frontiers(prep, &fs, lambda)
     }
 }

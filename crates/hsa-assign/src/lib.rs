@@ -22,6 +22,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod anytime;
 mod assignment;
 mod baselines;
 mod brute;
@@ -35,6 +36,7 @@ mod paper_ssb;
 mod prepared;
 mod solver;
 
+pub use anytime::{structural_lower_bound, CancelToken, GapCertificate};
 pub use assignment::{
     evaluate_cut, evaluate_cut_in, Assignment, DelayReport, EvalScratch, SatelliteLoad,
 };
@@ -62,8 +64,8 @@ pub use hsa_graph::SolveScratch;
 /// Commonly used items, for glob import in examples and tests.
 pub mod prelude {
     pub use crate::{
-        evaluate_cut, lambda_frontier, AllOnHost, AssignError, Assignment, BruteForce, DelayReport,
-        Expanded, GreedyDescent, LambdaFrontier, MaxOffload, PaperSsb, Prepared, SbObjective,
-        Solution, SolveScratch, Solver,
+        evaluate_cut, lambda_frontier, AllOnHost, AssignError, Assignment, BruteForce, CancelToken,
+        DelayReport, Expanded, GapCertificate, GreedyDescent, LambdaFrontier, MaxOffload, PaperSsb,
+        Prepared, SbObjective, Solution, SolveScratch, Solver,
     };
 }

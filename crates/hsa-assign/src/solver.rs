@@ -1,7 +1,8 @@
 //! The common solver interface and solution type.
 
 use crate::{
-    evaluate_cut, evaluate_cut_in, AssignError, Assignment, DelayReport, EvalScratch, Prepared,
+    evaluate_cut, evaluate_cut_in, AssignError, Assignment, CancelToken, DelayReport, EvalScratch,
+    Prepared,
 };
 use hsa_graph::{Cost, Lambda, ScaledSsb, SolveScratch};
 use hsa_tree::Cut;
@@ -132,6 +133,22 @@ pub trait Solver {
     /// Solves the prepared instance for the given λ (fresh workspace).
     fn solve(&self, prep: &Prepared<'_>, lambda: Lambda) -> Result<Solution, AssignError> {
         self.solve_in(prep, lambda, &mut SolveScratch::new())
+    }
+
+    /// Cancellation-aware solve for racing portfolios. Implementations
+    /// that can observe the token poll it at loop boundaries: exact
+    /// solvers abort with [`AssignError::Cancelled`], anytime heuristics
+    /// return their best incumbent instead. The default ignores the token
+    /// and solves to completion — correct, just not promptly cancellable.
+    fn solve_cancellable(
+        &self,
+        prep: &Prepared<'_>,
+        lambda: Lambda,
+        scratch: &mut SolveScratch,
+        cancel: &CancelToken,
+    ) -> Result<Solution, AssignError> {
+        let _ = cancel;
+        self.solve_in(prep, lambda, scratch)
     }
 }
 

@@ -81,7 +81,7 @@ impl<'a> ExpCtx<'a> {
 
 /// One registered experiment.
 pub struct Experiment {
-    /// Stable id (`f2`…`f9`, `t1`…`t13`, `a1`).
+    /// Stable id (`f2`…`f9`, `t1`…`t14`, `a1`).
     pub id: &'static str,
     /// Human-readable one-line title.
     pub title: &'static str,
@@ -269,6 +269,15 @@ pub static REGISTRY: &[Experiment] = &[
         artefacts: &["t13_net_stream.csv", "BENCH_net.json"],
         bench_artefact: Some("BENCH_net.json"),
         run: studies::t13,
+        criterion: None,
+    },
+    Experiment {
+        id: "t14",
+        title: "T14 — anytime portfolio: time-to-first-answer & certified gap vs instance scale",
+        paper_ref: "DESIGN.md §14",
+        artefacts: &["t14_portfolio.csv", "BENCH_portfolio.json"],
+        bench_artefact: Some("BENCH_portfolio.json"),
+        run: studies::t14,
         criterion: None,
     },
     Experiment {

@@ -85,6 +85,7 @@ mod hist;
 pub mod net;
 mod pad;
 mod pool;
+mod portfolio;
 mod service;
 mod session;
 
@@ -92,6 +93,7 @@ pub use cache::CachedInstance;
 pub use hist::{HistogramSnapshot, LatencyHistogram, LatencyStats, NUM_BUCKETS};
 pub use pad::CachePadded;
 pub use pool::{parallel_map, WorkerPool};
+pub use portfolio::{AnytimeAnswer, AnytimeOutcome, ArmKind, Portfolio, PortfolioConfig};
 pub use service::{
     AnswerExt, Reply, Request, RequestLatency, Service, ServiceConfig, ServiceError, ServiceStats,
     TenantId, Ticket,
@@ -500,9 +502,10 @@ fn instance_hash(tree: &CruTree, costs: &CostModel) -> u64 {
 /// Commonly used items, for glob import in examples and tests.
 pub mod prelude {
     pub use crate::{
-        parallel_map, AnswerExt, ApplyOutcome, Engine, EngineConfig, EngineError, EngineStats,
-        InstanceId, Reply, Request, Service, ServiceConfig, ServiceError, ServiceStats, Session,
-        SessionConfig, SessionStats, TenantId, Ticket, WorkerPool,
+        parallel_map, AnswerExt, AnytimeAnswer, AnytimeOutcome, ApplyOutcome, ArmKind, Engine,
+        EngineConfig, EngineError, EngineStats, InstanceId, Portfolio, PortfolioConfig, Reply,
+        Request, Service, ServiceConfig, ServiceError, ServiceStats, Session, SessionConfig,
+        SessionStats, TenantId, Ticket, WorkerPool,
     };
 }
 

@@ -205,6 +205,19 @@ impl Client {
         self.call(&Request::solve_by_id(id, lambda))
     }
 
+    /// Remote [`Request::solve_anytime`]: races the server's portfolio
+    /// and answers within `budget_ms` of its first feasible answer,
+    /// carrying a certified gap ([`crate::AnytimeAnswer`]).
+    pub fn solve_anytime(
+        &mut self,
+        tree: &CruTree,
+        costs: &CostModel,
+        lambda: Lambda,
+        budget_ms: u64,
+    ) -> Result<Reply, ClientError> {
+        self.call(&Request::solve_anytime(tree, costs, lambda, budget_ms))
+    }
+
     /// Remote [`Request::frontier`].
     pub fn frontier(&mut self, tree: &CruTree, costs: &CostModel) -> Result<Reply, ClientError> {
         self.call(&Request::frontier(tree, costs))

@@ -65,6 +65,8 @@ pub mod kind {
     pub const OPEN_TENANT: u8 = 0x07;
     /// Close a tenant session (tenant in the header, empty body).
     pub const CLOSE_TENANT: u8 = 0x08;
+    /// [`crate::Request::SolveAnytime`].
+    pub const SOLVE_ANYTIME: u8 = 0x09;
     /// Handshake answer, carrying the server's frame cap.
     pub const HELLO_ACK: u8 = 0x81;
     /// [`crate::Reply::Solution`].
@@ -77,6 +79,8 @@ pub mod kind {
     pub const TENANT_OPENED: u8 = 0x85;
     /// A tenant session closed, with its final counters.
     pub const TENANT_CLOSED: u8 = 0x86;
+    /// [`crate::Reply::Anytime`].
+    pub const ANYTIME: u8 = 0x87;
     /// A [`super::WireError`] body.
     pub const ERROR: u8 = 0xFF;
 }
@@ -253,6 +257,10 @@ pub enum NetRequest {
 }
 
 /// A server→client frame, decoded.
+// The size spread (an anytime Reply dwarfs HelloAck) is accepted: the
+// enum lives for one match on the receive path, and boxing the large
+// variant would cost an allocation per answered frame.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug)]
 pub enum NetReply {
     /// Handshake answer: the server's frame cap.
@@ -348,6 +356,22 @@ pub fn request_frame(corr: u64, req: &Request) -> Frame {
                 ("lambda", lambda.to_value()),
             ]),
         ),
+        Request::SolveAnytime {
+            tree,
+            costs,
+            lambda,
+            budget_ms,
+        } => Frame::new(
+            kind::SOLVE_ANYTIME,
+            0,
+            corr,
+            obj(vec![
+                ("tree", tree.to_value()),
+                ("costs", costs.to_value()),
+                ("lambda", lambda.to_value()),
+                ("budget_ms", budget_ms.to_value()),
+            ]),
+        ),
     }
 }
 
@@ -426,6 +450,15 @@ pub fn reply_frame(corr: u64, tenant: u64, reply: &Reply) -> Frame {
                 ("solution", solution.to_value()),
             ]),
         ),
+        Reply::Anytime { id, answer } => Frame::new(
+            kind::ANYTIME,
+            tenant,
+            corr,
+            obj(vec![
+                ("id", id.raw().to_value()),
+                ("answer", answer.to_value()),
+            ]),
+        ),
     }
 }
 
@@ -494,6 +527,16 @@ pub fn decode_request(frame: &Frame) -> Result<NetRequest, WireError> {
                 field::<Lambda>(m, "lambda")?,
             )))
         }
+        kind::SOLVE_ANYTIME => {
+            let v = body(&frame.payload)?;
+            let m = as_map(&v)?;
+            Ok(NetRequest::Submit(Request::solve_anytime_arc(
+                Arc::new(field::<CruTree>(m, "tree")?),
+                Arc::new(field::<CostModel>(m, "costs")?),
+                field::<Lambda>(m, "lambda")?,
+                field::<u64>(m, "budget_ms")?,
+            )))
+        }
         kind::OPEN_TENANT => {
             let v = body(&frame.payload)?;
             let m = as_map(&v)?;
@@ -538,6 +581,14 @@ pub fn decode_server_frame(frame: &Frame) -> Result<NetReply, WireError> {
             Ok(NetReply::Reply(Reply::Applied {
                 outcome: field(m, "outcome")?,
                 solution: field(m, "solution")?,
+            }))
+        }
+        kind::ANYTIME => {
+            let v = body(&frame.payload)?;
+            let m = as_map(&v)?;
+            Ok(NetReply::Reply(Reply::Anytime {
+                id: InstanceId::from_raw(field::<u64>(m, "id")?),
+                answer: field(m, "answer")?,
             }))
         }
         kind::TENANT_OPENED => Ok(NetReply::TenantOpened),

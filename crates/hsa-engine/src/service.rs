@@ -59,10 +59,12 @@
 use crate::hist::{LatencyHistogram, LatencyStats};
 use crate::pad::CachePadded;
 use crate::pool::WorkerPool;
+use crate::portfolio::{AnytimeAnswer, Portfolio, PortfolioConfig};
 use crate::session::{ApplyOutcome, Session, SessionConfig, SessionStats};
-use crate::{Engine, EngineError, InstanceId};
+use crate::{instance_hash, Engine, EngineError, InstanceId};
 use hsa_assign::{
-    lambda_frontier_with, AssignError, Expanded, LambdaFrontier, Prepared, Solution, Solver,
+    lambda_frontier_with, AssignError, Expanded, LambdaFrontier, Prepared, Solution, SolveStats,
+    Solver,
 };
 use hsa_graph::Lambda;
 use hsa_tree::{CostModel, CruTree, Delta};
@@ -70,7 +72,7 @@ use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// A tenant's identity in the service's session registry.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -97,6 +99,9 @@ pub struct ServiceConfig {
     pub verify: bool,
     /// Configuration for tenant [`Session`]s opened through this service.
     pub session: SessionConfig,
+    /// Configuration of the anytime racing portfolio behind
+    /// [`Request::SolveAnytime`] (arm seeds and its private pool size).
+    pub portfolio: PortfolioConfig,
 }
 
 impl Default for ServiceConfig {
@@ -109,6 +114,7 @@ impl Default for ServiceConfig {
             queue_capacity: 64,
             verify: false,
             session: SessionConfig::default(),
+            portfolio: PortfolioConfig::default(),
         }
     }
 }
@@ -221,6 +227,22 @@ pub enum Request {
         /// λ for the post-apply solve.
         lambda: Lambda,
     },
+    /// Race the anytime portfolio on one instance at one λ: the first
+    /// feasible answer within the budget comes back with a certified
+    /// optimality gap ([`crate::GapCertificate`] via [`AnytimeAnswer`]),
+    /// upgraded to the tight exact answer whenever the exact arm finishes
+    /// in time.
+    SolveAnytime {
+        /// The instance's tree.
+        tree: Arc<CruTree>,
+        /// Its cost model.
+        costs: Arc<CostModel>,
+        /// The per-request objective weighting.
+        lambda: Lambda,
+        /// Answer-by budget in milliseconds (the race returns within this
+        /// of its first feasible answer).
+        budget_ms: u64,
+    },
 }
 
 impl Request {
@@ -288,6 +310,37 @@ impl Request {
             lambda,
         }
     }
+
+    /// An anytime portfolio race (see [`Request::SolveAnytime`]): first
+    /// feasible answer within `budget_ms`, carrying a certified gap.
+    pub fn solve_anytime(
+        tree: &CruTree,
+        costs: &CostModel,
+        lambda: Lambda,
+        budget_ms: u64,
+    ) -> Request {
+        Request::SolveAnytime {
+            tree: Arc::new(tree.clone()),
+            costs: Arc::new(costs.clone()),
+            lambda,
+            budget_ms,
+        }
+    }
+
+    /// [`Request::solve_anytime`] from pre-shared `Arc`s.
+    pub fn solve_anytime_arc(
+        tree: Arc<CruTree>,
+        costs: Arc<CostModel>,
+        lambda: Lambda,
+        budget_ms: u64,
+    ) -> Request {
+        Request::SolveAnytime {
+            tree,
+            costs,
+            lambda,
+            budget_ms,
+        }
+    }
 }
 
 /// A fulfilled request.
@@ -323,6 +376,16 @@ pub enum Reply {
         /// The post-apply solution at the request's λ.
         solution: Solution,
     },
+    /// The anytime race's answer: best solution within budget, its
+    /// certified gap, and which arm won. Carries the instance id (the
+    /// engine cache holds the instance whenever the exact arm finished,
+    /// so a follow-up [`Request::solve_by_id`] is then a pure cache hit).
+    Anytime {
+        /// The instance's id (cached iff `answer.exact_finished`).
+        id: InstanceId,
+        /// The race's answer.
+        answer: AnytimeAnswer,
+    },
 }
 
 impl Reply {
@@ -331,6 +394,16 @@ impl Reply {
         match self {
             Reply::Solution { solution, .. } => Some(solution),
             Reply::Applied { solution, .. } => Some(solution),
+            Reply::Anytime { answer, .. } => Some(&answer.solution),
+            _ => None,
+        }
+    }
+
+    /// The anytime answer (solution + certificate + winning arm), if this
+    /// reply fulfils a [`Request::SolveAnytime`].
+    pub fn anytime(&self) -> Option<&AnytimeAnswer> {
+        match self {
+            Reply::Anytime { answer, .. } => Some(answer),
             _ => None,
         }
     }
@@ -341,7 +414,9 @@ impl Reply {
     /// session, not the shared cache, so they carry no id.
     pub fn instance_id(&self) -> Option<InstanceId> {
         match self {
-            Reply::Solution { id, .. } | Reply::Frontier { id, .. } => Some(*id),
+            Reply::Solution { id, .. } | Reply::Frontier { id, .. } | Reply::Anytime { id, .. } => {
+                Some(*id)
+            }
             _ => None,
         }
     }
@@ -388,6 +463,8 @@ pub trait AnswerExt {
     fn frontier(&self) -> Option<&LambdaFrontier>;
     /// The apply outcome, if the answer is a fulfilled delta.
     fn outcome(&self) -> Option<&ApplyOutcome>;
+    /// The anytime answer, if the answer fulfils a portfolio race.
+    fn anytime(&self) -> Option<&AnytimeAnswer>;
     /// The instance id for id-addressed re-queries, if one was reported.
     fn instance_id(&self) -> Option<InstanceId>;
     /// The error, if the request failed.
@@ -405,6 +482,10 @@ impl AnswerExt for Result<Reply, ServiceError> {
 
     fn outcome(&self) -> Option<&ApplyOutcome> {
         self.as_ref().ok().and_then(Reply::outcome)
+    }
+
+    fn anytime(&self) -> Option<&AnytimeAnswer> {
+        self.as_ref().ok().and_then(Reply::anytime)
     }
 
     fn instance_id(&self) -> Option<InstanceId> {
@@ -515,6 +596,7 @@ enum ReqKind {
     Solve,
     Frontier,
     Delta,
+    Anytime,
 }
 
 /// Live request counters; snapshot via [`Service::stats`]. Bumped from
@@ -529,6 +611,7 @@ struct ServiceCounters {
     solves: CachePadded<AtomicU64>,
     frontiers: CachePadded<AtomicU64>,
     deltas: CachePadded<AtomicU64>,
+    anytimes: CachePadded<AtomicU64>,
 }
 
 /// A snapshot of the service's counters.
@@ -546,6 +629,8 @@ pub struct ServiceStats {
     pub frontiers: u64,
     /// Delta requests answered.
     pub deltas: u64,
+    /// Anytime (portfolio race) requests answered.
+    pub anytimes: u64,
     /// `submit` calls that had to block on a full queue (backpressure).
     pub backpressure_waits: u64,
     /// Per-request-kind latency percentiles (accepted → answered).
@@ -564,6 +649,8 @@ pub struct RequestLatency {
     pub frontier: LatencyStats,
     /// Delta requests.
     pub delta: LatencyStats,
+    /// Anytime (portfolio race) requests.
+    pub anytime: LatencyStats,
 }
 
 /// One tenant. The submission side (`queue`) and the solving side
@@ -593,11 +680,15 @@ struct TenantQueue {
 /// Everything a request job needs, bundled once per service.
 struct Shared {
     engine: Arc<Engine>,
+    /// The anytime racing portfolio (its own small pool; feeds exact
+    /// results back into `engine`'s cache).
+    portfolio: Portfolio,
     gate: Gate,
     counters: ServiceCounters,
     lat_solve: LatencyHistogram,
     lat_frontier: LatencyHistogram,
     lat_delta: LatencyHistogram,
+    lat_anytime: LatencyHistogram,
     verify: bool,
 }
 
@@ -607,6 +698,7 @@ impl Shared {
             ReqKind::Solve => &self.lat_solve,
             ReqKind::Frontier => &self.lat_frontier,
             ReqKind::Delta => &self.lat_delta,
+            ReqKind::Anytime => &self.lat_anytime,
         }
     }
 
@@ -615,6 +707,7 @@ impl Shared {
             ReqKind::Solve => &self.counters.solves,
             ReqKind::Frontier => &self.counters.frontiers,
             ReqKind::Delta => &self.counters.deltas,
+            ReqKind::Anytime => &self.counters.anytimes,
         }
     }
 }
@@ -638,12 +731,14 @@ impl Service {
         Service {
             pool: WorkerPool::new(cfg.workers),
             shared: Arc::new(Shared {
+                portfolio: Portfolio::new(Arc::clone(&engine), cfg.portfolio),
                 engine,
                 gate: Gate::new(cfg.queue_capacity),
                 counters: ServiceCounters::default(),
                 lat_solve: LatencyHistogram::new(),
                 lat_frontier: LatencyHistogram::new(),
                 lat_delta: LatencyHistogram::new(),
+                lat_anytime: LatencyHistogram::new(),
                 verify: cfg.verify,
             }),
             tenants: RwLock::new(BTreeMap::new()),
@@ -654,6 +749,13 @@ impl Service {
     /// The engine this service answers from.
     pub fn engine(&self) -> &Arc<Engine> {
         &self.shared.engine
+    }
+
+    /// The anytime racing portfolio behind [`Request::SolveAnytime`] —
+    /// exposed so tests (and operators) can observe arm drain via
+    /// [`Portfolio::pending_arms`].
+    pub fn portfolio(&self) -> &Portfolio {
+        &self.shared.portfolio
     }
 
     /// The effective worker count.
@@ -770,11 +872,13 @@ impl Service {
             solves: load(&c.solves),
             frontiers: load(&c.frontiers),
             deltas: load(&c.deltas),
+            anytimes: load(&c.anytimes),
             backpressure_waits: self.shared.gate.waits.load(Ordering::Relaxed),
             latency: RequestLatency {
                 solve: self.shared.lat_solve.snapshot().stats(),
                 frontier: self.shared.lat_frontier.snapshot().stats(),
                 delta: self.shared.lat_delta.snapshot().stats(),
+                anytime: self.shared.lat_anytime.snapshot().stats(),
             },
         }
     }
@@ -838,6 +942,18 @@ impl Service {
                 self.pool.submit(move || {
                     let result = handle_frontier_by_id(&shared, id);
                     finish(&shared, ReqKind::Frontier, accepted, &slot, result);
+                });
+            }
+            Request::SolveAnytime {
+                tree,
+                costs,
+                lambda,
+                budget_ms,
+            } => {
+                let shared = Arc::clone(shared);
+                self.pool.submit(move || {
+                    let result = handle_solve_anytime(&shared, &tree, &costs, lambda, budget_ms);
+                    finish(&shared, ReqKind::Anytime, accepted, &slot, result);
                 });
             }
             Request::Delta {
@@ -955,6 +1071,53 @@ fn handle_solve_by_id(
         )?;
     }
     Ok(Reply::Solution { id, solution })
+}
+
+fn handle_solve_anytime(
+    shared: &Shared,
+    tree: &CruTree,
+    costs: &CostModel,
+    lambda: Lambda,
+    budget_ms: u64,
+) -> Result<Reply, ServiceError> {
+    let outcome =
+        shared
+            .portfolio
+            .solve_anytime(tree, costs, lambda, Duration::from_millis(budget_ms))?;
+    let answer = outcome.answer;
+    let id = InstanceId::from_raw(instance_hash(tree, costs));
+    if shared.verify {
+        if answer.exact_finished {
+            // A finished exact arm claims the canonical answer: it must be
+            // byte-identical to a from-scratch solve, with a tight
+            // certificate sitting exactly on the optimum.
+            verify_solve(tree, costs, lambda, &answer.solution)?;
+            if !answer.certificate.is_tight()
+                || answer.certificate.upper != answer.solution.objective
+            {
+                return Err(ServiceError::VerifyFailed { what: "anytime" });
+            }
+        } else {
+            // A heuristic incumbent: re-evaluate its cut from scratch (the
+            // objective must be the cut's true cost, not a stale fitness)
+            // and check the certificate brackets it.
+            let prep = Prepared::new(tree, costs).map_err(EngineError::from)?;
+            let re = Solution::from_cut(
+                &prep,
+                answer.solution.cut.clone(),
+                lambda,
+                SolveStats::default(),
+            )
+            .map_err(EngineError::from)?;
+            if re.objective != answer.solution.objective
+                || answer.certificate.upper != answer.solution.objective
+                || answer.certificate.lower > answer.certificate.upper
+            {
+                return Err(ServiceError::VerifyFailed { what: "anytime" });
+            }
+        }
+    }
+    Ok(Reply::Anytime { id, answer })
 }
 
 /// Verify-mode cross-check: a from-scratch preparation and `Expanded`

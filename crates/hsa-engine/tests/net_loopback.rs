@@ -74,6 +74,51 @@ fn full_round_trip_over_loopback() {
 }
 
 #[test]
+fn anytime_over_loopback_matches_in_process_byte_for_byte() {
+    let server = server(verify_service(), NetConfig::default());
+    let sc = hsa_workloads::paper_scenario();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    // A budget no paper-scale instance can exhaust: the exact arm always
+    // finishes, so the anytime answer is deterministic — byte-identity
+    // against the in-process service is a fair assertion.
+    let budget_ms = 60_000;
+    let remote = client
+        .solve_anytime(&sc.tree, &sc.costs, Lambda::HALF, budget_ms)
+        .unwrap();
+    let answer = remote.anytime().expect("anytime reply");
+    assert!(answer.exact_finished, "a generous budget lets exact finish");
+    assert!(answer.certificate.is_tight());
+    assert_eq!(answer.certificate.upper, answer.solution.objective);
+
+    // The same request through the same service, no wire in the way.
+    let local = server
+        .service()
+        .submit(Request::solve_anytime(
+            &sc.tree,
+            &sc.costs,
+            Lambda::HALF,
+            budget_ms,
+        ))
+        .wait()
+        .unwrap();
+    assert_eq!(
+        wire::reply_json(&remote),
+        wire::reply_json(&local),
+        "the wire must not change the anytime answer"
+    );
+
+    // And the anytime solution is the exact solution: the plain solve
+    // path answers the identical cut.
+    let solve = client.solve(&sc.tree, &sc.costs, Lambda::HALF).unwrap();
+    let sol = solve.solution().expect("solve answers a solution");
+    assert_eq!(sol.cut, answer.solution.cut);
+    assert_eq!(sol.objective, answer.solution.objective);
+    assert_eq!(solve.instance_id(), remote.instance_id());
+    server.shutdown();
+}
+
+#[test]
 fn service_errors_travel_as_typed_frames() {
     let server = server(verify_service(), NetConfig::default());
     let mut client = Client::connect(server.local_addr()).unwrap();

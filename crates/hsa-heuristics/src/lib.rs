@@ -14,17 +14,23 @@
 //! * [`branch_and_bound`] — exact, with admissible load/critical-path
 //!   bounds (validated against [`exhaustive_optimum`]);
 //! * [`genetic`] and [`simulated_annealing`] — seeded metaheuristics,
-//!   compared against the exact optimum in experiment T7.
+//!   compared against the exact optimum in experiment T7;
+//! * [`CutGenetic`], [`CutAnnealing`], [`CutBranchBound`] — the same
+//!   search bodies retargeted at the paper's tree-cut problem behind the
+//!   [`hsa_assign::Solver`] trait, so they race the exact solvers on one
+//!   objective scoreboard (the anytime portfolio's heuristic arms).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod arms;
 mod bnb;
 mod dag;
 mod evaluator;
 mod ga;
 mod sa;
 
+pub use arms::{CutAnnealing, CutBranchBound, CutGenetic};
 pub use bnb::{branch_and_bound, exhaustive_optimum, BnbConfig, BnbResult};
 pub use dag::{DagAssignment, Location, Precedence, Task, TaskDag, TaskId};
 pub use evaluator::{barrier_makespan, list_makespan};
@@ -34,7 +40,7 @@ pub use sa::{simulated_annealing, SaConfig, SaResult};
 /// Commonly used items, for glob import in examples and tests.
 pub mod prelude {
     pub use crate::{
-        branch_and_bound, genetic, list_makespan, simulated_annealing, BnbConfig, GaConfig,
-        Location, SaConfig, TaskDag,
+        branch_and_bound, genetic, list_makespan, simulated_annealing, BnbConfig, CutAnnealing,
+        CutBranchBound, CutGenetic, GaConfig, Location, SaConfig, TaskDag,
     };
 }
