@@ -264,8 +264,8 @@ pub static REGISTRY: &[Experiment] = &[
     },
     Experiment {
         id: "t13",
-        title: "T13 — loopback TCP service: wire overhead & throughput vs workers",
-        paper_ref: "DESIGN.md §13",
+        title: "T13 — loopback TCP service: wire overhead & throughput vs concurrent connections",
+        paper_ref: "DESIGN.md §13, §15",
         artefacts: &["t13_net_stream.csv", "BENCH_net.json"],
         bench_artefact: Some("BENCH_net.json"),
         run: studies::t13,

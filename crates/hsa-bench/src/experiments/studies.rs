@@ -16,7 +16,7 @@ use hsa_assign::{
     solve_with_frontiers, AllOnHost, BruteForce, CancelToken, EvalScratch, Expanded,
     ExpandedConfig, FrontierSet, MaxOffload, PaperSsb, Prepared, SbObjective, Solver,
 };
-use hsa_engine::net::{wire, Client, NetConfig, NetServer};
+use hsa_engine::net::{wire, Client, NetConfig, NetServer, NetStats};
 use hsa_engine::{
     Engine, EngineConfig, InstanceId, Portfolio, PortfolioConfig, Reply, Request, Service,
     ServiceConfig, Session, SessionConfig, TenantId, Ticket,
@@ -1189,23 +1189,135 @@ fn recv_until(client: &mut Client, corr: u64) -> (Reply, usize) {
     }
 }
 
-/// One pass of a request stream over loopback TCP: a fresh engine +
-/// service + [`NetServer`], one pipelined [`Client`] connection. Same
-/// shape as [`run_service_stream`] — tenants open outside the clock, the
-/// first contact per instance goes by value and is waited inline to
-/// learn its id, everything else pipelines on the socket — but every
-/// request and answer crosses the wire codec and the reader/waiter/
-/// writer crew. With `verify` the server cross-checks every answer
-/// against a from-scratch solve *and* this driver asserts each loopback
-/// reply byte-identical (canonical wire JSON) to the in-process answer
-/// for the same request sequence. Returns wall time and the server-side
-/// service counters (whose latency histograms are accepted→answered).
-fn run_net_stream(
+/// Tenant ids namespaced per connection: concurrent replays of the same
+/// stream must never share session state, or the delta drift of one
+/// connection would corrupt another's expected answers. Namespace 0 is
+/// also the in-process reference's namespace.
+fn conn_tenant(conn: usize, instance: usize) -> TenantId {
+    TenantId(conn as u64 * 100_000 + instance as u64)
+}
+
+/// One precomputed stream step. The request payload is encoded once and
+/// replayed by every connection (`tenant` and the correlation id travel
+/// in the frame header, so the payload bytes are namespace-blind), and
+/// `expected` is the canonical wire JSON the sequential in-process
+/// replay answered — valid for any connection namespace because reply
+/// payloads never embed the tenant id (the header field is zeroed by
+/// [`wire::reply_json`]) and instance ids are structural hashes, stable
+/// across services.
+struct PreStep {
+    kind: u8,
+    payload: Vec<u8>,
+    /// `Some(instance)` for deltas: the one request kind that addresses a
+    /// connection-namespaced tenant (in the header).
+    delta_instance: Option<usize>,
+    /// First contact of an instance goes by value and is waited inline,
+    /// so the engine knows it before this connection's by-id traffic.
+    first_contact: bool,
+    expected: String,
+}
+
+/// Sequential in-process replay of the stream: per request index, the
+/// encoded request bytes and the canonical reply JSON every connection
+/// must answer.
+fn precompute_stream(
     stream: &RequestStream,
     arcs: &[(Arc<hsa_tree::CruTree>, Arc<hsa_tree::CostModel>)],
+) -> Vec<PreStep> {
+    let engine = Arc::new(Engine::new(EngineConfig {
+        threads: 1,
+        ..EngineConfig::default()
+    }));
+    let service = Service::new(
+        Arc::clone(&engine),
+        ServiceConfig {
+            workers: 1,
+            ..ServiceConfig::default()
+        },
+    );
+    for (i, sc) in stream.instances.iter().enumerate() {
+        service
+            .open_tenant(conn_tenant(0, i), &sc.tree, &sc.costs)
+            .expect("reference tenants open");
+    }
+    let mut learned: Vec<Option<InstanceId>> = vec![None; stream.instances.len()];
+    stream
+        .requests
+        .iter()
+        .map(|r| {
+            let (tree, costs) = &arcs[r.instance];
+            let first_contact = learned[r.instance].is_none()
+                && matches!(r.op, StreamOp::Solve { .. } | StreamOp::Frontier);
+            let req = stream_request(&r.op, r.instance, 0, learned[r.instance], tree, costs);
+            let frame = wire::request_frame(0, &req);
+            let reply = service.submit(req).wait().expect("reference answers");
+            if first_contact {
+                learned[r.instance] = reply.instance_id();
+            }
+            PreStep {
+                kind: frame.kind,
+                payload: frame.payload,
+                delta_instance: matches!(r.op, StreamOp::Delta { .. }).then_some(r.instance),
+                first_contact,
+                expected: wire::reply_json(&reply),
+            }
+        })
+        .collect()
+}
+
+/// The [`Request`] one stream step maps to: first contact per instance
+/// goes by value (the reply teaches the id), everything after by id;
+/// deltas address the connection's own tenant namespace.
+fn stream_request(
+    op: &StreamOp,
+    instance: usize,
+    conn: usize,
+    learned: Option<InstanceId>,
+    tree: &Arc<hsa_tree::CruTree>,
+    costs: &Arc<hsa_tree::CostModel>,
+) -> Request {
+    match op {
+        StreamOp::Solve { lambda } => match learned {
+            Some(id) => Request::solve_by_id(id, *lambda),
+            None => Request::solve_arc(Arc::clone(tree), Arc::clone(costs), *lambda),
+        },
+        StreamOp::Frontier => match learned {
+            Some(id) => Request::frontier_by_id(id),
+            None => Request::frontier_arc(Arc::clone(tree), Arc::clone(costs)),
+        },
+        StreamOp::Delta { delta, lambda } => {
+            Request::delta(conn_tenant(conn, instance), delta.clone(), *lambda)
+        }
+    }
+}
+
+/// One pass of the request stream over loopback TCP: a fresh engine +
+/// service + [`NetServer`], `conns` concurrent pipelined [`Client`]
+/// connections each replaying the precomputed stream in its own tenant
+/// namespace. Per connection the shape matches [`run_service_stream`] —
+/// tenants open outside the clock (a barrier releases every replay at
+/// once), the first contact per instance is waited inline, everything
+/// else pipelines on the socket as batched flushes. With `verify` every
+/// answer is waited inline, fully decoded, and asserted byte-identical
+/// (canonical wire JSON) to the in-process replay — run that pass
+/// untimed, before the timed reps; the timed drain reads raw frames (a
+/// thin satellite forwarding answers). Returns wall time (barrier
+/// release → last connection drained), the server-side service counters
+/// (accepted→answered latency histograms), and the reactor's
+/// [`NetStats`].
+/// How many replies a timed replay lets ride on the socket before it
+/// drains one. Deep enough that the service never starves across the
+/// loopback round trip, shallow enough that the accepted→answered
+/// histograms read service latency, not self-inflicted queueing delay.
+const PIPELINE_WINDOW: usize = 16;
+
+fn run_net_stream(
+    stream: &RequestStream,
+    pre: &[PreStep],
+    conns: usize,
     workers: usize,
     verify: bool,
-) -> (u64, hsa_engine::ServiceStats) {
+) -> (u64, hsa_engine::ServiceStats, NetStats) {
     let engine = Arc::new(Engine::new(EngineConfig {
         threads: 1,
         ..EngineConfig::default()
@@ -1214,144 +1326,123 @@ fn run_net_stream(
         Arc::clone(&engine),
         ServiceConfig {
             workers,
-            verify,
+            // A front door sized for hundreds of pipelining connections
+            // gets a deeper submission gate than the in-process default:
+            // with 64 slots, 256 connections spend more time in
+            // park/retry cycles than solving.
+            queue_capacity: 256,
             ..ServiceConfig::default()
         },
     ));
     let server = NetServer::bind("127.0.0.1:0", Arc::clone(&service), NetConfig::default())
         .expect("loopback bind");
-    let mut client = Client::connect(server.local_addr()).expect("loopback connect");
-    for (i, sc) in stream.instances.iter().enumerate() {
-        client
-            .open_tenant(TenantId(i as u64), &sc.tree, &sc.costs)
-            .expect("stream tenants open over the wire");
-    }
-    // The in-process reference for the byte-identity assertion: a second
-    // service over its own engine, fed the identical request sequence.
-    let reference = verify.then(|| {
-        let engine = Arc::new(Engine::new(EngineConfig {
-            threads: 1,
-            ..EngineConfig::default()
-        }));
-        let service = Service::new(
-            Arc::clone(&engine),
-            ServiceConfig {
-                workers: 1,
-                verify: false,
-                ..ServiceConfig::default()
-            },
-        );
+    let addr = server.local_addr();
+    let barrier = std::sync::Barrier::new(conns + 1);
+
+    let replay = |conn: usize| {
+        let mut client = Client::connect(addr).expect("loopback connect");
         for (i, sc) in stream.instances.iter().enumerate() {
-            service
-                .open_tenant(TenantId(i as u64), &sc.tree, &sc.costs)
-                .expect("reference tenants open");
+            client
+                .open_tenant(conn_tenant(conn, i), &sc.tree, &sc.costs)
+                .expect("stream tenants open over the wire");
         }
-        service
-    });
-    let check = |net_reply: &Reply, request: Request| {
-        if let Some(local) = &reference {
-            let local_reply = local.submit(request).wait().expect("reference answers");
-            assert_eq!(
-                wire::reply_json(net_reply),
-                wire::reply_json(&local_reply),
-                "loopback answer differs from the in-process answer"
-            );
-        }
-    };
-    let mut learned: Vec<Option<InstanceId>> = vec![None; stream.instances.len()];
-    let mut outstanding = 0usize;
-    let t0 = std::time::Instant::now();
-    for r in &stream.requests {
-        let (tree, costs) = &arcs[r.instance];
-        match &r.op {
-            StreamOp::Solve { lambda } => match learned[r.instance] {
-                Some(id) => {
-                    let req = Request::solve_by_id(id, *lambda);
-                    if verify {
-                        let reply = client.solve_by_id(id, *lambda).expect("remote solve");
-                        check(&reply, req);
-                    } else {
-                        client.send(&req).expect("send solve");
-                        outstanding += 1;
+        barrier.wait();
+        let mut outstanding = 0usize;
+        for step in pre {
+            let tenant = match step.delta_instance {
+                Some(i) => conn_tenant(conn, i).0,
+                None => 0,
+            };
+            let corr = client.send_encoded(step.kind, tenant, &step.payload);
+            if verify {
+                let (reply, _) = recv_until(&mut client, corr);
+                assert_eq!(
+                    wire::reply_json(&reply),
+                    step.expected,
+                    "connection {conn} answer differs from the in-process replay"
+                );
+            } else if step.first_contact {
+                loop {
+                    let frame = client.recv_raw().expect("loopback stream answers");
+                    assert_ne!(frame.kind, wire::kind::ERROR, "stream requests succeed");
+                    if frame.corr == corr {
+                        break;
                     }
+                    outstanding -= 1;
                 }
-                None => {
-                    let req = Request::solve_arc(Arc::clone(tree), Arc::clone(costs), *lambda);
-                    let corr = client.send(&req).expect("send first-contact solve");
-                    let (reply, drained) = recv_until(&mut client, corr);
-                    outstanding -= drained;
-                    learned[r.instance] = reply.instance_id();
-                    check(&reply, req);
-                }
-            },
-            StreamOp::Frontier => match learned[r.instance] {
-                Some(id) => {
-                    let req = Request::frontier_by_id(id);
-                    if verify {
-                        let reply = client.frontier_by_id(id).expect("remote frontier");
-                        check(&reply, req);
-                    } else {
-                        client.send(&req).expect("send frontier");
-                        outstanding += 1;
+            } else {
+                outstanding += 1;
+                // Cap the pipeline the way a real client would: an
+                // unbounded burst turns the accepted→answered histogram
+                // into a queueing-delay measurement (hundreds of requests
+                // deep) instead of a service-latency one, without buying
+                // throughput — the window is deep enough to keep the
+                // service saturated across the loopback round trip.
+                // Draining to half (not one-in-one-out) keeps both
+                // directions moving in window-half bursts, so the flush
+                // coalescing the reactor is built around still engages.
+                if outstanding >= PIPELINE_WINDOW {
+                    while outstanding > PIPELINE_WINDOW / 2 {
+                        let frame = client.recv_raw().expect("loopback stream answers");
+                        assert_ne!(frame.kind, wire::kind::ERROR, "stream requests succeed");
+                        outstanding -= 1;
                     }
-                }
-                None => {
-                    let req = Request::frontier_arc(Arc::clone(tree), Arc::clone(costs));
-                    let corr = client.send(&req).expect("send first-contact frontier");
-                    let (reply, drained) = recv_until(&mut client, corr);
-                    outstanding -= drained;
-                    learned[r.instance] = reply.instance_id();
-                    check(&reply, req);
-                }
-            },
-            StreamOp::Delta { delta, lambda } => {
-                let req = Request::delta(TenantId(r.instance as u64), delta.clone(), *lambda);
-                if verify {
-                    let reply = client
-                        .delta(TenantId(r.instance as u64), delta.clone(), *lambda)
-                        .expect("remote delta");
-                    check(&reply, req);
-                } else {
-                    client.send(&req).expect("send delta");
-                    outstanding += 1;
                 }
             }
         }
-    }
-    while outstanding > 0 {
-        let (_, outcome) = client.recv_any().expect("loopback stream answers");
-        outcome.expect("stream requests succeed");
-        outstanding -= 1;
-    }
-    let elapsed = t0.elapsed().as_nanos() as u64;
-    // Same exactness check as the in-process stream: every tenant drifted
-    // into exactly the generated final cost model — FIFO held across the
-    // socket, the reader, and the service queue.
-    for (i, want) in stream.final_costs.iter().enumerate() {
-        let got = service
-            .tenant_costs(TenantId(i as u64))
-            .expect("tenant still open");
-        assert_eq!(
-            &got, want,
-            "tenant {i} did not drift into the generated final costs over the wire"
-        );
+        while outstanding > 0 {
+            let frame = client.recv_raw().expect("loopback stream answers");
+            assert_ne!(frame.kind, wire::kind::ERROR, "stream requests succeed");
+            outstanding -= 1;
+        }
+    };
+
+    let mut elapsed = 0u64;
+    std::thread::scope(|s| {
+        let replay = &replay;
+        let handles: Vec<_> = (0..conns)
+            .map(|conn| s.spawn(move || replay(conn)))
+            .collect();
+        barrier.wait();
+        let t0 = std::time::Instant::now();
+        for h in handles {
+            h.join().expect("stream connection panicked");
+        }
+        elapsed = t0.elapsed().as_nanos() as u64;
+    });
+
+    // Same exactness check as the in-process stream, per namespace: every
+    // connection's every tenant drifted into exactly the generated final
+    // cost model — FIFO held across the socket, the reactor shards, and
+    // the service queue, with no cross-connection bleed.
+    for conn in 0..conns {
+        for (i, want) in stream.final_costs.iter().enumerate() {
+            let got = service
+                .tenant_costs(conn_tenant(conn, i))
+                .expect("tenant still open");
+            assert_eq!(
+                &got, want,
+                "tenant {i} of connection {conn} did not drift into the generated final costs"
+            );
+        }
     }
     let stats = service.stats();
-    drop(client);
+    let net = server.net_stats();
     server.shutdown();
-    (elapsed, stats)
+    (elapsed, stats, net)
 }
 
 pub(super) fn t13(ctx: &ExpCtx) {
     const SEED: u64 = 1300;
     // The service behind the TCP front door: the t12 Zipf stream driven
-    // through the wire codec and a loopback socket by one pipelined
-    // client connection. Phase 1 replays the whole stream in lockstep
-    // against an in-process service and asserts every loopback answer
-    // byte-identical (canonical wire JSON) while the server cross-checks
-    // each answer against a from-scratch solve — only then is anything
-    // timed. The req/s delta against t12's BENCH_service.json is the
-    // measured cost of the framing + socket hop.
+    // through the wire codec and loopback sockets, swept across
+    // concurrent connection counts (1 / 8 / 64 / 256) over the
+    // event-driven reactor. At each count an untimed pass first replays
+    // every connection against a sequential in-process reference and
+    // asserts every answer byte-identical (canonical wire JSON) — only
+    // then are the reps timed. stream_c1 minus t12's BENCH_service.json
+    // is the wire overhead per request; stream_c64 / stream_c1 is the
+    // multiplexing win of the reactor + batched flushes.
     let stream_cfg = StreamConfig {
         requests: ctx.profile.pick(384, 48),
         extra_instances: ctx.profile.pick(5, 2),
@@ -1362,29 +1453,23 @@ pub(super) fn t13(ctx: &ExpCtx) {
     let stream = request_stream(&stream_cfg);
     let arcs = stream.arc_instances();
     let reps = ctx.profile.pick(5, 3);
-
-    // Correctness gate before any timing.
-    let (_, vstats) = run_net_stream(&stream, &arcs, 2, true);
-    assert_eq!(vstats.failed, 0, "verified stream must answer everything");
-    assert_eq!(vstats.completed, stream.requests.len() as u64);
-
-    let cores = std::thread::available_parallelism()
+    let workers = std::thread::available_parallelism()
         .map(|n| n.get())
-        .unwrap_or(1);
-    let mut worker_counts = vec![1usize, 2, 4];
-    if cores > 4 {
-        worker_counts.push(cores);
-    }
-    worker_counts.dedup();
+        .unwrap_or(1)
+        .clamp(2, 4);
+    let pre = precompute_stream(&stream, &arcs);
+    let conn_counts = [1usize, 8, 64, 256];
 
     let mut table = CsvTable::new(
         "t13_net_stream",
         &[
-            "workers",
-            "requests",
+            "conns",
+            "requests_total",
             "total_ns",
             "req_per_sec",
-            "backpressure_waits",
+            "saturation_parks",
+            "writes",
+            "frames_out",
             "solves",
             "frontiers",
             "deltas",
@@ -1397,7 +1482,7 @@ pub(super) fn t13(ctx: &ExpCtx) {
     let mut report = BenchReport::new(
         "net",
         "t13",
-        "loopback TCP service throughput vs worker count under a Zipf request stream",
+        "loopback TCP service throughput vs concurrent connection count under a Zipf request stream",
         ctx.profile.name(),
         SEED,
     );
@@ -1406,29 +1491,39 @@ pub(super) fn t13(ctx: &ExpCtx) {
         .iter()
         .map(|sc| sc.tree.len() as u64)
         .collect();
-    report.param("requests", stream.requests.len() as f64);
+    report.param("requests_per_conn", stream.requests.len() as f64);
     report.param("zipf_milli", stream_cfg.zipf_milli as f64);
+    report.param("workers", workers as f64);
 
-    for &w in &worker_counts {
+    for &conns in &conn_counts {
+        let total = conns * stream.requests.len();
+
+        // Byte-identity gate at this connection count before any timing.
+        let (_, vstats, _) = run_net_stream(&stream, &pre, conns, workers, true);
+        assert_eq!(vstats.failed, 0, "verified stream must answer everything");
+        assert_eq!(vstats.completed, total as u64);
+
         let mut samples = Vec::with_capacity(reps);
         let mut last = None;
         for _ in 0..reps {
-            let (ns, sstats) = run_net_stream(&stream, &arcs, w, false);
+            let (ns, sstats, nstats) = run_net_stream(&stream, &pre, conns, workers, false);
             samples.push(ns);
-            last = Some(sstats);
+            last = Some((sstats, nstats));
         }
         samples.sort_unstable();
         let ns = samples[samples.len() / 2];
-        let sstats = last.expect("reps >= 1");
-        let per_sec = stream.requests.len() as f64 * 1e9 / ns.max(1) as f64;
+        let (sstats, nstats) = last.expect("reps >= 1");
+        let per_sec = total as f64 * 1e9 / ns.max(1) as f64;
         let lat = sstats.latency;
         let us = |ns: u64| format!("{:.1}", ns as f64 / 1e3);
         table.row(&[
-            w.to_string(),
-            stream.requests.len().to_string(),
+            conns.to_string(),
+            total.to_string(),
             ns.to_string(),
             format!("{per_sec:.1}"),
-            sstats.backpressure_waits.to_string(),
+            nstats.saturation_parks.to_string(),
+            nstats.writes.to_string(),
+            nstats.frames_out.to_string(),
             sstats.solves.to_string(),
             sstats.frontiers.to_string(),
             sstats.deltas.to_string(),
@@ -1437,10 +1532,10 @@ pub(super) fn t13(ctx: &ExpCtx) {
             us(lat.frontier.p99_ns),
             us(lat.delta.p99_ns),
         ]);
-        report.metric(format!("stream_w{w}"), stream.requests.len() as u64, ns);
+        report.metric(format!("stream_c{conns}"), total as u64, ns);
         // Per-kind accepted→answered latency, server side — the socket
         // and codec are outside these histograms, so a tail regression
-        // here is the service's, while stream_w* absorbs the wire cost.
+        // here is the service's, while stream_c* absorbs the wire cost.
         for (kind, l) in [
             ("solve", lat.solve),
             ("frontier", lat.frontier),
@@ -1448,7 +1543,7 @@ pub(super) fn t13(ctx: &ExpCtx) {
         ] {
             if l.count > 0 {
                 report.metric_with_percentiles(
-                    format!("lat_{kind}_w{w}"),
+                    format!("lat_{kind}_c{conns}"),
                     l.count,
                     l.sum_ns.max(1),
                     l.p50_ns,
@@ -1457,18 +1552,22 @@ pub(super) fn t13(ctx: &ExpCtx) {
             }
         }
         report.param(
-            format!("backpressure_waits_w{w}"),
-            sstats.backpressure_waits as f64,
+            format!("saturation_parks_c{conns}"),
+            nstats.saturation_parks as f64,
         );
+        report.param(format!("writes_c{conns}"), nstats.writes as f64);
+        report.param(format!("frames_out_c{conns}"), nstats.frames_out as f64);
     }
-    report.threads = *worker_counts.last().unwrap();
+    report.threads = workers;
     println!("{}", table.render_text());
-    println!("shape check: one pipelined connection drives the whole stream, so req/s");
-    println!("includes framing, the loopback socket, and the reader/waiter/writer crew;");
-    println!("the lat_*_w* histograms are the same accepted→answered clock as t12's, so");
-    println!("t13 minus t12 at equal workers reads as the wire overhead per request.");
-    println!("Every answer of the verification pass was byte-identical to the in-process");
-    println!("service's answer for the identical request sequence (DESIGN.md §13).");
+    println!("shape check: every connection pipelines the whole stream in its own tenant");
+    println!("namespace, so req/s is aggregate across connections and includes framing,");
+    println!("the loopback sockets, and the reactor shards; frames_out/writes is the");
+    println!("flush-coalescing ratio (higher = fewer syscalls per reply). The lat_*_c*");
+    println!("histograms are the same accepted→answered clock as t12's, so stream_c1");
+    println!("minus t12 at equal workers reads as the wire overhead per request.");
+    println!("Every answer of each count's verification pass was byte-identical to the");
+    println!("in-process replay of the identical request sequence (DESIGN.md §13, §15).");
     table.write_csv(ctx.out_dir).unwrap();
     ctx.emit(&report);
 }

@@ -68,7 +68,10 @@
 //! ```
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+// Denied crate-wide rather than forbidden: `net::sys` opts back in for
+// the raw `poll(2)`/`epoll(7)` declarations the reactor multiplexes on.
+// Every other module still rejects `unsafe`.
+#![deny(unsafe_code)]
 
 use hsa_assign::{
     lambda_frontier_with, solve_with_frontiers, AssignError, ExpandedConfig, FrontierSet,

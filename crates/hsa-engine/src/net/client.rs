@@ -1,14 +1,14 @@
 //! The blocking client: typed request methods mirroring the `Request::*`
 //! constructors, plus a pipelined send/recv pair for throughput drivers.
 
-use super::wire::{self, NetReply, ReadFrame, WireError};
+use super::wire::{self, FrameEncoder, NetReply, WireError};
 use crate::service::{Reply, Request, TenantId};
 use crate::session::SessionStats;
 use crate::InstanceId;
 use hsa_graph::Lambda;
 use hsa_tree::{CostModel, CruTree, Delta};
 use std::fmt;
-use std::io::{self, BufWriter, Write};
+use std::io::{self, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 
 /// What a remote call can fail with.
@@ -22,7 +22,8 @@ pub enum ClientError {
     /// arrive as [`WireError::Service`] with their stable code (the
     /// verify-mode passthrough: a remote `verify_failed` surfaces here
     /// exactly like [`crate::ServiceError::VerifyFailed`] does in
-    /// process).
+    /// process). A server at its connection cap refuses the handshake
+    /// with [`WireError::ConnLimit`] through this same variant.
     Remote(WireError),
 }
 
@@ -57,7 +58,11 @@ impl From<io::Error> for ClientError {
 /// [`Client::delta`], …) mirror the [`Request`] constructors one-to-one
 /// and wait for their answer. The lower-level [`Client::send`] /
 /// [`Client::recv_any`] pair pipelines: many requests in flight on one
-/// connection, answers matched back by correlation id.
+/// connection, answers matched back by correlation id. [`Client::send`]
+/// only appends to a reused encode buffer — nothing hits the socket
+/// until [`Client::flush`] (or the first receive, which flushes
+/// implicitly), so a pipelined burst travels as one `write(2)` and a
+/// sequential call still sees no extra latency.
 ///
 /// A client that learned an [`InstanceId`] from a first-contact reply can
 /// reconnect after a drop and resume id-addressed requests immediately —
@@ -66,34 +71,50 @@ impl From<io::Error> for ClientError {
 /// id ([`InstanceId::raw`]) and rebuild it with [`InstanceId::from_raw`].
 pub struct Client {
     reader: TcpStream,
-    writer: BufWriter<TcpStream>,
+    writer: TcpStream,
+    /// The reused encode queue: frames accumulate here between flushes.
+    out: Vec<u8>,
+    /// The reused decode buffer: one `read(2)` can pull a whole burst of
+    /// pipelined answers, which then pop here without further syscalls.
+    dec: wire::FrameDecoder,
+    enc: FrameEncoder,
     max_frame_len: usize,
     next_corr: u64,
 }
 
 impl Client {
     /// Connects and completes the handshake (the server answers with its
-    /// frame cap, which this client then enforces on its own frames).
+    /// frame cap, which this client then enforces on its own frames). A
+    /// server past [`super::NetConfig::max_connections`] refuses here
+    /// with [`ClientError::Remote`]`(`[`WireError::ConnLimit`]`)`.
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
         let stream = TcpStream::connect(addr)?;
         let _ = stream.set_nodelay(true);
         let reader = stream.try_clone()?;
         let mut client = Client {
             reader,
-            writer: BufWriter::new(stream),
+            writer: stream,
+            out: Vec::new(),
+            dec: wire::FrameDecoder::new(),
+            enc: FrameEncoder::new(),
             max_frame_len: wire::DEFAULT_MAX_FRAME_LEN,
             next_corr: 1,
         };
         let corr = client.next_corr();
-        client.write_frame(&wire::hello_frame(corr))?;
-        match client.recv_matching(corr)? {
-            NetReply::HelloAck(cap) => {
+        client.enc.put_hello(&mut client.out, corr);
+        let frame = client.recv_frame()?;
+        match wire::decode_server_frame(&frame) {
+            // A refusal travels under corr 0 (nothing of ours was read);
+            // any error frame here means no session.
+            Ok(NetReply::Error(err)) => Err(ClientError::Remote(err)),
+            Ok(NetReply::HelloAck(cap)) if frame.corr == corr => {
                 client.max_frame_len = cap.min(wire::DEFAULT_MAX_FRAME_LEN as u64) as usize;
                 Ok(client)
             }
-            other => Err(ClientError::Protocol(format!(
+            Ok(other) => Err(ClientError::Protocol(format!(
                 "handshake answered {other:?}"
             ))),
+            Err(err) => Err(ClientError::Protocol(err.to_string())),
         }
     }
 
@@ -103,43 +124,44 @@ impl Client {
         corr
     }
 
-    fn write_frame(&mut self, frame: &wire::Frame) -> Result<(), ClientError> {
-        self.writer.write_all(&frame.encode())?;
-        self.writer.flush()?;
+    /// Writes every queued frame to the socket in one burst. Receiving
+    /// flushes implicitly; call this directly to push a pipelined batch
+    /// out before doing other work.
+    pub fn flush(&mut self) -> Result<(), ClientError> {
+        if self.out.is_empty() {
+            return Ok(());
+        }
+        self.writer.write_all(&self.out)?;
+        self.out.clear();
         Ok(())
     }
 
     /// Sends `request` without waiting; returns the correlation id its
     /// answer will carry. Pair with [`Client::recv_any`] to pipeline.
+    /// The frame is queued, not written — see [`Client::flush`].
     pub fn send(&mut self, request: &Request) -> Result<u64, ClientError> {
         let corr = self.next_corr();
-        self.write_frame(&wire::request_frame(corr, request))?;
+        self.enc.put_request(&mut self.out, corr, request);
         Ok(corr)
+    }
+
+    /// Queues a request whose payload bytes are already encoded (e.g.
+    /// cached off [`wire::request_frame`]) under a fresh correlation id —
+    /// a hot client replaying identical requests skips re-printing the
+    /// same JSON per send. `tenant` and the returned correlation id
+    /// travel in the frame header, so one cached payload serves any
+    /// tenant namespace.
+    pub fn send_encoded(&mut self, kind: u8, tenant: u64, payload: &[u8]) -> u64 {
+        let corr = self.next_corr();
+        wire::put_raw_frame(&mut self.out, kind, tenant, corr, payload);
+        corr
     }
 
     /// Receives the next answer frame, whatever its correlation id:
     /// `(corr, outcome)`. Error frames resolve to `Err(Remote)` — they
     /// answer *that* correlation id, the connection stays usable.
     pub fn recv_any(&mut self) -> Result<(u64, Result<Reply, ClientError>), ClientError> {
-        let frame = match wire::read_frame(&mut self.reader, self.max_frame_len)? {
-            ReadFrame::Frame(frame) => frame,
-            ReadFrame::Eof => {
-                return Err(ClientError::Io(io::Error::new(
-                    io::ErrorKind::UnexpectedEof,
-                    "server closed the connection",
-                )))
-            }
-            ReadFrame::Oversized(len, max) => {
-                return Err(ClientError::Protocol(format!(
-                    "server announced a {len}-byte frame (cap {max})"
-                )))
-            }
-            ReadFrame::Undersized(len) => {
-                return Err(ClientError::Protocol(format!(
-                    "server announced a {len}-byte frame, shorter than the header"
-                )))
-            }
-        };
+        let frame = self.recv_frame()?;
         if frame.version != wire::PROTOCOL_VERSION {
             return Err(ClientError::Protocol(format!(
                 "server answered protocol version {}",
@@ -159,16 +181,39 @@ impl Client {
 
     /// Receives until the frame answering `corr` arrives. Used by the
     /// sequential typed methods; strict because they never pipeline.
-    fn recv_matching(&mut self, corr: u64) -> Result<NetReply, ClientError> {
-        let frame = match wire::read_frame(&mut self.reader, self.max_frame_len)? {
-            ReadFrame::Frame(frame) => frame,
-            _ => {
-                return Err(ClientError::Io(io::Error::new(
-                    io::ErrorKind::UnexpectedEof,
-                    "server closed the connection",
-                )))
+    /// Pops the next complete frame, filling the reused decode buffer
+    /// from the socket as needed (flushing queued sends first — a recv
+    /// must never deadlock behind our own unsent requests).
+    fn recv_frame(&mut self) -> Result<wire::Frame, ClientError> {
+        self.flush()?;
+        loop {
+            match self.dec.next(self.max_frame_len) {
+                Some(wire::Decoded::Frame(f)) => return Ok(f.to_frame()),
+                Some(wire::Decoded::Oversized(len)) => {
+                    return Err(ClientError::Protocol(format!(
+                        "server announced a {len}-byte frame (cap {})",
+                        self.max_frame_len
+                    )))
+                }
+                Some(wire::Decoded::Undersized(len)) => {
+                    return Err(ClientError::Protocol(format!(
+                        "server announced a {len}-byte frame, shorter than the header"
+                    )))
+                }
+                None => {
+                    if self.dec.fill_from(&mut self.reader, 16 * 1024)? == 0 {
+                        return Err(ClientError::Io(io::Error::new(
+                            io::ErrorKind::UnexpectedEof,
+                            "server closed the connection",
+                        )));
+                    }
+                }
             }
-        };
+        }
+    }
+
+    fn recv_matching(&mut self, corr: u64) -> Result<NetReply, ClientError> {
+        let frame = self.recv_frame()?;
         if frame.corr != corr {
             return Err(ClientError::Protocol(format!(
                 "answer for correlation id {} while waiting on {corr}",
@@ -246,7 +291,8 @@ impl Client {
         costs: &CostModel,
     ) -> Result<(), ClientError> {
         let corr = self.next_corr();
-        self.write_frame(&wire::open_tenant_frame(corr, tenant, tree, costs))?;
+        self.enc
+            .put_open_tenant(&mut self.out, corr, tenant, tree, costs);
         match self.recv_matching(corr)? {
             NetReply::TenantOpened => Ok(()),
             NetReply::Error(err) => Err(ClientError::Remote(err)),
@@ -259,7 +305,7 @@ impl Client {
     /// Remote [`crate::Service::close_tenant`].
     pub fn close_tenant(&mut self, tenant: TenantId) -> Result<SessionStats, ClientError> {
         let corr = self.next_corr();
-        self.write_frame(&wire::close_tenant_frame(corr, tenant))?;
+        self.enc.put_close_tenant(&mut self.out, corr, tenant);
         match self.recv_matching(corr)? {
             NetReply::TenantClosed(stats) => Ok(stats),
             NetReply::Error(err) => Err(ClientError::Remote(err)),
@@ -269,22 +315,26 @@ impl Client {
         }
     }
 
-    /// Sends raw pre-encoded bytes — the malformed-frame tests' hook; a
-    /// well-behaved client never needs it.
+    /// Sends raw pre-encoded bytes immediately — the malformed-frame
+    /// tests' hook; a well-behaved client never needs it. Any queued
+    /// frames flush first so stream order is preserved.
     pub fn send_raw(&mut self, bytes: &[u8]) -> Result<(), ClientError> {
+        self.flush()?;
         self.writer.write_all(bytes)?;
-        self.writer.flush()?;
         Ok(())
     }
 
     /// Reads the next raw frame off the stream (pairing with
     /// [`Client::send_raw`] in protocol tests).
     pub fn recv_raw(&mut self) -> Result<wire::Frame, ClientError> {
-        match wire::read_frame(&mut self.reader, self.max_frame_len)? {
-            ReadFrame::Frame(frame) => Ok(frame),
-            other => Err(ClientError::Protocol(format!(
-                "no frame available: {other:?}"
-            ))),
-        }
+        self.recv_frame()
+    }
+}
+
+impl Drop for Client {
+    fn drop(&mut self) {
+        // Same courtesy a `BufWriter` extends: queued frames should not
+        // silently vanish if the caller sent without receiving.
+        let _ = self.flush();
     }
 }

@@ -41,7 +41,9 @@
 pub mod wire;
 
 mod client;
+mod reactor;
 mod server;
+mod sys;
 
 pub use client::{Client, ClientError};
-pub use server::{NetConfig, NetServer};
+pub use server::{NetConfig, NetServer, NetStats};

@@ -1,15 +1,16 @@
-//! The TCP front door: accept loop, per-connection reader/waiter/writer
-//! crew, per-tenant admission quotas, graceful shutdown.
+//! The TCP front door: accept loop, event-driven reactor shards,
+//! per-tenant admission quotas, connection cap, graceful shutdown.
 
-use super::wire::{self, Frame, NetRequest, ReadFrame, WireError};
-use crate::service::{Service, Ticket};
+use super::reactor::{Reactor, Shard};
+use super::wire::{self, WireError};
+use crate::service::Service;
 use std::collections::BTreeMap;
-use std::io::{self, BufWriter, Write};
+use std::io::{self, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 /// Network-layer configuration.
 #[derive(Clone, Copy, Debug)]
@@ -23,6 +24,14 @@ pub struct NetConfig {
     /// global backpressure gate. Refusals answer [`WireError::Quota`]
     /// without blocking the reader. 0 means no per-tenant cap.
     pub per_tenant_inflight: usize,
+    /// Cap on concurrently served connections. An accept past the cap is
+    /// answered with a [`WireError::ConnLimit`] frame and closed — the
+    /// reactor's fd tables stay bounded and overload is explicit instead
+    /// of an eventual EMFILE. 0 means no cap.
+    pub max_connections: usize,
+    /// Reactor threads (connection shards). 0 picks a small default from
+    /// the machine's parallelism; connections are dealt round-robin.
+    pub reactor_threads: usize,
 }
 
 impl Default for NetConfig {
@@ -30,38 +39,68 @@ impl Default for NetConfig {
         NetConfig {
             max_frame_len: wire::DEFAULT_MAX_FRAME_LEN,
             per_tenant_inflight: 0,
+            max_connections: 1024,
+            reactor_threads: 0,
         }
     }
 }
 
-/// What the waiter forwards to the writer: either a fulfilled ticket's
-/// frame-to-be or an already-encoded control/error frame.
-enum Outbound {
-    Frame(Frame),
-    /// Flush and close the write half (end of connection).
-    Close,
+impl NetConfig {
+    fn shard_count(&self) -> usize {
+        if self.reactor_threads > 0 {
+            return self.reactor_threads;
+        }
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        (cores / 2).clamp(1, 4)
+    }
 }
 
-struct ConnHandle {
-    stream: TcpStream,
-    reader: JoinHandle<()>,
-    waiter: JoinHandle<()>,
-    writer: JoinHandle<()>,
+/// Wire-level counters, monotone since bind. See [`NetServer::net_stats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct NetStats {
+    /// Connections accepted and handed to a reactor shard.
+    pub accepted: u64,
+    /// Connections refused with [`WireError::ConnLimit`] at accept time.
+    pub refused: u64,
+    /// Requests parked because the service gate was full — each park is
+    /// one backpressure stall propagated onto a TCP stream.
+    pub saturation_parks: u64,
+    /// `write(2)` calls issued by the reactors. `frames_out / writes` is
+    /// the reply-batching ratio pipelining buys.
+    pub writes: u64,
+    /// Frames encoded into connection write queues.
+    pub frames_out: u64,
 }
 
-struct Inner {
-    service: Arc<Service>,
-    cfg: NetConfig,
-    shutting_down: AtomicBool,
+#[derive(Default)]
+pub(super) struct Stats {
+    pub(super) accepted: AtomicU64,
+    pub(super) refused: AtomicU64,
+    pub(super) saturation_parks: AtomicU64,
+    pub(super) writes: AtomicU64,
+    pub(super) frames_out: AtomicU64,
+}
+
+pub(super) struct Inner {
+    pub(super) service: Arc<Service>,
+    pub(super) cfg: NetConfig,
+    pub(super) shutting_down: AtomicBool,
     /// In-flight requests per header tenant id (the admission quota).
     inflight: Mutex<BTreeMap<u64, usize>>,
-    /// Live connections, for shutdown to unblock and join.
-    conns: Mutex<Vec<ConnHandle>>,
+    /// Currently served connections, for the accept-time cap.
+    live: AtomicUsize,
+    pub(super) stats: Stats,
+    /// All shard handles — completion wakers poke parked peers through
+    /// this. Set once during bind, before anything is accepted.
+    shards: OnceLock<Vec<Arc<Shard>>>,
 }
 
 impl Inner {
     /// Tries to take one quota slot for `tenant`; false means refuse.
-    fn admit(&self, tenant: u64) -> bool {
+    pub(super) fn admit(&self, tenant: u64) -> bool {
         if self.cfg.per_tenant_inflight == 0 {
             return true;
         }
@@ -74,7 +113,7 @@ impl Inner {
         true
     }
 
-    fn release(&self, tenant: u64) {
+    pub(super) fn release(&self, tenant: u64) {
         if self.cfg.per_tenant_inflight == 0 {
             return;
         }
@@ -86,29 +125,39 @@ impl Inner {
             }
         }
     }
+
+    pub(super) fn shards(&self) -> &[Arc<Shard>] {
+        self.shards.get().map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    pub(super) fn conn_closed(&self) {
+        self.live.fetch_sub(1, Ordering::Relaxed);
+    }
 }
 
-/// A blocking TCP server over a [`Service`].
+/// A TCP server over a [`Service`], event-driven end to end.
 ///
-/// Each accepted connection runs a three-thread crew:
+/// A fixed crew replaces the old three-threads-per-socket model: one
+/// blocking acceptor plus [`NetConfig::reactor_threads`] reactor shards,
+/// each multiplexing its connections over `poll(2)`/`epoll(7)`
+/// (DESIGN.md §15). Per connection the shard reassembles frames from
+/// partial reads, answers protocol errors with typed frames, checks the
+/// per-tenant quota, and submits admitted requests without blocking —
+/// when the service's global gate is full the one decoded request is
+/// *parked* and the connection stops being read, which propagates
+/// backpressure onto the TCP stream with bounded memory, exactly like
+/// the blocking reader did. Completions route back to the owning shard
+/// via ticket callbacks and a wake pipe; replies are written in
+/// submission order, coalescing everything ready into a single `write`.
 ///
-/// * the **reader** decodes frames, answers protocol errors, checks the
-///   per-tenant quota and hands admitted requests to [`Service::submit`]
-///   — which blocks at the global backpressure gate, so a saturated
-///   service propagates backpressure onto the TCP stream instead of
-///   buffering unboundedly;
-/// * the **waiter** resolves tickets in submission order and encodes each
-///   answer under its original correlation id;
-/// * the **writer** streams the encoded frames back and flushes.
-///
-/// [`NetServer::shutdown`] is graceful: stop accepting, unblock the
-/// readers (no new submissions), let the waiters drain every accepted
-/// ticket, flush the writers, then close. Dropping the server shuts it
-/// down the same way.
+/// [`NetServer::shutdown`] is graceful: stop accepting, stop reading,
+/// drain every accepted ticket, flush, then close. Dropping the server
+/// shuts it down the same way.
 pub struct NetServer {
     inner: Arc<Inner>,
     local_addr: SocketAddr,
     accept: Mutex<Option<JoinHandle<()>>>,
+    reactors: Mutex<Vec<JoinHandle<()>>>,
     down: AtomicBool,
 }
 
@@ -127,8 +176,30 @@ impl NetServer {
             cfg,
             shutting_down: AtomicBool::new(false),
             inflight: Mutex::new(BTreeMap::new()),
-            conns: Mutex::new(Vec::new()),
+            live: AtomicUsize::new(0),
+            stats: Stats::default(),
+            shards: OnceLock::new(),
         });
+
+        let mut shards = Vec::new();
+        let mut reactors = Vec::new();
+        for i in 0..cfg.shard_count() {
+            let (shard, wake_rx) = Shard::new()?;
+            let run_inner = Arc::clone(&inner);
+            let run_shard = Arc::clone(&shard);
+            reactors.push(
+                std::thread::Builder::new()
+                    .name(format!("hsa-net-shard-{i}"))
+                    .spawn(move || Reactor::run(run_inner, run_shard, wake_rx))
+                    .expect("spawning a reactor shard"),
+            );
+            shards.push(shard);
+        }
+        inner
+            .shards
+            .set(shards)
+            .unwrap_or_else(|_| unreachable!("shards are set exactly once"));
+
         let accept_inner = Arc::clone(&inner);
         let accept = std::thread::Builder::new()
             .name("hsa-net-accept".to_string())
@@ -138,6 +209,7 @@ impl NetServer {
             inner,
             local_addr,
             accept: Mutex::new(Some(accept)),
+            reactors: Mutex::new(reactors),
             down: AtomicBool::new(false),
         })
     }
@@ -152,9 +224,21 @@ impl NetServer {
         &self.inner.service
     }
 
-    /// Graceful shutdown: stop accepting, unblock every connection's
-    /// reader, drain all accepted tickets through the waiters, flush the
-    /// writers, close. Idempotent; returns once everything is joined.
+    /// A snapshot of the wire-level counters.
+    pub fn net_stats(&self) -> NetStats {
+        let s = &self.inner.stats;
+        NetStats {
+            accepted: s.accepted.load(Ordering::Relaxed),
+            refused: s.refused.load(Ordering::Relaxed),
+            saturation_parks: s.saturation_parks.load(Ordering::Relaxed),
+            writes: s.writes.load(Ordering::Relaxed),
+            frames_out: s.frames_out.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Graceful shutdown: stop accepting, stop reading every connection,
+    /// drain all accepted tickets through the reactors, flush, close.
+    /// Idempotent; returns once everything is joined.
     pub fn shutdown(&self) {
         if self.down.swap(true, Ordering::SeqCst) {
             return;
@@ -165,19 +249,13 @@ impl NetServer {
         if let Some(accept) = self.accept.lock().expect("accept handle poisoned").take() {
             let _ = accept.join();
         }
-        // Stop the readers: no more frames will be accepted. In-flight
-        // tickets keep their gate slots and resolve below.
-        let conns = std::mem::take(&mut *self.inner.conns.lock().expect("conn list poisoned"));
-        for conn in &conns {
-            let _ = conn.stream.shutdown(Shutdown::Read);
+        for shard in self.inner.shards() {
+            shard.push_shutdown();
         }
-        for conn in conns {
-            // Reader exit drops the ticket channel; the waiter then drains
-            // every accepted ticket and closes the writer, which flushes.
-            let _ = conn.reader.join();
-            let _ = conn.waiter.join();
-            let _ = conn.writer.join();
-            let _ = conn.stream.shutdown(Shutdown::Both);
+        let reactors =
+            std::mem::take(&mut *self.reactors.lock().expect("reactor handles poisoned"));
+        for handle in reactors {
+            let _ = handle.join();
         }
     }
 }
@@ -189,192 +267,47 @@ impl Drop for NetServer {
 }
 
 fn accept_loop(listener: TcpListener, inner: Arc<Inner>) {
+    let shards = inner.shards().to_vec();
+    let mut next = 0usize;
     for stream in listener.incoming() {
         if inner.shutting_down.load(Ordering::SeqCst) {
             // The wake-up connection (or a raced client) is dropped
-            // unanswered; accepted work is already owned by its crew.
+            // unanswered; accepted work is already owned by its shard.
             break;
         }
         let Ok(stream) = stream else { continue };
-        let _ = stream.set_nodelay(true);
-        spawn_connection(stream, &inner);
-    }
-}
-
-fn spawn_connection(stream: TcpStream, inner: &Arc<Inner>) {
-    let Ok(read_half) = stream.try_clone() else {
-        return;
-    };
-    let Ok(write_half) = stream.try_clone() else {
-        return;
-    };
-    // reader -> waiter: accepted tickets, in submission order.
-    let (ticket_tx, ticket_rx) = channel::<(u64, u64, Ticket)>();
-    // reader/waiter -> writer: encoded frames.
-    let (out_tx, out_rx) = channel::<Outbound>();
-
-    let reader_inner = Arc::clone(inner);
-    let reader_out = out_tx.clone();
-    let reader = std::thread::Builder::new()
-        .name("hsa-net-reader".to_string())
-        .spawn(move || reader_loop(read_half, reader_inner, ticket_tx, reader_out))
-        .expect("spawning a reader thread");
-
-    let waiter_inner = Arc::clone(inner);
-    let waiter = std::thread::Builder::new()
-        .name("hsa-net-waiter".to_string())
-        .spawn(move || waiter_loop(ticket_rx, waiter_inner, out_tx))
-        .expect("spawning a waiter thread");
-
-    let writer = std::thread::Builder::new()
-        .name("hsa-net-writer".to_string())
-        .spawn(move || writer_loop(write_half, out_rx))
-        .expect("spawning a writer thread");
-
-    let mut conns = inner.conns.lock().expect("conn list poisoned");
-    // Reap connections whose crews already exited (dropping their handles
-    // detaches nothing live and closes the retained fd).
-    conns.retain(|c| !(c.reader.is_finished() && c.waiter.is_finished() && c.writer.is_finished()));
-    conns.push(ConnHandle {
-        stream,
-        reader,
-        waiter,
-        writer,
-    });
-}
-
-fn reader_loop(
-    mut stream: TcpStream,
-    inner: Arc<Inner>,
-    tickets: Sender<(u64, u64, Ticket)>,
-    out: Sender<Outbound>,
-) {
-    loop {
-        let frame = match wire::read_frame(&mut stream, inner.cfg.max_frame_len) {
-            // Disconnect, truncated frame, or the shutdown unblock: the
-            // connection is over either way.
-            Err(_) | Ok(ReadFrame::Eof) => break,
-            Ok(ReadFrame::Oversized(len, max)) => {
-                // The announced bytes are unread, so the stream is
-                // desynchronised: answer (corr 0 — the header is part of
-                // the unread region) and close.
-                let err = WireError::Oversized(len as u64, max as u64);
-                let _ = out.send(Outbound::Frame(wire::error_frame(0, 0, &err)));
-                break;
-            }
-            Ok(ReadFrame::Undersized(len)) => {
-                let err = WireError::Malformed(format!(
-                    "length prefix {len} is shorter than the {}-byte header",
-                    wire::HEADER_LEN
-                ));
-                let _ = out.send(Outbound::Frame(wire::error_frame(0, 0, &err)));
-                break;
-            }
-            Ok(ReadFrame::Frame(frame)) => frame,
-        };
-        // The header layout is version-stable, so a version we don't
-        // speak can still be refused under its own correlation id; the
-        // frame boundary is intact and the connection stays up.
-        if frame.version != wire::PROTOCOL_VERSION {
-            let err = WireError::UnsupportedVersion(frame.version, wire::PROTOCOL_VERSION);
-            let _ = out.send(Outbound::Frame(wire::error_frame(
-                frame.corr,
-                frame.tenant,
-                &err,
-            )));
+        let cap = inner.cfg.max_connections;
+        if cap > 0 && inner.live.load(Ordering::Relaxed) >= cap {
+            inner.stats.refused.fetch_add(1, Ordering::Relaxed);
+            refuse(stream, cap);
             continue;
         }
-        match wire::decode_request(&frame) {
-            Err(err) => {
-                let _ = out.send(Outbound::Frame(wire::error_frame(
-                    frame.corr,
-                    frame.tenant,
-                    &err,
-                )));
-            }
-            Ok(NetRequest::Hello) => {
-                let _ = out.send(Outbound::Frame(wire::hello_ack_frame(
-                    frame.corr,
-                    inner.cfg.max_frame_len,
-                )));
-            }
-            Ok(NetRequest::OpenTenant(tenant, tree, costs)) => {
-                let reply = match inner.service.open_tenant(tenant, &tree, &costs) {
-                    Ok(()) => wire::tenant_opened_frame(frame.corr, tenant),
-                    Err(e) => wire::error_frame(frame.corr, tenant.0, &WireError::from(&e)),
-                };
-                let _ = out.send(Outbound::Frame(reply));
-            }
-            Ok(NetRequest::CloseTenant(tenant)) => {
-                let reply = match inner.service.close_tenant(tenant) {
-                    Ok(stats) => wire::tenant_closed_frame(frame.corr, tenant, &stats),
-                    Err(e) => wire::error_frame(frame.corr, tenant.0, &WireError::from(&e)),
-                };
-                let _ = out.send(Outbound::Frame(reply));
-            }
-            Ok(NetRequest::Submit(request)) => {
-                if !inner.admit(frame.tenant) {
-                    let err = WireError::Quota(frame.tenant);
-                    let _ = out.send(Outbound::Frame(wire::error_frame(
-                        frame.corr,
-                        frame.tenant,
-                        &err,
-                    )));
-                    continue;
-                }
-                // Blocking submit: the global gate's backpressure stalls
-                // this reader, which stalls the TCP stream — bounded
-                // memory end to end.
-                let ticket = inner.service.submit(request);
-                if tickets.send((frame.corr, frame.tenant, ticket)).is_err() {
-                    inner.release(frame.tenant);
-                    break;
-                }
-            }
+        let _ = stream.set_nodelay(true);
+        if stream.set_nonblocking(true).is_err() {
+            continue;
         }
+        inner.live.fetch_add(1, Ordering::Relaxed);
+        inner.stats.accepted.fetch_add(1, Ordering::Relaxed);
+        shards[next % shards.len()].push_conn(stream);
+        next = next.wrapping_add(1);
     }
-    // Dropping `tickets` ends the waiter once it has drained every
-    // accepted ticket; the waiter's drop of `out` then ends the writer.
 }
 
-fn waiter_loop(tickets: Receiver<(u64, u64, Ticket)>, inner: Arc<Inner>, out: Sender<Outbound>) {
-    // Submission order; each answer still travels under its own
-    // correlation id. Draining runs to completion on shutdown because the
-    // service workers stay up until the server (and its tickets) are gone.
-    while let Ok((corr, tenant, ticket)) = tickets.recv() {
-        let frame = match ticket.wait() {
-            Ok(reply) => wire::reply_frame(corr, tenant, &reply),
-            Err(e) => wire::error_frame(corr, tenant, &WireError::from(&e)),
-        };
-        inner.release(tenant);
-        if out.send(Outbound::Frame(frame)).is_err() {
+/// Answers a connection past the cap with a typed refusal and closes it.
+/// Corr 0: nothing of the peer's stream has been read. The peer's
+/// already-sent bytes (a HELLO, usually) are drained briefly so closing
+/// does not reset the refusal off the wire.
+fn refuse(mut stream: TcpStream, cap: usize) {
+    let frame = wire::error_frame(0, 0, &WireError::ConnLimit(cap as u64));
+    if stream.write_all(&frame.encode()).is_err() {
+        return;
+    }
+    let _ = stream.shutdown(Shutdown::Write);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    let mut scratch = [0u8; 1024];
+    while let Ok(n) = stream.read(&mut scratch) {
+        if n == 0 {
             break;
         }
     }
-    let _ = out.send(Outbound::Close);
-}
-
-fn writer_loop(stream: TcpStream, frames: Receiver<Outbound>) {
-    let mut w = BufWriter::new(stream);
-    while let Ok(outbound) = frames.recv() {
-        match outbound {
-            Outbound::Frame(frame) => {
-                if w.write_all(&frame.encode()).is_err() {
-                    break;
-                }
-                // One flush per queue drain would be friendlier to
-                // batching; per-frame flush keeps loopback latency honest
-                // and the protocol simple.
-                if w.flush().is_err() {
-                    break;
-                }
-            }
-            Outbound::Close => break,
-        }
-    }
-    let _ = w.flush();
-    // Send FIN ourselves: the server retains one more clone of this
-    // socket (the shutdown handle in `conns`), so merely dropping the
-    // write half would leave the peer blocked waiting for EOF.
-    let _ = w.get_ref().shutdown(Shutdown::Write);
 }

@@ -85,6 +85,36 @@ pub mod kind {
     pub const ERROR: u8 = 0xFF;
 }
 
+/// A borrowed view of one frame inside a [`FrameDecoder`]'s buffer: the
+/// fixed header plus the payload *in place* — the reactor's zero-copy
+/// sibling of [`Frame`] (no per-frame payload `Vec`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FrameRef<'a> {
+    /// Protocol version byte.
+    pub version: u8,
+    /// Kind byte (`kind::*`).
+    pub kind: u8,
+    /// Tenant id for tenant-scoped kinds, 0 otherwise.
+    pub tenant: u64,
+    /// Correlation id, echoed on the answer.
+    pub corr: u64,
+    /// Kind-specific JSON body, borrowed from the decode buffer.
+    pub payload: &'a [u8],
+}
+
+impl FrameRef<'_> {
+    /// An owned [`Frame`] (copies the payload) — for tests and cold paths.
+    pub fn to_frame(&self) -> Frame {
+        Frame {
+            version: self.version,
+            kind: self.kind,
+            tenant: self.tenant,
+            corr: self.corr,
+            payload: self.payload.to_vec(),
+        }
+    }
+}
+
 /// One decoded frame: the fixed header plus the raw payload bytes.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Frame {
@@ -174,6 +204,120 @@ pub fn read_frame(r: &mut impl Read, max_frame_len: usize) -> io::Result<ReadFra
     }))
 }
 
+/// What [`FrameDecoder::next`] found at the head of the buffer.
+#[derive(Debug)]
+pub enum Decoded<'a> {
+    /// A complete frame (version/kind/payload still unvalidated),
+    /// borrowed from the decode buffer and already consumed from it.
+    Frame(FrameRef<'a>),
+    /// The announced length exceeds the cap; the stream cannot be
+    /// re-synchronised (the offending prefix is left in the buffer).
+    Oversized(u32),
+    /// The announced length is shorter than the fixed header; same
+    /// desynchronisation story as [`Decoded::Oversized`].
+    Undersized(u32),
+}
+
+/// Incremental frame reassembly over a nonblocking stream: bytes go in
+/// whenever the socket is readable (any split, down to one byte at a
+/// time), complete frames come out borrowed — no per-frame allocation.
+/// One long-lived decoder per connection; the buffer is compacted and
+/// reused across frames, so steady state costs zero allocations once the
+/// high-water mark is reached.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl FrameDecoder {
+    /// An empty decoder.
+    pub fn new() -> FrameDecoder {
+        FrameDecoder::default()
+    }
+
+    /// Bytes buffered but not yet consumed as frames.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Appends raw stream bytes (any fragmentation).
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.compact();
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Reads up to `chunk` bytes from `r` straight into the buffer
+    /// (compacting first), returning what `read` returned. `Ok(0)` is
+    /// end-of-stream.
+    pub fn fill_from(&mut self, r: &mut impl Read, chunk: usize) -> io::Result<usize> {
+        self.compact();
+        let len = self.buf.len();
+        self.buf.resize(len + chunk, 0);
+        match r.read(&mut self.buf[len..]) {
+            Ok(n) => {
+                self.buf.truncate(len + n);
+                Ok(n)
+            }
+            Err(e) => {
+                self.buf.truncate(len);
+                Err(e)
+            }
+        }
+    }
+
+    /// Drops everything buffered (shutdown: frames not yet parsed are
+    /// abandoned, matching a half-closed read side).
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.pos = 0;
+    }
+
+    /// The next complete frame, if the buffer holds one. `None` means
+    /// more bytes are needed; [`Decoded::Oversized`]/[`Decoded::Undersized`]
+    /// mean the stream is unrecoverable past this point.
+    pub fn next(&mut self, max_frame_len: usize) -> Option<Decoded<'_>> {
+        let avail = self.buf.len() - self.pos;
+        if avail < 4 {
+            return None;
+        }
+        let p = self.pos;
+        let len = u32::from_be_bytes(self.buf[p..p + 4].try_into().expect("4 bytes"));
+        if (len as usize) < HEADER_LEN {
+            return Some(Decoded::Undersized(len));
+        }
+        if len as usize > max_frame_len {
+            return Some(Decoded::Oversized(len));
+        }
+        if avail < 4 + len as usize {
+            return None;
+        }
+        let h = p + 4;
+        let end = h + len as usize;
+        self.pos = end;
+        Some(Decoded::Frame(FrameRef {
+            version: self.buf[h],
+            kind: self.buf[h + 1],
+            tenant: u64::from_be_bytes(self.buf[h + 2..h + 10].try_into().expect("8 bytes")),
+            corr: u64::from_be_bytes(self.buf[h + 10..h + 18].try_into().expect("8 bytes")),
+            payload: &self.buf[h + HEADER_LEN..end],
+        }))
+    }
+
+    /// Reclaims the consumed prefix once it dominates the buffer, so the
+    /// allocation is bounded by the largest in-flight frame, not by the
+    /// total bytes ever streamed.
+    fn compact(&mut self) {
+        if self.pos == self.buf.len() {
+            self.buf.clear();
+            self.pos = 0;
+        } else if self.pos > 4096 && self.pos * 2 >= self.buf.len() {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+    }
+}
+
 /// A protocol-level error, carried in an [`kind::ERROR`] frame. The
 /// explicit variants let a client react (back off on [`Quota`], renegotiate
 /// on [`UnsupportedVersion`]) without parsing message strings.
@@ -196,6 +340,12 @@ pub enum WireError {
     /// The per-tenant admission quota refused the request (tenant id) —
     /// the wire-level sibling of [`ServiceError::Saturated`].
     Quota(u64),
+    /// The server's connection cap refused this connection at accept time
+    /// (carries the cap). The refusal frame is the connection's only
+    /// traffic; the socket closes right after it — the explicit overload
+    /// mode that keeps the reactor's fd tables bounded instead of letting
+    /// accept run into `EMFILE`.
+    ConnLimit(u64),
     /// The service answered an error: `(stable code, display message)`.
     Service(String, String),
 }
@@ -216,6 +366,9 @@ impl fmt::Display for WireError {
             WireError::Malformed(detail) => write!(f, "malformed payload: {detail}"),
             WireError::Quota(tenant) => {
                 write!(f, "tenant-{tenant} admission quota exceeded")
+            }
+            WireError::ConnLimit(cap) => {
+                write!(f, "server connection cap {cap} reached, connection refused")
             }
             WireError::Service(code, msg) => write!(f, "service error [{code}]: {msg}"),
         }
@@ -275,16 +428,271 @@ pub enum NetReply {
     Error(WireError),
 }
 
-fn obj(entries: Vec<(&str, Value)>) -> Vec<u8> {
-    let v = Value::Map(
+fn obj_value(entries: Vec<(&str, Value)>) -> Value {
+    Value::Map(
         entries
             .into_iter()
             .map(|(k, v)| (k.to_string(), v))
             .collect(),
-    );
-    serde_json::to_string(&v)
+    )
+}
+
+fn json_bytes(v: &Value) -> Vec<u8> {
+    serde_json::to_string(v)
         .expect("value-tree JSON printing is infallible")
         .into_bytes()
+}
+
+/// The payload body of a request, plus its kind byte and header tenant.
+/// The single source of payload truth: both the allocating [`Frame`]
+/// constructors and the buffer-reusing [`FrameEncoder`] print exactly
+/// this value, so the two paths are byte-identical by construction.
+fn request_body(req: &Request) -> (u8, u64, Option<Value>) {
+    match req {
+        Request::Solve {
+            tree,
+            costs,
+            lambda,
+        } => (
+            kind::SOLVE,
+            0,
+            Some(obj_value(vec![
+                ("tree", tree.to_value()),
+                ("costs", costs.to_value()),
+                ("lambda", lambda.to_value()),
+            ])),
+        ),
+        Request::SolveById { id, lambda } => (
+            kind::SOLVE_BY_ID,
+            0,
+            Some(obj_value(vec![
+                ("id", id.raw().to_value()),
+                ("lambda", lambda.to_value()),
+            ])),
+        ),
+        Request::Frontier { tree, costs } => (
+            kind::FRONTIER,
+            0,
+            Some(obj_value(vec![
+                ("tree", tree.to_value()),
+                ("costs", costs.to_value()),
+            ])),
+        ),
+        Request::FrontierById { id } => (
+            kind::FRONTIER_BY_ID,
+            0,
+            Some(obj_value(vec![("id", id.raw().to_value())])),
+        ),
+        Request::Delta {
+            tenant,
+            delta,
+            lambda,
+        } => (
+            kind::DELTA,
+            tenant.0,
+            Some(obj_value(vec![
+                ("delta", delta.to_value()),
+                ("lambda", lambda.to_value()),
+            ])),
+        ),
+        Request::SolveAnytime {
+            tree,
+            costs,
+            lambda,
+            budget_ms,
+        } => (
+            kind::SOLVE_ANYTIME,
+            0,
+            Some(obj_value(vec![
+                ("tree", tree.to_value()),
+                ("costs", costs.to_value()),
+                ("lambda", lambda.to_value()),
+                ("budget_ms", budget_ms.to_value()),
+            ])),
+        ),
+    }
+}
+
+/// The payload body of a reply, plus its kind byte.
+fn reply_body(reply: &Reply) -> (u8, Option<Value>) {
+    match reply {
+        Reply::Solution { id, solution } => (
+            kind::SOLUTION,
+            Some(obj_value(vec![
+                ("id", id.raw().to_value()),
+                ("solution", solution.to_value()),
+            ])),
+        ),
+        Reply::Frontier { id, frontier } => (
+            kind::FRONTIER_REPLY,
+            Some(obj_value(vec![
+                ("id", id.raw().to_value()),
+                ("frontier", frontier.to_value()),
+            ])),
+        ),
+        Reply::Applied { outcome, solution } => (
+            kind::APPLIED,
+            Some(obj_value(vec![
+                ("outcome", outcome.to_value()),
+                ("solution", solution.to_value()),
+            ])),
+        ),
+        Reply::Anytime { id, answer } => (
+            kind::ANYTIME,
+            Some(obj_value(vec![
+                ("id", id.raw().to_value()),
+                ("answer", answer.to_value()),
+            ])),
+        ),
+    }
+}
+
+fn hello_ack_body(max_frame_len: usize) -> Value {
+    obj_value(vec![("max_frame_len", (max_frame_len as u64).to_value())])
+}
+
+fn open_tenant_body(tree: &CruTree, costs: &CostModel) -> Value {
+    obj_value(vec![("tree", tree.to_value()), ("costs", costs.to_value())])
+}
+
+fn tenant_closed_body(stats: &SessionStats) -> Value {
+    obj_value(vec![("stats", stats.to_value())])
+}
+
+/// An encoder with reusable scratch: frames go **appended** into a
+/// caller-owned `Vec<u8>` (the per-connection write queue), the payload
+/// JSON is printed into one retained `String` — steady state allocates
+/// nothing per frame, and pipelined replies coalesce in the output buffer
+/// for a single `write(2)`. The bytes are identical to the allocating
+/// [`Frame`] path (same body builders, same printer).
+#[derive(Debug, Default)]
+pub struct FrameEncoder {
+    json: String,
+}
+
+/// Appends one frame whose payload bytes are already encoded: length
+/// prefix + header written fresh, `payload` copied verbatim. This is the
+/// hit path of the reactor's encode memo and the primitive every
+/// [`FrameEncoder`] append bottoms out in.
+pub fn put_raw_frame(out: &mut Vec<u8>, kind_: u8, tenant: u64, corr: u64, payload: &[u8]) {
+    out.put_u32((HEADER_LEN + payload.len()) as u32);
+    out.put_u8(PROTOCOL_VERSION);
+    out.put_u8(kind_);
+    out.put_u64(tenant);
+    out.put_u64(corr);
+    out.put_slice(payload);
+}
+
+impl FrameEncoder {
+    /// An encoder with empty scratch.
+    pub fn new() -> FrameEncoder {
+        FrameEncoder::default()
+    }
+
+    fn put_frame(
+        &mut self,
+        out: &mut Vec<u8>,
+        kind: u8,
+        tenant: u64,
+        corr: u64,
+        body: Option<&Value>,
+    ) {
+        self.json.clear();
+        if let Some(v) = body {
+            serde_json::to_string_into(v, &mut self.json)
+                .expect("value-tree JSON printing is infallible");
+        }
+        put_raw_frame(out, kind, tenant, corr, self.json.as_bytes());
+    }
+
+    /// Appends a request frame (see [`request_frame`]).
+    pub fn put_request(&mut self, out: &mut Vec<u8>, corr: u64, req: &Request) {
+        let (kind, tenant, body) = request_body(req);
+        self.put_frame(out, kind, tenant, corr, body.as_ref());
+    }
+
+    /// Appends a reply frame (see [`reply_frame`]), returning its kind and
+    /// the byte range the payload occupies inside `out` — callers that
+    /// memoise encoded payloads (the reactor, for deterministic
+    /// id-addressed answers) copy the range out and replay it later via
+    /// [`put_raw_frame`], byte-identical by construction.
+    pub fn put_reply(
+        &mut self,
+        out: &mut Vec<u8>,
+        corr: u64,
+        tenant: u64,
+        reply: &Reply,
+    ) -> (u8, std::ops::Range<usize>) {
+        let (kind, body) = reply_body(reply);
+        self.put_frame(out, kind, tenant, corr, body.as_ref());
+        (kind, out.len() - self.json.len()..out.len())
+    }
+
+    /// Appends an error frame (see [`error_frame`]).
+    pub fn put_error(&mut self, out: &mut Vec<u8>, corr: u64, tenant: u64, err: &WireError) {
+        self.put_frame(out, kind::ERROR, tenant, corr, Some(&err.to_value()));
+    }
+
+    /// Appends the handshake frame.
+    pub fn put_hello(&mut self, out: &mut Vec<u8>, corr: u64) {
+        self.put_frame(out, kind::HELLO, 0, corr, None);
+    }
+
+    /// Appends the handshake answer.
+    pub fn put_hello_ack(&mut self, out: &mut Vec<u8>, corr: u64, max_frame_len: usize) {
+        self.put_frame(
+            out,
+            kind::HELLO_ACK,
+            0,
+            corr,
+            Some(&hello_ack_body(max_frame_len)),
+        );
+    }
+
+    /// Appends an open-tenant frame.
+    pub fn put_open_tenant(
+        &mut self,
+        out: &mut Vec<u8>,
+        corr: u64,
+        tenant: TenantId,
+        tree: &CruTree,
+        costs: &CostModel,
+    ) {
+        self.put_frame(
+            out,
+            kind::OPEN_TENANT,
+            tenant.0,
+            corr,
+            Some(&open_tenant_body(tree, costs)),
+        );
+    }
+
+    /// Appends a close-tenant frame.
+    pub fn put_close_tenant(&mut self, out: &mut Vec<u8>, corr: u64, tenant: TenantId) {
+        self.put_frame(out, kind::CLOSE_TENANT, tenant.0, corr, None);
+    }
+
+    /// Appends the tenant-opened acknowledgement.
+    pub fn put_tenant_opened(&mut self, out: &mut Vec<u8>, corr: u64, tenant: TenantId) {
+        self.put_frame(out, kind::TENANT_OPENED, tenant.0, corr, None);
+    }
+
+    /// Appends the tenant-closed acknowledgement.
+    pub fn put_tenant_closed(
+        &mut self,
+        out: &mut Vec<u8>,
+        corr: u64,
+        tenant: TenantId,
+        stats: &SessionStats,
+    ) {
+        self.put_frame(
+            out,
+            kind::TENANT_CLOSED,
+            tenant.0,
+            corr,
+            Some(&tenant_closed_body(stats)),
+        );
+    }
 }
 
 fn body(payload: &[u8]) -> Result<Value, WireError> {
@@ -307,72 +715,13 @@ fn as_map(v: &Value) -> Result<&[(String, Value)], WireError> {
 /// from the request itself ([`Request::Delta`]); other kinds travel with
 /// tenant 0.
 pub fn request_frame(corr: u64, req: &Request) -> Frame {
-    match req {
-        Request::Solve {
-            tree,
-            costs,
-            lambda,
-        } => Frame::new(
-            kind::SOLVE,
-            0,
-            corr,
-            obj(vec![
-                ("tree", tree.to_value()),
-                ("costs", costs.to_value()),
-                ("lambda", lambda.to_value()),
-            ]),
-        ),
-        Request::SolveById { id, lambda } => Frame::new(
-            kind::SOLVE_BY_ID,
-            0,
-            corr,
-            obj(vec![
-                ("id", id.raw().to_value()),
-                ("lambda", lambda.to_value()),
-            ]),
-        ),
-        Request::Frontier { tree, costs } => Frame::new(
-            kind::FRONTIER,
-            0,
-            corr,
-            obj(vec![("tree", tree.to_value()), ("costs", costs.to_value())]),
-        ),
-        Request::FrontierById { id } => Frame::new(
-            kind::FRONTIER_BY_ID,
-            0,
-            corr,
-            obj(vec![("id", id.raw().to_value())]),
-        ),
-        Request::Delta {
-            tenant,
-            delta,
-            lambda,
-        } => Frame::new(
-            kind::DELTA,
-            tenant.0,
-            corr,
-            obj(vec![
-                ("delta", delta.to_value()),
-                ("lambda", lambda.to_value()),
-            ]),
-        ),
-        Request::SolveAnytime {
-            tree,
-            costs,
-            lambda,
-            budget_ms,
-        } => Frame::new(
-            kind::SOLVE_ANYTIME,
-            0,
-            corr,
-            obj(vec![
-                ("tree", tree.to_value()),
-                ("costs", costs.to_value()),
-                ("lambda", lambda.to_value()),
-                ("budget_ms", budget_ms.to_value()),
-            ]),
-        ),
-    }
+    let (kind, tenant, body) = request_body(req);
+    Frame::new(
+        kind,
+        tenant,
+        corr,
+        body.as_ref().map(json_bytes).unwrap_or_default(),
+    )
 }
 
 /// The handshake frame.
@@ -386,7 +735,7 @@ pub fn hello_ack_frame(corr: u64, max_frame_len: usize) -> Frame {
         kind::HELLO_ACK,
         0,
         corr,
-        obj(vec![("max_frame_len", (max_frame_len as u64).to_value())]),
+        json_bytes(&hello_ack_body(max_frame_len)),
     )
 }
 
@@ -396,7 +745,7 @@ pub fn open_tenant_frame(corr: u64, tenant: TenantId, tree: &CruTree, costs: &Co
         kind::OPEN_TENANT,
         tenant.0,
         corr,
-        obj(vec![("tree", tree.to_value()), ("costs", costs.to_value())]),
+        json_bytes(&open_tenant_body(tree, costs)),
     )
 }
 
@@ -416,62 +765,24 @@ pub fn tenant_closed_frame(corr: u64, tenant: TenantId, stats: &SessionStats) ->
         kind::TENANT_CLOSED,
         tenant.0,
         corr,
-        obj(vec![("stats", stats.to_value())]),
+        json_bytes(&tenant_closed_body(stats)),
     )
 }
 
 /// Encodes a reply into its frame.
 pub fn reply_frame(corr: u64, tenant: u64, reply: &Reply) -> Frame {
-    match reply {
-        Reply::Solution { id, solution } => Frame::new(
-            kind::SOLUTION,
-            tenant,
-            corr,
-            obj(vec![
-                ("id", id.raw().to_value()),
-                ("solution", solution.to_value()),
-            ]),
-        ),
-        Reply::Frontier { id, frontier } => Frame::new(
-            kind::FRONTIER_REPLY,
-            tenant,
-            corr,
-            obj(vec![
-                ("id", id.raw().to_value()),
-                ("frontier", frontier.to_value()),
-            ]),
-        ),
-        Reply::Applied { outcome, solution } => Frame::new(
-            kind::APPLIED,
-            tenant,
-            corr,
-            obj(vec![
-                ("outcome", outcome.to_value()),
-                ("solution", solution.to_value()),
-            ]),
-        ),
-        Reply::Anytime { id, answer } => Frame::new(
-            kind::ANYTIME,
-            tenant,
-            corr,
-            obj(vec![
-                ("id", id.raw().to_value()),
-                ("answer", answer.to_value()),
-            ]),
-        ),
-    }
+    let (kind, body) = reply_body(reply);
+    Frame::new(
+        kind,
+        tenant,
+        corr,
+        body.as_ref().map(json_bytes).unwrap_or_default(),
+    )
 }
 
 /// Encodes an error frame.
 pub fn error_frame(corr: u64, tenant: u64, err: &WireError) -> Frame {
-    Frame::new(
-        kind::ERROR,
-        tenant,
-        corr,
-        serde_json::to_string(err)
-            .expect("value-tree JSON printing is infallible")
-            .into_bytes(),
-    )
+    Frame::new(kind::ERROR, tenant, corr, json_bytes(&err.to_value()))
 }
 
 /// The canonical wire JSON of a reply — what t13's byte-identity check
@@ -484,10 +795,21 @@ pub fn reply_json(reply: &Reply) -> String {
 /// checked by the caller (so a version mismatch can echo the correlation
 /// id without attempting to parse a future payload layout).
 pub fn decode_request(frame: &Frame) -> Result<NetRequest, WireError> {
-    match frame.kind {
+    decode_request_parts(frame.kind, frame.tenant, &frame.payload)
+}
+
+/// [`decode_request`] on borrowed parts — lets the reactor decode straight
+/// out of a connection's reassembly buffer (a [`FrameRef`]) without first
+/// copying the payload into an owned [`Frame`].
+pub fn decode_request_parts(
+    kind_: u8,
+    tenant: u64,
+    payload: &[u8],
+) -> Result<NetRequest, WireError> {
+    match kind_ {
         kind::HELLO => Ok(NetRequest::Hello),
         kind::SOLVE => {
-            let v = body(&frame.payload)?;
+            let v = body(payload)?;
             let m = as_map(&v)?;
             Ok(NetRequest::Submit(Request::solve_arc(
                 Arc::new(field::<CruTree>(m, "tree")?),
@@ -496,7 +818,7 @@ pub fn decode_request(frame: &Frame) -> Result<NetRequest, WireError> {
             )))
         }
         kind::SOLVE_BY_ID => {
-            let v = body(&frame.payload)?;
+            let v = body(payload)?;
             let m = as_map(&v)?;
             Ok(NetRequest::Submit(Request::solve_by_id(
                 InstanceId::from_raw(field::<u64>(m, "id")?),
@@ -504,7 +826,7 @@ pub fn decode_request(frame: &Frame) -> Result<NetRequest, WireError> {
             )))
         }
         kind::FRONTIER => {
-            let v = body(&frame.payload)?;
+            let v = body(payload)?;
             let m = as_map(&v)?;
             Ok(NetRequest::Submit(Request::frontier_arc(
                 Arc::new(field::<CruTree>(m, "tree")?),
@@ -512,23 +834,23 @@ pub fn decode_request(frame: &Frame) -> Result<NetRequest, WireError> {
             )))
         }
         kind::FRONTIER_BY_ID => {
-            let v = body(&frame.payload)?;
+            let v = body(payload)?;
             let m = as_map(&v)?;
             Ok(NetRequest::Submit(Request::frontier_by_id(
                 InstanceId::from_raw(field::<u64>(m, "id")?),
             )))
         }
         kind::DELTA => {
-            let v = body(&frame.payload)?;
+            let v = body(payload)?;
             let m = as_map(&v)?;
             Ok(NetRequest::Submit(Request::delta_arc(
-                TenantId(frame.tenant),
+                TenantId(tenant),
                 Arc::new(field::<Delta>(m, "delta")?),
                 field::<Lambda>(m, "lambda")?,
             )))
         }
         kind::SOLVE_ANYTIME => {
-            let v = body(&frame.payload)?;
+            let v = body(payload)?;
             let m = as_map(&v)?;
             Ok(NetRequest::Submit(Request::solve_anytime_arc(
                 Arc::new(field::<CruTree>(m, "tree")?),
@@ -538,15 +860,15 @@ pub fn decode_request(frame: &Frame) -> Result<NetRequest, WireError> {
             )))
         }
         kind::OPEN_TENANT => {
-            let v = body(&frame.payload)?;
+            let v = body(payload)?;
             let m = as_map(&v)?;
             Ok(NetRequest::OpenTenant(
-                TenantId(frame.tenant),
+                TenantId(tenant),
                 field::<CruTree>(m, "tree")?,
                 field::<CostModel>(m, "costs")?,
             ))
         }
-        kind::CLOSE_TENANT => Ok(NetRequest::CloseTenant(TenantId(frame.tenant))),
+        kind::CLOSE_TENANT => Ok(NetRequest::CloseTenant(TenantId(tenant))),
         k => Err(WireError::UnknownKind(k)),
     }
 }
@@ -603,5 +925,148 @@ pub fn decode_server_frame(frame: &Frame) -> Result<NetReply, WireError> {
             Ok(NetReply::Error(err))
         }
         k => Err(WireError::UnknownKind(k)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsa_graph::Lambda;
+
+    fn sample_frames() -> Vec<Frame> {
+        let sc = hsa_workloads::paper_scenario();
+        vec![
+            hello_frame(1),
+            hello_ack_frame(1, DEFAULT_MAX_FRAME_LEN),
+            request_frame(2, &Request::solve(&sc.tree, &sc.costs, Lambda::HALF)),
+            request_frame(3, &Request::frontier(&sc.tree, &sc.costs)),
+            error_frame(4, 9, &WireError::Quota(9)),
+            tenant_opened_frame(5, TenantId(9)),
+        ]
+    }
+
+    /// Reassembly is fragmentation-blind: feeding the same byte stream
+    /// one byte at a time yields exactly the frames that encoded it.
+    #[test]
+    fn decoder_reassembles_byte_at_a_time() {
+        let frames = sample_frames();
+        let stream: Vec<u8> = frames.iter().flat_map(|f| f.encode().to_vec()).collect();
+        let mut dec = FrameDecoder::new();
+        let mut got = Vec::new();
+        for byte in stream {
+            dec.push(&[byte]);
+            while let Some(d) = dec.next(DEFAULT_MAX_FRAME_LEN) {
+                match d {
+                    Decoded::Frame(f) => got.push(f.to_frame()),
+                    other => panic!("unexpected decode: {other:?}"),
+                }
+            }
+        }
+        assert_eq!(got.len(), frames.len());
+        for (g, f) in got.iter().zip(&frames) {
+            assert_eq!(g.encode(), f.encode());
+        }
+        assert_eq!(dec.buffered(), 0);
+    }
+
+    /// Chunked feeds that split frames at every possible boundary of the
+    /// first two frames still reassemble the whole stream.
+    #[test]
+    fn decoder_survives_all_split_points() {
+        let frames = sample_frames();
+        let stream: Vec<u8> = frames.iter().flat_map(|f| f.encode().to_vec()).collect();
+        let cut_range = frames[0].encode().len() + frames[1].encode().len();
+        for cut in 0..=cut_range {
+            let mut dec = FrameDecoder::new();
+            let mut got = 0usize;
+            for part in [&stream[..cut], &stream[cut..]] {
+                dec.push(part);
+                while let Some(d) = dec.next(DEFAULT_MAX_FRAME_LEN) {
+                    match d {
+                        Decoded::Frame(_) => got += 1,
+                        other => panic!("unexpected decode: {other:?}"),
+                    }
+                }
+            }
+            assert_eq!(got, frames.len(), "split at byte {cut}");
+        }
+    }
+
+    /// A partial length prefix (under 4 bytes) never decodes.
+    #[test]
+    fn decoder_waits_for_the_length_prefix() {
+        let mut dec = FrameDecoder::new();
+        dec.push(&[0, 0, 0]);
+        assert!(dec.next(DEFAULT_MAX_FRAME_LEN).is_none());
+        assert_eq!(dec.buffered(), 3);
+    }
+
+    /// Oversized and undersized prefixes surface as unrecoverable
+    /// markers, even arriving after valid frames on the same stream.
+    #[test]
+    fn decoder_flags_bad_prefixes() {
+        let good = hello_frame(1).encode();
+
+        let mut dec = FrameDecoder::new();
+        dec.push(&good);
+        dec.push(
+            &u32::try_from(DEFAULT_MAX_FRAME_LEN + 1)
+                .unwrap()
+                .to_be_bytes(),
+        );
+        assert!(matches!(
+            dec.next(DEFAULT_MAX_FRAME_LEN),
+            Some(Decoded::Frame(_))
+        ));
+        match dec.next(DEFAULT_MAX_FRAME_LEN) {
+            Some(Decoded::Oversized(len)) => {
+                assert_eq!(len as usize, DEFAULT_MAX_FRAME_LEN + 1);
+            }
+            other => panic!("expected oversized, got {other:?}"),
+        }
+
+        let mut dec = FrameDecoder::new();
+        dec.push(&(HEADER_LEN as u32 - 1).to_be_bytes());
+        assert!(matches!(
+            dec.next(DEFAULT_MAX_FRAME_LEN),
+            Some(Decoded::Undersized(_))
+        ));
+    }
+
+    /// The buffer-reusing encoder and the allocating `Frame` path are
+    /// byte-identical for every frame constructor — the invariant the
+    /// byte-identity acceptance checks lean on.
+    #[test]
+    fn encoder_matches_frame_encode_bytes() {
+        let sc = hsa_workloads::paper_scenario();
+        let req = Request::solve(&sc.tree, &sc.costs, Lambda::HALF);
+        let stats = SessionStats::default();
+        let mut enc = FrameEncoder::new();
+        let mut out = Vec::new();
+
+        let mut legacy: Vec<u8> = Vec::new();
+        for bytes in [
+            request_frame(7, &req).encode(),
+            hello_frame(8).encode(),
+            hello_ack_frame(8, 12345).encode(),
+            error_frame(9, 3, &WireError::ConnLimit(64)).encode(),
+            open_tenant_frame(10, TenantId(3), &sc.tree, &sc.costs).encode(),
+            close_tenant_frame(11, TenantId(3)).encode(),
+            tenant_opened_frame(12, TenantId(3)).encode(),
+            tenant_closed_frame(13, TenantId(3), &stats).encode(),
+        ] {
+            legacy.extend_from_slice(&bytes);
+        }
+
+        enc.put_request(&mut out, 7, &req);
+        enc.put_hello(&mut out, 8);
+        enc.put_hello_ack(&mut out, 8, 12345);
+        enc.put_error(&mut out, 9, 3, &WireError::ConnLimit(64));
+        enc.put_open_tenant(&mut out, 10, TenantId(3), &sc.tree, &sc.costs);
+        enc.put_close_tenant(&mut out, 11, TenantId(3));
+        enc.put_tenant_opened(&mut out, 12, TenantId(3));
+        enc.put_tenant_closed(&mut out, 13, TenantId(3), &stats);
+
+        assert_eq!(out, legacy);
     }
 }

@@ -229,7 +229,8 @@ pub enum Request {
     },
     /// Race the anytime portfolio on one instance at one λ: the first
     /// feasible answer within the budget comes back with a certified
-    /// optimality gap ([`crate::GapCertificate`] via [`AnytimeAnswer`]),
+    /// optimality gap ([`hsa_assign::GapCertificate`] via
+    /// [`AnytimeAnswer`]),
     /// upgraded to the tight exact answer whenever the exact arm finishes
     /// in time.
     SolveAnytime {
@@ -497,25 +498,48 @@ impl AnswerExt for Result<Reply, ServiceError> {
     }
 }
 
+/// A completion callback an event loop registers instead of blocking a
+/// thread on [`Ticket::wait`].
+type Waker = Box<dyn FnOnce(Result<Reply, ServiceError>) + Send>;
+
+/// What a [`ReplySlot`] holds: the answer once fulfilled, or a waker to
+/// hand the answer to the moment it lands.
+#[derive(Default)]
+struct SlotState {
+    result: Option<Result<Reply, ServiceError>>,
+    waker: Option<Waker>,
+}
+
 /// The slot a worker fulfils and a [`Ticket`] waits on.
 struct ReplySlot {
-    done: Mutex<Option<Result<Reply, ServiceError>>>,
+    state: Mutex<SlotState>,
     cv: Condvar,
 }
 
 impl ReplySlot {
     fn new() -> Arc<ReplySlot> {
         Arc::new(ReplySlot {
-            done: Mutex::new(None),
+            state: Mutex::new(SlotState::default()),
             cv: Condvar::new(),
         })
     }
 
     fn fulfill(&self, result: Result<Reply, ServiceError>) {
-        let mut done = self.done.lock().expect("reply slot poisoned");
-        debug_assert!(done.is_none(), "a reply slot is fulfilled exactly once");
-        *done = Some(result);
-        drop(done);
+        let mut state = self.state.lock().expect("reply slot poisoned");
+        debug_assert!(
+            state.result.is_none(),
+            "a reply slot is fulfilled exactly once"
+        );
+        if let Some(waker) = state.waker.take() {
+            // Hand the answer to the registered callback — outside the
+            // lock, because the waker may do arbitrary work (e.g. wake a
+            // reactor thread).
+            drop(state);
+            waker(result);
+            return;
+        }
+        state.result = Some(result);
+        drop(state);
         self.cv.notify_all();
     }
 }
@@ -529,13 +553,30 @@ pub struct Ticket {
 impl Ticket {
     /// Blocks until the request is answered.
     pub fn wait(self) -> Result<Reply, ServiceError> {
-        let mut done = self.slot.done.lock().expect("reply slot poisoned");
+        let mut state = self.slot.state.lock().expect("reply slot poisoned");
         loop {
-            if let Some(result) = done.take() {
+            if let Some(result) = state.result.take() {
                 return result;
             }
-            done = self.slot.cv.wait(done).expect("reply slot poisoned");
+            state = self.slot.cv.wait(state).expect("reply slot poisoned");
         }
+    }
+
+    /// Registers a completion callback instead of blocking: `f` runs
+    /// exactly once with the answer — immediately on this thread if the
+    /// request already finished, otherwise later on the worker thread
+    /// that fulfils it (after the gate slot has been released, so a
+    /// callback that resubmits can find room). This is how the net
+    /// reactor routes completions back to the connection's owner without
+    /// parking a thread per in-flight request.
+    pub fn on_ready(self, f: impl FnOnce(Result<Reply, ServiceError>) + Send + 'static) {
+        let mut state = self.slot.state.lock().expect("reply slot poisoned");
+        if let Some(result) = state.result.take() {
+            drop(state);
+            f(result);
+            return;
+        }
+        state.waker = Some(Box::new(f));
     }
 }
 
@@ -1007,7 +1048,10 @@ impl Service {
 /// records the accepted→answered latency — the one funnel every answered
 /// request goes through. Counters and the histogram are updated *before*
 /// the slot is fulfilled, so a caller that waited a ticket observes its
-/// own request in [`Service::stats`].
+/// own request in [`Service::stats`]. The gate slot is released *before*
+/// the slot is fulfilled, so a [`Ticket::on_ready`] callback that
+/// immediately resubmits a parked request can find the room this answer
+/// just freed.
 fn finish(
     shared: &Shared,
     kind: ReqKind,
@@ -1023,8 +1067,8 @@ fn finish(
     };
     bucket.fetch_add(1, Ordering::Relaxed);
     shared.latency_of(kind).record_duration(accepted.elapsed());
-    slot.fulfill(result);
     shared.gate.release();
+    slot.fulfill(result);
 }
 
 fn handle_solve(

@@ -321,6 +321,8 @@ fn graceful_shutdown_drains_every_accepted_ticket() {
             .send(&Request::solve(&sc.tree, &sc.costs, lambda))
             .unwrap();
     }
+    // `send` only queues; the burst travels as one write.
+    client.flush().unwrap();
     let service = Arc::clone(server.service());
     let deadline = Instant::now() + Duration::from_secs(30);
     while service.stats().submitted < BURST {

@@ -158,6 +158,59 @@ proptest! {
         }
     }
 
+    /// Incremental reassembly is fragmentation-blind: a frame stream cut
+    /// into arbitrary chunks (the decoder's nonblocking-read diet) comes
+    /// back out as exactly the frames that went in, byte-identically —
+    /// and mid-frame truncation simply leaves the tail buffered.
+    #[test]
+    fn fragmented_streams_reassemble_byte_identically(
+        seed in 0u64..500,
+        lam in 0u32..=8,
+        cuts in proptest::collection::vec(1usize..64, 16),
+        truncate in 0usize..32,
+    ) {
+        let (tree, costs) = small_instance(seed);
+        let lambda = Lambda::new(lam, 8).unwrap();
+        let frames = [
+            wire::hello_frame(1),
+            wire::request_frame(2, &Request::solve(&tree, &costs, lambda)),
+            wire::request_frame(3, &Request::frontier(&tree, &costs)),
+            wire::error_frame(4, 7, &WireError::Quota(7)),
+        ];
+        let mut stream: Vec<u8> = Vec::new();
+        for frame in &frames {
+            stream.extend_from_slice(&frame.encode());
+        }
+        // Drop up to `truncate` tail bytes: the last frame may arrive cut.
+        let cut_off = truncate.min(stream.len() - 1);
+        let fed = &stream[..stream.len() - cut_off];
+
+        let mut dec = wire::FrameDecoder::new();
+        let mut got = Vec::new();
+        let mut pos = 0usize;
+        let mut cut_iter = cuts.iter().copied().chain(std::iter::repeat(17));
+        while pos < fed.len() {
+            let step = cut_iter.next().unwrap_or(17).min(fed.len() - pos);
+            dec.push(&fed[pos..pos + step]);
+            pos += step;
+            while let Some(d) = dec.next(wire::DEFAULT_MAX_FRAME_LEN) {
+                match d {
+                    wire::Decoded::Frame(f) => got.push(f.to_frame()),
+                    other => return Err(TestCaseError::fail(format!("unexpected {other:?}"))),
+                }
+            }
+        }
+        let whole = if cut_off == 0 { frames.len() } else { frames.len() - 1 };
+        prop_assert!(got.len() >= whole, "lost complete frames to fragmentation");
+        for (g, f) in got.iter().zip(&frames) {
+            let (ge, fe) = (g.encode(), f.encode());
+            prop_assert_eq!(ge.as_ref(), fe.as_ref());
+        }
+        // Whatever was withheld is still buffered, not silently dropped.
+        let consumed: usize = got.iter().map(|f| f.encode().len()).sum();
+        prop_assert_eq!(consumed + dec.buffered(), fed.len());
+    }
+
     /// Arbitrary headers over arbitrary payloads: unknown kinds and
     /// unparseable bodies answer typed errors.
     #[test]

@@ -350,7 +350,9 @@ impl BnbState<'_, '_> {
             return;
         }
         self.nodes += 1;
-        if self.nodes >= self.budget || (self.nodes.is_multiple_of(1024) && self.cancel.is_cancelled()) {
+        if self.nodes >= self.budget
+            || (self.nodes.is_multiple_of(1024) && self.cancel.is_cancelled())
+        {
             self.exhausted = true;
             return;
         }

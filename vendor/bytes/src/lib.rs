@@ -65,6 +65,11 @@ impl BytesMut {
     pub fn freeze(self) -> Bytes {
         Bytes(self.0)
     }
+
+    /// Empties the buffer, keeping its capacity (for reuse across frames).
+    pub fn clear(&mut self) {
+        self.0.clear();
+    }
 }
 
 impl Deref for BytesMut {
@@ -104,6 +109,14 @@ pub trait BufMut {
 impl BufMut for BytesMut {
     fn put_slice(&mut self, src: &[u8]) {
         self.0.extend_from_slice(src);
+    }
+}
+
+// Upstream `bytes` implements `BufMut` for `Vec<u8>` too; mirrored here so
+// hot paths can frame directly into a caller-owned, reusable `Vec`.
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
     }
 }
 

@@ -35,6 +35,15 @@ pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
     Ok(out)
 }
 
+/// Serialises `value` as compact JSON **appended** to `out` — the
+/// buffer-reuse sibling of [`to_string`] (same printer, so the bytes are
+/// identical). Callers that encode many values clear and reuse one
+/// `String` instead of allocating per value.
+pub fn to_string_into<T: Serialize + ?Sized>(value: &T, out: &mut String) -> Result<(), Error> {
+    write_value(&value.to_value(), out, None, 0);
+    Ok(())
+}
+
 /// Serialises `value` as 2-space-indented JSON.
 pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
     let mut out = String::new();
